@@ -1,0 +1,41 @@
+//! Criterion benches for Figure 6 / Table 1: one-way IPC cost-model
+//! evaluation across mechanisms and message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
+use simos::IpcMechanism;
+use std::hint::black_box;
+
+fn bench_oneway(c: &mut Criterion) {
+    let systems: Vec<(&str, Box<dyn IpcMechanism>)> = vec![
+        ("sel4-onecopy", Box::new(Sel4::new(Sel4Transfer::OneCopy))),
+        ("sel4-twocopy", Box::new(Sel4::new(Sel4Transfer::TwoCopy))),
+        ("zircon", Box::new(Zircon::new())),
+        ("sel4-xpc", Box::new(XpcIpc::sel4_xpc())),
+    ];
+    let mut g = c.benchmark_group("fig6_oneway_model");
+    for (name, mech) in &systems {
+        g.bench_with_input(BenchmarkId::new(*name, "sweep"), mech, |b, m| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for size in [0u64, 64, 1024, 4096, 32768] {
+                    acc += m.oneway(black_box(size)).cycles;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table1_phases(c: &mut Criterion) {
+    c.bench_function("table1_phase_breakdown", |b| {
+        let s = Sel4::new(Sel4Transfer::OneCopy);
+        b.iter(|| {
+            black_box(s.table1_phases(black_box(4096)));
+        })
+    });
+}
+
+criterion_group!(benches, bench_oneway, bench_table1_phases);
+criterion_main!(benches);

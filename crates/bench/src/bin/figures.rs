@@ -1,0 +1,36 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p xpc-bench --bin figures -- all
+//! cargo run -p xpc-bench --bin figures -- table3 fig6
+//! ```
+
+use xpc_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments::all();
+    let keys: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        registry.iter().map(|(k, _)| *k).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for key in keys {
+        match registry.iter().find(|(k, _)| *k == key) {
+            Some((_, run)) => {
+                println!("{}", run().render());
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{key}'; available: {}",
+                    registry
+                        .iter()
+                        .map(|(k, _)| *k)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

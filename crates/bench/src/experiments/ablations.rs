@@ -1,0 +1,171 @@
+//! **Ablations** — the design-choice sweeps DESIGN.md calls out, beyond
+//! the paper's own figures: message-transport family (Figure 10),
+//! xcall-cap representation (§6.2), caller-context convention, and the
+//! relay page table (§6.2) versus the contiguous relay segment, the last
+//! one measured on the emulator.
+
+use super::Report;
+use crate::harness::{CallBench, CallBenchConfig};
+use rv64::{reg, Assembler};
+use simos::cost::CostModel;
+use simos::transport::Transport;
+use xpc::kernel::{syscall, KernelEvent, XpcKernel, XpcKernelConfig};
+use xpc::layout::USER_CODE_VA;
+use xpc::trampoline::ContextMode;
+use xpc_engine::cap::{BitmapCaps, CapStore, RadixCaps};
+
+/// Transport family: cycles to move 1 MiB over a 4-hop chain.
+pub fn transport_rows() -> Vec<(String, u64, bool, bool)> {
+    let cost = CostModel::u500();
+    Transport::ALL
+        .iter()
+        .map(|t| {
+            (
+                t.name().to_string(),
+                t.transfer_cycles(&cost, 1 << 20, 4),
+                t.tocttou_safe(),
+                t.supports_handover(),
+            )
+        })
+        .collect()
+}
+
+/// Capability stores: probe cost (words) and footprint for a sparse
+/// grant set over a 2^20 ID space.
+pub fn cap_rows() -> Vec<(String, u64, usize)> {
+    let mut bitmap = BitmapCaps::new(1 << 20);
+    let mut radix = RadixCaps::new();
+    for id in (0..1u64 << 20).step_by(4099) {
+        bitmap.grant(id);
+        radix.grant(id);
+    }
+    vec![
+        (
+            "bitmap".into(),
+            bitmap.probe(4099).words_touched,
+            bitmap.footprint_bytes(),
+        ),
+        (
+            "radix".into(),
+            radix.probe(4099).words_touched,
+            radix.footprint_bytes(),
+        ),
+    ]
+}
+
+/// Caller context convention: measured wrapped-call cycles.
+pub fn context_rows() -> Vec<(String, u64)> {
+    [ContextMode::Full, ContextMode::Partial]
+        .into_iter()
+        .map(|mode| {
+            let mut cfg = CallBenchConfig::paper_default();
+            cfg.context = mode;
+            let mut b = CallBench::new(&cfg);
+            (format!("{mode:?}"), b.measure(3).roundtrip)
+        })
+        .collect()
+}
+
+/// Relay segment vs relay page table: guest loop summing 512 bytes
+/// through each window, measured on the emulator.
+pub fn relay_pt_rows() -> Vec<(String, u64)> {
+    fn run_sum(paged: bool) -> u64 {
+        let mut k = XpcKernel::boot(XpcKernelConfig::default());
+        let pa = k.create_process().expect("process");
+        let client = k.create_thread(pa).expect("thread");
+        let seg = if paged {
+            k.alloc_relay_pt_seg(client, 1).expect("paged seg")
+        } else {
+            k.alloc_relay_seg(client, 4096).expect("seg")
+        };
+        k.install_seg(client, seg).expect("install");
+        let seg_va = k.segs.seg_reg(seg).va_base;
+        let mut c = Assembler::new(USER_CODE_VA);
+        c.li(reg::T1, seg_va as i64);
+        c.li(reg::T2, 512);
+        c.li(reg::A0, 0);
+        c.label("sum");
+        c.lbu(reg::T3, reg::T1, 0);
+        c.add(reg::A0, reg::A0, reg::T3);
+        c.addi(reg::T1, reg::T1, 1);
+        c.addi(reg::T2, reg::T2, -1);
+        c.bne(reg::T2, reg::ZERO, "sum");
+        c.li(reg::A7, syscall::EXIT as i64);
+        c.ecall();
+        let va = k.load_code(pa, &c.assemble()).expect("code");
+        k.enter_thread(client, va, &[]).expect("enter");
+        let before = k.machine.core.cycles;
+        let ev = k.run(1_000_000).expect("run");
+        assert_eq!(ev, KernelEvent::ThreadExit(0));
+        k.machine.core.cycles - before
+    }
+    vec![
+        ("relay-seg (contiguous)".into(), run_sum(false)),
+        ("relay page table (§6.2)".into(), run_sum(true)),
+    ]
+}
+
+/// Regenerate the ablation report.
+pub fn run() -> Report {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    rows.push(vec!["-- transports: 1MiB over 4 hops --".into()]);
+    for (name, cycles, safe, handover) in transport_rows() {
+        rows.push(vec![
+            name,
+            format!("{cycles} cycles"),
+            format!("tocttou-safe: {safe}"),
+            format!("handover: {handover}"),
+        ]);
+    }
+    rows.push(vec!["-- xcall-cap stores (sparse 2^20 IDs) --".into()]);
+    for (name, words, bytes) in cap_rows() {
+        rows.push(vec![
+            name,
+            format!("{words} words/probe"),
+            format!("{bytes} B footprint"),
+        ]);
+    }
+    rows.push(vec!["-- caller context convention --".into()]);
+    for (name, cycles) in context_rows() {
+        rows.push(vec![name, format!("{cycles} cycles/call")]);
+    }
+    rows.push(vec!["-- 512B guest read through the window --".into()]);
+    for (name, cycles) in relay_pt_rows() {
+        rows.push(vec![name, format!("{cycles} cycles")]);
+    }
+    Report {
+        id: "Ablations",
+        caption: "Design-choice sweeps (transport family, cap stores, context modes, relay page table)",
+        headers: vec!["Variant".into(), "Cost".into(), "".into(), "".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_pt_costs_more_but_same_order() {
+        let rows = relay_pt_rows();
+        let contiguous = rows[0].1;
+        let paged = rows[1].1;
+        assert!(paged > contiguous);
+        assert!(paged < 4 * contiguous);
+    }
+
+    #[test]
+    fn bitmap_probes_fewer_words_radix_uses_less_memory() {
+        let rows = cap_rows();
+        let (bw, bb) = (rows[0].1, rows[0].2);
+        let (rw, rb) = (rows[1].1, rows[1].2);
+        assert!(bw < rw, "bitmap probe is cheaper");
+        assert!(rb < bb, "radix footprint is smaller when sparse");
+    }
+
+    #[test]
+    fn full_context_costs_more_than_partial() {
+        let rows = context_rows();
+        assert!(rows[0].1 > rows[1].1);
+    }
+}

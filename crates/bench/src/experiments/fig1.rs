@@ -1,0 +1,111 @@
+//! **Figure 1** — the motivation measurements: (a) fraction of CPU time
+//! Sqlite3/YCSB spends in IPC on seL4; (b) CDF of IPC time by message
+//! length for YCSB-E.
+
+use super::Report;
+use kernels::{Sel4, Sel4Transfer};
+use minidb::run_workload;
+use simos::World;
+use ycsb::{Workload, WorkloadSpec};
+
+fn spec(wl: Workload) -> WorkloadSpec {
+    WorkloadSpec {
+        ops: 500,
+        ..WorkloadSpec::paper(wl)
+    }
+}
+
+/// IPC fraction per workload (Figure 1a).
+pub fn ipc_fractions() -> Vec<(&'static str, f64)> {
+    Workload::ALL
+        .iter()
+        .map(|&wl| {
+            let mut w = World::new(Box::new(Sel4::new(Sel4Transfer::TwoCopy)));
+            let r = run_workload(&mut w, &spec(wl));
+            (wl.name(), r.ipc_fraction)
+        })
+        .collect()
+}
+
+/// Regenerate Figure 1(a).
+pub fn fig1a() -> Report {
+    let rows = ipc_fractions()
+        .into_iter()
+        .map(|(n, f)| vec![n.to_string(), format!("{:.1}%", f * 100.0)])
+        .collect();
+    Report {
+        id: "Figure 1(a)",
+        caption: "CPU time spent in IPC, Sqlite3 + YCSB on seL4 (paper: 18-39%)",
+        headers: vec!["Workload".into(), "IPC time".into()],
+        rows,
+    }
+}
+
+/// The Figure 1(b) CDF and transfer fraction for YCSB-E.
+pub fn ycsb_e_cdf() -> (Vec<(u64, f64)>, f64) {
+    let mut w = World::new(Box::new(Sel4::new(Sel4Transfer::TwoCopy)));
+    let r = run_workload(&mut w, &spec(Workload::E));
+    let bounds = [4, 16, 64, 256, 1024, 4096, 8192, 1 << 20];
+    (w.stats.cdf_by_size(&bounds), r.transfer_fraction)
+}
+
+/// Regenerate Figure 1(b).
+pub fn fig1b() -> Report {
+    let (cdf, transfer) = ycsb_e_cdf();
+    let mut rows: Vec<Vec<String>> = cdf
+        .into_iter()
+        .map(|(b, f)| vec![format!("<= {b}B"), format!("{:.3}", f)])
+        .collect();
+    rows.push(vec![
+        "data-transfer share of IPC time".into(),
+        format!("{:.1}% (paper: 58.7%)", transfer * 100.0),
+    ]);
+    Report {
+        id: "Figure 1(b)",
+        caption: "CDF of IPC time by message length, YCSB-E on seL4",
+        headers: vec!["Message length".into(), "CDF of IPC time".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_in_paper_band() {
+        // Paper: 18% to 39% across the six mixes. Our substrate differs
+        // (in particular YCSB-C is almost fully served by the row cache,
+        // so its IPC share is lower than the paper's ~18%), but every
+        // mix with writes must show a substantial IPC share and nothing
+        // may be implausibly IPC-bound.
+        let fr = ipc_fractions();
+        for (name, f) in &fr {
+            assert!(*f < 0.65, "{name}: IPC fraction {f:.2} implausibly high");
+        }
+        let a = fr.iter().find(|(n, _)| *n == "YCSB-A").unwrap().1;
+        let e = fr.iter().find(|(n, _)| *n == "YCSB-E").unwrap().1;
+        assert!(a > 0.15, "YCSB-A IPC share {a:.2} too low");
+        assert!(e > 0.10, "YCSB-E IPC share {e:.2} too low");
+    }
+
+    #[test]
+    fn transfer_dominates_ipc_on_e() {
+        // Paper: 58.7% of IPC time on YCSB-E is data transfer (45.6-66.4%
+        // across workloads).
+        let (_, transfer) = ycsb_e_cdf();
+        assert!(
+            (0.35..0.80).contains(&transfer),
+            "transfer fraction {transfer:.2}"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let (cdf, _) = ycsb_e_cdf();
+        for pair in cdf.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! **Figure 6** — one-way call latency vs message size, seL4 vs seL4-XPC,
+//! same-core and cross-core.
+
+use super::Report;
+use kernels::{Sel4, Sel4Transfer, XpcIpc};
+use simos::IpcMechanism;
+
+/// The paper's x-axis.
+pub const SIZES: [u64; 11] = [0, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+/// One curve: (system, per-size one-way cycles).
+pub fn curves() -> Vec<(String, Vec<u64>)> {
+    let systems: Vec<Box<dyn IpcMechanism>> = vec![
+        Box::new(Sel4::new(Sel4Transfer::OneCopy)),
+        Box::new(XpcIpc::sel4_xpc()),
+        Box::new(Sel4::cross_core(Sel4Transfer::TwoCopy)),
+        Box::new(XpcIpc::sel4_xpc().cross_core()),
+    ];
+    let labels = [
+        "seL4 (same core)",
+        "seL4-XPC (same core)",
+        "seL4 (cross cores)",
+        "seL4-XPC (cross cores)",
+    ];
+    systems
+        .iter()
+        .zip(labels)
+        .map(|(m, l)| {
+            let vals = SIZES.iter().map(|&s| m.oneway(s).cycles).collect();
+            (l.to_string(), vals)
+        })
+        .collect()
+}
+
+/// Regenerate Figure 6.
+pub fn run() -> Report {
+    let c = curves();
+    let mut headers = vec!["Message size".to_string()];
+    headers.extend(c.iter().map(|(l, _)| l.clone()));
+    let rows = SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut row = vec![format!("{s}B")];
+            row.extend(c.iter().map(|(_, v)| v[i].to_string()));
+            row
+        })
+        .collect();
+    Report {
+        id: "Figure 6",
+        caption: "One-way call latency (cycles, log scale in the paper); speedups 5-37x same-core, 81-141x cross-core",
+        headers,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(name: &str) -> Vec<u64> {
+        curves().into_iter().find(|(l, _)| l == name).unwrap().1
+    }
+
+    #[test]
+    fn xpc_is_flat_sel4_grows() {
+        let sel4 = curve("seL4 (same core)");
+        let xpc = curve("seL4-XPC (same core)");
+        assert_eq!(xpc.first(), xpc.last(), "relay-seg is size-independent");
+        assert!(sel4.last().unwrap() > &(10 * sel4.first().unwrap()));
+    }
+
+    #[test]
+    fn same_core_speedup_band_5_to_37() {
+        let sel4 = curve("seL4 (same core)");
+        let xpc = curve("seL4-XPC (same core)");
+        let s0 = sel4[0] as f64 / xpc[0] as f64;
+        let s4k = sel4[7] as f64 / xpc[7] as f64;
+        assert!((4.5..6.5).contains(&s0), "0B speedup {s0:.1}");
+        assert!((30.0..40.0).contains(&s4k), "4KB speedup {s4k:.1}");
+    }
+
+    #[test]
+    fn cross_core_speedup_band_81_to_141() {
+        let sel4 = curve("seL4 (cross cores)");
+        let xpc = curve("seL4-XPC (cross cores)");
+        let small = sel4[0] as f64 / xpc[0] as f64;
+        let big = sel4[7] as f64 / xpc[7] as f64;
+        assert!((70.0..95.0).contains(&small), "small {small:.1}");
+        assert!((125.0..160.0).contains(&big), "4KB {big:.1}");
+    }
+
+    #[test]
+    fn medium_sizes_take_sel4_slow_path() {
+        let sel4 = curve("seL4 (same core)");
+        // 64B (slow path) costs more than 128B relative to its size —
+        // the §2.2 anomaly where medium messages are disproportionately
+        // expensive.
+        assert!(sel4[1] > 2000, "64B slow path");
+    }
+}

@@ -1,0 +1,112 @@
+//! One module per paper table/figure; each produces a [`Report`] that the
+//! `figures` binary prints and tests assert on.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+/// A regenerated table or figure.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. "Table 1" / "Figure 6".
+    pub id: &'static str,
+    /// What it shows.
+    pub caption: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.caption);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A named experiment runner.
+pub type Experiment = (&'static str, fn() -> Report);
+
+/// Every experiment, in paper order, as (key, runner).
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("fig1a", fig1::fig1a as fn() -> Report),
+        ("fig1b", fig1::fig1b),
+        ("table1", table1::run),
+        ("fig5", fig5::run),
+        ("fig6", fig6::run),
+        ("table3", table3::run),
+        ("fig7ab", fig7::fig7ab),
+        ("fig7c", fig7::fig7c),
+        ("fig8ab", fig8::fig8ab),
+        ("fig8c", fig8::fig8c),
+        ("fig9a", fig9::fig9a),
+        ("fig9b", fig9::fig9b),
+        ("table4", table4::run),
+        ("table5", table5::run),
+        ("table6", table6::run),
+        ("table7", table7::run),
+        ("ablations", ablations::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned() {
+        let r = Report {
+            id: "Table X",
+            caption: "test",
+            headers: vec!["a".into(), "bbbb".into()],
+            rows: vec![vec!["100".into(), "2".into()]],
+        };
+        let s = r.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn registry_has_all_17_experiments() {
+        assert_eq!(all().len(), 17);
+    }
+}

@@ -1,0 +1,72 @@
+//! **Table 1** — one-way IPC latency breakdown of seL4 (0 B and 4 KB).
+
+use super::Report;
+use kernels::{Sel4, Sel4Transfer};
+
+/// Phase breakdown rows for 0 B and 4 KB messages.
+pub fn phases() -> Vec<(&'static str, u64, u64)> {
+    let s = Sel4::new(Sel4Transfer::OneCopy);
+    let p0 = s.table1_phases(0);
+    let p4k = s.table1_phases(4096);
+    p0.iter()
+        .zip(p4k.iter())
+        .map(|(&(n, a), &(_, b))| (n, a, b))
+        .collect()
+}
+
+/// Regenerate Table 1.
+pub fn run() -> Report {
+    let mut rows: Vec<Vec<String>> = phases()
+        .into_iter()
+        .map(|(n, a, b)| vec![n.to_string(), a.to_string(), b.to_string()])
+        .collect();
+    let (sum0, sum4k) = totals();
+    rows.push(vec!["Sum".into(), sum0.to_string(), sum4k.to_string()]);
+    Report {
+        id: "Table 1",
+        caption: "One-way IPC latency of seL4 (fast path), cycles",
+        headers: vec![
+            "Phases (cycles)".into(),
+            "seL4(0B) fast path".into(),
+            "seL4(4KB) fast path".into(),
+        ],
+        rows,
+    }
+}
+
+/// Column totals (paper: 664 and 4804).
+pub fn totals() -> (u64, u64) {
+    let sum = |bytes| {
+        Sel4::new(Sel4Transfer::OneCopy)
+            .table1_phases(bytes)
+            .iter()
+            .map(|(_, c)| c)
+            .sum()
+    };
+    (sum(0), sum(4096))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_0b_is_664() {
+        assert_eq!(totals().0, 664, "paper Table 1 total");
+    }
+
+    #[test]
+    fn sum_4k_close_to_4804() {
+        let (_, t) = totals();
+        // Paper: 4804. Our model omits the small phase inflation the
+        // paper observed under 4K buffers (their phases grew a few
+        // cycles); we land within 3%.
+        let err = (t as f64 - 4804.0).abs() / 4804.0;
+        assert!(err < 0.05, "4KB total {t} vs paper 4804");
+    }
+
+    #[test]
+    fn report_has_five_phases_plus_sum() {
+        assert_eq!(run().rows.len(), 6);
+    }
+}

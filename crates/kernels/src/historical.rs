@@ -1,0 +1,308 @@
+//! The historical IPC designs of Table 7, as executable mechanisms: the
+//! Mach-3.0 baseline, LRPC's protected procedure call, L4's direct
+//! process switch with temporary mapping, and Tornado-style PPC with
+//! page remapping.
+//!
+//! These make Table 7's comparison *runnable*: every row can be swept
+//! against message size and chain depth (the `table7` experiment and the
+//! `transport_ablation` bench), instead of existing only as prose.
+
+use simos::cost::CostModel;
+use simos::ipc::{IpcCost, IpcMechanism};
+use simos::transport::Transport;
+
+/// Mach-3.0: kernel-scheduled IPC with twofold copy (Table 7's baseline
+/// row). Domain switch needs a trap *and* a scheduler pass.
+#[derive(Debug, Clone)]
+pub struct Mach {
+    cost: CostModel,
+}
+
+impl Mach {
+    /// A Mach-3.0 model on the U500 calibration.
+    pub fn new() -> Self {
+        Mach {
+            cost: CostModel::u500(),
+        }
+    }
+}
+
+impl Default for Mach {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpcMechanism for Mach {
+    fn name(&self) -> String {
+        "Mach-3.0".into()
+    }
+
+    fn oneway(&self, bytes: u64) -> IpcCost {
+        let c = &self.cost;
+        // Trap + port-rights checks (heavier than seL4's logic) +
+        // full scheduler pass + restore, then kernel twofold copy.
+        let cycles = c.trap
+            + 2 * c.ipc_logic
+            + c.schedule
+            + c.process_switch
+            + c.restore
+            + Transport::TwofoldCopy.transfer_cycles(c, bytes, 1);
+        IpcCost {
+            cycles,
+            copied_bytes: 2 * bytes,
+        }
+    }
+}
+
+/// LRPC: protected procedure call — the caller's thread runs the callee's
+/// code (no scheduling), arguments pass on a shared A-stack (one copy,
+/// *not* TOCTTOU-safe). Still traps to the kernel for the domain switch.
+#[derive(Debug, Clone)]
+pub struct Lrpc {
+    cost: CostModel,
+}
+
+impl Lrpc {
+    /// An LRPC model on the U500 calibration.
+    pub fn new() -> Self {
+        Lrpc {
+            cost: CostModel::u500(),
+        }
+    }
+}
+
+impl Default for Lrpc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpcMechanism for Lrpc {
+    fn name(&self) -> String {
+        "LRPC".into()
+    }
+
+    fn oneway(&self, bytes: u64) -> IpcCost {
+        let c = &self.cost;
+        // Trap + binding-object validation + direct switch (no scheduler,
+        // no run-queue work) + A-stack copy by the caller.
+        let cycles = c.trap
+            + c.ipc_logic / 2
+            + c.process_switch
+            + c.restore
+            + c.copy_cycles(bytes);
+        IpcCost {
+            cycles,
+            copied_bytes: bytes,
+        }
+    }
+}
+
+/// L4 (Liedtke '93): direct process switch plus *temporary mapping* — the
+/// kernel maps the callee's buffer into a communication window in the
+/// caller's space and copies once; the caller cannot reach the window, so
+/// it is TOCTTOU-safe, but the kernel pays the map + copy + unmap.
+#[derive(Debug, Clone)]
+pub struct L4TempMap {
+    cost: CostModel,
+}
+
+/// Kernel work to establish/tear down the temporary mapping window
+/// (PTE writes + local TLB invalidate per 4 MiB window in the original;
+/// charged per message here).
+const TEMP_MAP_CYCLES: u64 = 260;
+
+impl L4TempMap {
+    /// An L4 temporary-mapping model on the U500 calibration.
+    pub fn new() -> Self {
+        L4TempMap {
+            cost: CostModel::u500(),
+        }
+    }
+}
+
+impl Default for L4TempMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpcMechanism for L4TempMap {
+    fn name(&self) -> String {
+        "L4-tempmap".into()
+    }
+
+    fn oneway(&self, bytes: u64) -> IpcCost {
+        let c = &self.cost;
+        let mapping = if bytes > 0 { TEMP_MAP_CYCLES } else { 0 };
+        let cycles = c.trap
+            + c.ipc_logic / 2
+            + c.process_switch
+            + c.restore
+            + mapping
+            + c.copy_cycles(bytes);
+        IpcCost {
+            cycles,
+            copied_bytes: bytes,
+        }
+    }
+}
+
+/// Tornado-style PPC with page remapping for messages: zero copies, but a
+/// kernel trap and a remap + TLB shootdown per hop, page granularity.
+#[derive(Debug, Clone)]
+pub struct PpcRemap {
+    cost: CostModel,
+}
+
+impl PpcRemap {
+    /// A Tornado/PPC remapping model on the U500 calibration.
+    pub fn new() -> Self {
+        PpcRemap {
+            cost: CostModel::u500(),
+        }
+    }
+}
+
+impl Default for PpcRemap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpcMechanism for PpcRemap {
+    fn name(&self) -> String {
+        "Tornado-PPC".into()
+    }
+
+    fn oneway(&self, bytes: u64) -> IpcCost {
+        let c = &self.cost;
+        let cycles = c.trap
+            + c.ipc_logic / 2
+            + c.process_switch
+            + c.restore
+            + Transport::Remap.transfer_cycles(c, bytes, 1);
+        IpcCost {
+            cycles,
+            copied_bytes: 0,
+        }
+    }
+}
+
+/// One executable row of Table 7.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// System name.
+    pub name: String,
+    /// Needs a kernel trap per call?
+    pub traps: bool,
+    /// Needs the scheduler per call?
+    pub schedules: bool,
+    /// TOCTTOU-safe message passing?
+    pub tocttou_safe: bool,
+    /// Handover along chains without recopying?
+    pub handover: bool,
+    /// Copies for an N-hop chain, as a formula string.
+    pub copies: &'static str,
+    /// Measured one-way cycles at 4 KiB.
+    pub cycles_4k: u64,
+}
+
+/// Build the executable Table 7.
+pub fn table7() -> Vec<Table7Row> {
+    use crate::{Sel4, Sel4Transfer, XpcIpc};
+    /// (mechanism, traps, schedules, tocttou_safe, handover, copies).
+    type RowSpec = (Box<dyn IpcMechanism>, bool, bool, bool, bool, &'static str);
+    let rows: Vec<RowSpec> = vec![
+        (Box::new(Mach::new()), true, true, true, false, "2N"),
+        (Box::new(Lrpc::new()), true, false, false, false, "N"),
+        (Box::new(L4TempMap::new()), true, false, true, false, "N"),
+        (Box::new(PpcRemap::new()), true, false, false, false, "0+TLB"),
+        (
+            Box::new(Sel4::new(Sel4Transfer::TwoCopy)),
+            true,
+            false,
+            true,
+            false,
+            "2N",
+        ),
+        (Box::new(XpcIpc::sel4_xpc()), false, false, true, true, "0"),
+    ];
+    rows.into_iter()
+        .map(|(m, traps, schedules, safe, handover, copies)| Table7Row {
+            name: m.name(),
+            traps,
+            schedules,
+            tocttou_safe: safe,
+            handover,
+            copies,
+            cycles_4k: m.oneway(4096).cycles,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sel4, Sel4Transfer, XpcIpc};
+
+    #[test]
+    fn mach_is_the_slowest_small_message_design() {
+        let m = Mach::new().oneway(0).cycles;
+        for other in [
+            Lrpc::new().oneway(0).cycles,
+            L4TempMap::new().oneway(0).cycles,
+            Sel4::new(Sel4Transfer::OneCopy).oneway(0).cycles,
+        ] {
+            assert!(m > other, "Mach {m} vs {other}");
+        }
+    }
+
+    #[test]
+    fn lrpc_beats_mach_but_keeps_a_copy() {
+        let l = Lrpc::new().oneway(4096);
+        let m = Mach::new().oneway(4096);
+        assert!(l.cycles < m.cycles);
+        assert_eq!(l.copied_bytes, 4096, "one A-stack copy");
+    }
+
+    #[test]
+    fn l4_pays_mapping_over_lrpc_but_is_safe() {
+        let l4 = L4TempMap::new().oneway(4096).cycles;
+        let lrpc = Lrpc::new().oneway(4096).cycles;
+        assert!(l4 > lrpc, "temporary mapping costs kernel work");
+        // Safety is encoded in Table 7:
+        let t7 = table7();
+        let row = |n: &str| t7.iter().find(|r| r.name == n).unwrap().clone();
+        assert!(row("L4-tempmap").tocttou_safe);
+        assert!(!row("LRPC").tocttou_safe);
+    }
+
+    #[test]
+    fn remap_is_flat_but_pays_per_hop() {
+        let r = PpcRemap::new();
+        assert_eq!(r.oneway(4096).cycles, r.oneway(1 << 20).cycles);
+        assert!(r.oneway(4096).cycles > XpcIpc::sel4_xpc().oneway(4096).cycles);
+    }
+
+    #[test]
+    fn only_xpc_avoids_trap_and_supports_handover() {
+        for row in table7() {
+            let is_xpc = row.name == "seL4-XPC";
+            assert_eq!(!row.traps, is_xpc, "{}", row.name);
+            assert_eq!(row.handover, is_xpc, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn xpc_wins_the_4k_column() {
+        let t7 = table7();
+        let xpc = t7.iter().find(|r| r.name == "seL4-XPC").unwrap().cycles_4k;
+        for row in &t7 {
+            if row.name != "seL4-XPC" {
+                assert!(row.cycles_4k > 5 * xpc, "{} {}", row.name, row.cycles_4k);
+            }
+        }
+    }
+}

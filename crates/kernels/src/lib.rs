@@ -1,0 +1,44 @@
+//! Kernel IPC models: seL4, Zircon, Android Binder, and their
+//! XPC-accelerated variants, calibrated against the paper's measurements
+//! (Table 1, §2.2, §5.2, §5.5).
+//!
+//! Each model implements [`simos::IpcMechanism`], so the service stack
+//! (file system, network, database, web server) runs unmodified on any of
+//! them — exactly how the paper ports one workload across six systems.
+
+pub mod binder;
+pub mod historical;
+pub mod parcel;
+pub mod sel4;
+pub mod xpc_ipc;
+pub mod zircon;
+
+pub use binder::{binder_latency_us, BinderConfig, BinderSystem};
+pub use historical::{table7, L4TempMap, Lrpc, Mach, PpcRemap, Table7Row};
+pub use parcel::{surface_transaction, Parcel, ParcelError, Value};
+pub use sel4::{Sel4, Sel4Transfer};
+pub use xpc_ipc::XpcIpc;
+pub use zircon::{Channel, ChannelError, Zircon};
+
+/// Convenience: the six systems of the evaluation, boxed.
+pub fn all_systems() -> Vec<Box<dyn simos::IpcMechanism>> {
+    vec![
+        Box::new(Zircon::new()),
+        Box::new(XpcIpc::zircon_xpc()),
+        Box::new(Sel4::new(Sel4Transfer::OneCopy)),
+        Box::new(Sel4::new(Sel4Transfer::TwoCopy)),
+        Box::new(XpcIpc::sel4_xpc()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_systems_have_distinct_names() {
+        let names: Vec<String> = super::all_systems().iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+}

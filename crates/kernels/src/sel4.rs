@@ -1,0 +1,170 @@
+//! The seL4 IPC model: fast path, slow path, and shared-memory long
+//! messages, with the phase structure of Table 1.
+//!
+//! §2.2's rules decide the path:
+//! * ≤ 32 B — registers, fast path (Table 1: 664 cycles one-way);
+//! * 32–120 B — IPC buffer, **slow path** (measured 2182 cycles at 64 B);
+//! * > 120 B — user shared memory; the paper evaluates both the insecure
+//!   > one-copy and the TOCTTOU-safe two-copy configuration (Figure 7/8's
+//!   > `seL4-onecopy` / `seL4-twocopy`).
+
+use simos::cost::CostModel;
+use simos::ipc::{IpcCost, IpcMechanism};
+
+/// Long-message strategy (Figure 7/8 variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sel4Transfer {
+    /// One copy into shared memory (vulnerable to TOCTTOU, §2.2).
+    OneCopy,
+    /// Copy in and defensively copy out (safe).
+    TwoCopy,
+}
+
+/// The seL4 model.
+#[derive(Debug, Clone)]
+pub struct Sel4 {
+    cost: CostModel,
+    transfer: Sel4Transfer,
+    cross_core: bool,
+}
+
+/// Register-message limit (§2.2).
+pub const REG_MSG_MAX: u64 = 32;
+/// IPC-buffer limit (§2.2).
+pub const BUF_MSG_MAX: u64 = 120;
+
+impl Sel4 {
+    /// Same-core seL4 with the given long-message strategy.
+    pub fn new(transfer: Sel4Transfer) -> Self {
+        Sel4 {
+            cost: CostModel::u500(),
+            transfer,
+            cross_core: false,
+        }
+    }
+
+    /// Cross-core variant: adds IPI + remote scheduling per hop.
+    pub fn cross_core(transfer: Sel4Transfer) -> Self {
+        Sel4 {
+            cross_core: true,
+            ..Self::new(transfer)
+        }
+    }
+
+    /// The Table 1 phase breakdown for a one-way IPC of `bytes`.
+    pub fn table1_phases(&self, bytes: u64) -> Vec<(&'static str, u64)> {
+        let c = &self.cost;
+        let transfer = self.transfer_cycles(bytes);
+        vec![
+            ("Trap", c.trap),
+            ("IPC Logic", c.ipc_logic),
+            ("Process Switch", c.process_switch),
+            ("Restore", c.restore),
+            ("Message Transfer", transfer),
+        ]
+    }
+
+    fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes <= REG_MSG_MAX {
+            0 // carried in registers during the switch
+        } else if bytes <= BUF_MSG_MAX {
+            // Slow path dominates; the copy itself is small.
+            self.cost.copy_cycles(bytes) * 2
+        } else {
+            let copies = match self.transfer {
+                Sel4Transfer::OneCopy => 1,
+                Sel4Transfer::TwoCopy => 2,
+            };
+            copies * self.cost.copy_cycles(bytes)
+        }
+    }
+
+    fn copies(&self, bytes: u64) -> u64 {
+        if bytes <= REG_MSG_MAX {
+            0
+        } else if bytes <= BUF_MSG_MAX {
+            2 * bytes
+        } else {
+            match self.transfer {
+                Sel4Transfer::OneCopy => bytes,
+                Sel4Transfer::TwoCopy => 2 * bytes,
+            }
+        }
+    }
+}
+
+impl IpcMechanism for Sel4 {
+    fn name(&self) -> String {
+        let base = match self.transfer {
+            Sel4Transfer::OneCopy => "seL4-onecopy",
+            Sel4Transfer::TwoCopy => "seL4-twocopy",
+        };
+        if self.cross_core {
+            format!("{base}+xcore")
+        } else {
+            base.to_string()
+        }
+    }
+
+    fn oneway(&self, bytes: u64) -> IpcCost {
+        let c = &self.cost;
+        let mut cycles = c.sel4_fastpath_base();
+        if bytes > REG_MSG_MAX && bytes <= BUF_MSG_MAX {
+            cycles += c.slowpath_extra;
+        }
+        cycles += self.transfer_cycles(bytes);
+        if self.cross_core {
+            cycles += c.cross_core_base;
+        }
+        IpcCost {
+            cycles,
+            copied_bytes: self.copies(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastpath_0b_is_table1_sum() {
+        let s = Sel4::new(Sel4Transfer::OneCopy);
+        assert_eq!(s.oneway(0).cycles, 664);
+        assert_eq!(s.oneway(32).cycles, 664, "register messages are free");
+    }
+
+    #[test]
+    fn medium_messages_take_slow_path() {
+        let s = Sel4::new(Sel4Transfer::OneCopy);
+        let c = s.oneway(64).cycles;
+        // §2.2 measured 2182 cycles for a 64 B IPC.
+        assert!((2100..2350).contains(&c), "64B slow path: {c}");
+    }
+
+    #[test]
+    fn large_messages_scale_with_copies() {
+        let one = Sel4::new(Sel4Transfer::OneCopy).oneway(4096);
+        let two = Sel4::new(Sel4Transfer::TwoCopy).oneway(4096);
+        assert_eq!(one.cycles, 664 + 4010);
+        assert_eq!(two.cycles, 664 + 2 * 4010);
+        assert_eq!(one.copied_bytes, 4096);
+        assert_eq!(two.copied_bytes, 8192);
+    }
+
+    #[test]
+    fn table1_phases_sum_to_oneway() {
+        let s = Sel4::new(Sel4Transfer::OneCopy);
+        for bytes in [0u64, 4096] {
+            let sum: u64 = s.table1_phases(bytes).iter().map(|(_, c)| c).sum();
+            assert_eq!(sum, s.oneway(bytes).cycles);
+        }
+    }
+
+    #[test]
+    fn cross_core_adds_constant() {
+        let same = Sel4::new(Sel4Transfer::OneCopy).oneway(0).cycles;
+        let cross = Sel4::cross_core(Sel4Transfer::OneCopy).oneway(0).cycles;
+        assert_eq!(cross - same, CostModel::u500().cross_core_base);
+    }
+}

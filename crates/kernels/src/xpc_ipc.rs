@@ -1,0 +1,143 @@
+//! The XPC-accelerated IPC model: kernel-bypass `xcall`/`xret` plus
+//! relay-segment handover, usable as the `-XPC` variant of any ported
+//! kernel (seL4-XPC, Zircon-XPC).
+//!
+//! One-way cost is the Figure 5 decomposition: caller trampoline +
+//! `xcall` + post-switch TLB refills; the reply path pays `xret` + TLB.
+//! Messages ride the relay segment regardless of size — zero copies, so
+//! the cost is *flat* in message size, which is where the 5–37×
+//! (same-core) and 81–141× (cross-core) bands of §5.2 come from.
+
+use simos::cost::CostModel;
+use simos::ipc::{IpcCost, IpcMechanism};
+
+/// The XPC IPC model.
+#[derive(Debug, Clone)]
+pub struct XpcIpc {
+    cost: CostModel,
+    label: &'static str,
+    /// Full (mutually distrusting) or partial caller context save.
+    pub full_ctx: bool,
+    /// Tagged TLB removes the post-switch refill penalty.
+    pub tagged_tlb: bool,
+}
+
+impl XpcIpc {
+    /// The seL4-XPC variant (paper default: full context, untagged TLB).
+    pub fn sel4_xpc() -> Self {
+        XpcIpc {
+            cost: CostModel::u500(),
+            label: "seL4-XPC",
+            full_ctx: true,
+            tagged_tlb: false,
+        }
+    }
+
+    /// The Zircon-XPC variant (same engine path).
+    pub fn zircon_xpc() -> Self {
+        XpcIpc {
+            label: "Zircon-XPC",
+            ..Self::sel4_xpc()
+        }
+    }
+
+    /// A custom-labelled configuration (ablation benches).
+    pub fn custom(label: &'static str, full_ctx: bool, tagged_tlb: bool) -> Self {
+        XpcIpc {
+            cost: CostModel::u500(),
+            label,
+            full_ctx,
+            tagged_tlb,
+        }
+    }
+
+    /// Cross-core: the migrating-thread model runs the server's code on
+    /// the client's core, so the cost is unchanged (§5.2 "Multi-core
+    /// IPC") — provided for symmetry with the baselines.
+    pub fn cross_core(self) -> Self {
+        self
+    }
+}
+
+impl IpcMechanism for XpcIpc {
+    fn name(&self) -> String {
+        self.label.to_string()
+    }
+
+    fn oneway(&self, _bytes: u64) -> IpcCost {
+        IpcCost {
+            cycles: self.cost.xpc_oneway(self.full_ctx, self.tagged_tlb),
+            copied_bytes: 0,
+        }
+    }
+
+    fn reply(&self, _bytes: u64) -> IpcCost {
+        let tlb = if self.tagged_tlb {
+            0
+        } else {
+            self.cost.tlb_refill
+        };
+        IpcCost {
+            cycles: self.cost.xret + tlb,
+            copied_bytes: 0,
+        }
+    }
+
+    fn supports_handover(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sel4::{Sel4, Sel4Transfer};
+
+    #[test]
+    fn flat_in_message_size() {
+        let x = XpcIpc::sel4_xpc();
+        assert_eq!(x.oneway(0).cycles, x.oneway(32 << 20).cycles);
+        assert_eq!(x.oneway(4096).copied_bytes, 0);
+    }
+
+    #[test]
+    fn default_oneway_is_134() {
+        // 76 trampoline + 18 xcall + 40 TLB (Figure 5, Full-Cxt +
+        // non-blocking link stack).
+        assert_eq!(XpcIpc::sel4_xpc().oneway(0).cycles, 134);
+    }
+
+    #[test]
+    fn fig6_speedup_band_same_core() {
+        let x = XpcIpc::sel4_xpc();
+        let s = Sel4::new(Sel4Transfer::OneCopy);
+        let speedup_0 = s.oneway(0).cycles as f64 / x.oneway(0).cycles as f64;
+        let speedup_4k = s.oneway(4096).cycles as f64 / x.oneway(4096).cycles as f64;
+        assert!((4.5..6.0).contains(&speedup_0), "{speedup_0}");
+        assert!((30.0..40.0).contains(&speedup_4k), "{speedup_4k}");
+    }
+
+    #[test]
+    fn fig6_speedup_band_cross_core() {
+        let x = XpcIpc::sel4_xpc().cross_core();
+        let s = Sel4::cross_core(Sel4Transfer::TwoCopy);
+        let small = s.oneway(0).cycles as f64 / x.oneway(0).cycles as f64;
+        let large = s.oneway(4096).cycles as f64 / x.oneway(4096).cycles as f64;
+        assert!((70.0..95.0).contains(&small), "≈81x small: {small}");
+        assert!((130.0..155.0).contains(&large), "≈141x at 4KB: {large}");
+    }
+
+    #[test]
+    fn handover_advertised() {
+        assert!(XpcIpc::sel4_xpc().supports_handover());
+    }
+
+    #[test]
+    fn tagged_tlb_and_partial_ctx_reduce_cost() {
+        let full = XpcIpc::custom("a", true, false).oneway(0).cycles;
+        let part = XpcIpc::custom("b", false, false).oneway(0).cycles;
+        let tagged = XpcIpc::custom("c", false, true).oneway(0).cycles;
+        assert!(part < full);
+        assert!(tagged < part);
+    }
+}

@@ -1,0 +1,340 @@
+//! The embedded store.
+
+use services::fs::{FsClient, Xv6Fs};
+use simos::World;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Default row-cache capacity (rows). Small enough that a zipfian
+/// workload still misses sometimes — Sqlite3's page cache "can handle
+/// the read request well" but not perfectly (§5.4).
+pub const DEFAULT_CACHE_ROWS: usize = 512;
+
+/// The embedded table store. One instance owns its FS stack.
+#[derive(Debug)]
+pub struct MiniDb {
+    /// The file system server stack underneath (public for stats).
+    pub fs: Xv6Fs,
+    table_ino: u64,
+    index: BTreeMap<String, (u64, u64)>,
+    cache: HashMap<String, Vec<u8>>,
+    cache_order: VecDeque<String>,
+    cache_cap: usize,
+    append_off: u64,
+    /// Row-cache hits.
+    pub cache_hits: u64,
+    /// Row-cache misses (FS reads).
+    pub cache_misses: u64,
+}
+
+impl MiniDb {
+    /// Create a database on a fresh ramdisk of `nblocks`.
+    pub fn create(w: &mut World, nblocks: usize) -> Self {
+        let mut fs = Xv6Fs::mkfs(w, nblocks);
+        let table_ino = fs.create(w, "table.db");
+        MiniDb {
+            fs,
+            table_ino,
+            index: BTreeMap::new(),
+            cache: HashMap::new(),
+            cache_order: VecDeque::new(),
+            cache_cap: DEFAULT_CACHE_ROWS,
+            append_off: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Reopen a database from an existing device: mount the FS, find the
+    /// table file and rebuild the key index by scanning the record log
+    /// (newest version of a key wins — the store is log-structured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device holds no `table.db` (not a database image).
+    pub fn reopen(w: &mut World, dev: services::blockdev::BlockDev) -> Self {
+        let mut fs = Xv6Fs::mount(w, dev);
+        let table_ino = fs.lookup("table.db").expect("not a minidb image");
+        let size = fs.size(table_ino);
+        let raw = fs.read(w, table_ino, 0, size);
+        let mut index = BTreeMap::new();
+        let mut off = 0usize;
+        while off + 6 <= raw.len() {
+            let klen = u16::from_le_bytes(raw[off..off + 2].try_into().unwrap()) as usize;
+            if off + 2 + klen + 4 > raw.len() {
+                break;
+            }
+            let key = String::from_utf8_lossy(&raw[off + 2..off + 2 + klen]).into_owned();
+            let vlen = u32::from_le_bytes(
+                raw[off + 2 + klen..off + 6 + klen].try_into().unwrap(),
+            ) as u64;
+            let voff = (off + 6 + klen) as u64;
+            if voff + vlen > raw.len() as u64 {
+                break;
+            }
+            if vlen == 0 {
+                index.remove(&key); // tombstone
+            } else {
+                index.insert(key, (voff, vlen));
+            }
+            off = (voff + vlen) as usize;
+        }
+        w.compute(2000 * index.len() as u64 / 100 + 5000); // scan/parse cost
+        MiniDb {
+            fs,
+            table_ino,
+            index,
+            cache: HashMap::new(),
+            cache_order: VecDeque::new(),
+            cache_cap: DEFAULT_CACHE_ROWS,
+            append_off: size,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Set the row-cache capacity.
+    pub fn set_cache_rows(&mut self, rows: usize) {
+        self.cache_cap = rows;
+        while self.cache_order.len() > self.cache_cap {
+            if let Some(evict) = self.cache_order.pop_front() {
+                self.cache.remove(&evict);
+            }
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn cache_put(&mut self, key: &str, row: Vec<u8>) {
+        if self.cache.insert(key.to_string(), row).is_none() {
+            self.cache_order.push_back(key.to_string());
+        }
+        while self.cache_order.len() > self.cache_cap {
+            if let Some(evict) = self.cache_order.pop_front() {
+                self.cache.remove(&evict);
+            }
+        }
+    }
+
+    /// Insert (or overwrite) a row; journaled through the FS.
+    pub fn insert(&mut self, w: &mut World, key: &str, row: &[u8]) {
+        // Record framing: [klen u16][key][vlen u32][row].
+        let mut rec = Vec::with_capacity(6 + key.len() + row.len());
+        rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        rec.extend_from_slice(key.as_bytes());
+        rec.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        rec.extend_from_slice(row);
+        let off = self.append_off;
+        FsClient::write(&mut self.fs, w, self.table_ino, off, &rec);
+        self.append_off += rec.len() as u64;
+        self.index
+            .insert(key.to_string(), (off + 6 + key.len() as u64, row.len() as u64));
+        self.cache_put(key, row.to_vec());
+        w.compute(120_000); // SQL parse/plan, btree update, VFS, journal bookkeeping
+    }
+
+    /// Read a full row.
+    pub fn read(&mut self, w: &mut World, key: &str) -> Option<Vec<u8>> {
+        w.compute(30_000); // SQL parse/plan, btree descent
+        if let Some(row) = self.cache.get(key) {
+            self.cache_hits += 1;
+            return Some(row.clone());
+        }
+        let &(off, len) = self.index.get(key)?;
+        self.cache_misses += 1;
+        let row = FsClient::read(&mut self.fs, w, self.table_ino, off, len);
+        self.cache_put(key, row.clone());
+        Some(row)
+    }
+
+    /// Update one field's worth of a row (appends a new version).
+    pub fn update(&mut self, w: &mut World, key: &str, field: &[u8]) -> bool {
+        let Some(mut row) = self.read(w, key) else {
+            return false;
+        };
+        let n = field.len().min(row.len());
+        row[..n].copy_from_slice(&field[..n]);
+        self.insert(w, key, &row);
+        true
+    }
+
+    /// Scan `n` rows starting at `key` (inclusive), in key order.
+    pub fn scan(&mut self, w: &mut World, key: &str, n: usize) -> Vec<Vec<u8>> {
+        let keys: Vec<String> = self
+            .index
+            .range(key.to_string()..)
+            .take(n)
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.iter()
+            .filter_map(|k| self.read(w, k))
+            .collect()
+    }
+
+    /// Delete a key: writes a tombstone record (zero-length value) to the
+    /// log and drops the index/cache entries — the log-structured
+    /// counterpart of SQL `DELETE`.
+    ///
+    /// Returns whether the key existed.
+    pub fn delete(&mut self, w: &mut World, key: &str) -> bool {
+        if !self.index.contains_key(key) {
+            return false;
+        }
+        let mut rec = Vec::with_capacity(6 + key.len());
+        rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        rec.extend_from_slice(key.as_bytes());
+        rec.extend_from_slice(&0u32.to_le_bytes()); // tombstone
+        FsClient::write(&mut self.fs, w, self.table_ino, self.append_off, &rec);
+        self.append_off += rec.len() as u64;
+        self.index.remove(key);
+        self.cache.remove(key);
+        w.compute(60_000); // SQL delete path
+        true
+    }
+
+    /// Read-modify-write (workload F).
+    pub fn read_modify_write(&mut self, w: &mut World, key: &str, field: &[u8]) -> bool {
+        let Some(mut row) = self.read(w, key) else {
+            return false;
+        };
+        // "Modify": flip the first byte, then apply the new field.
+        if let Some(b) = row.first_mut() {
+            *b = b.wrapping_add(1);
+        }
+        let n = field.len().min(row.len());
+        row[..n].copy_from_slice(&field[..n]);
+        self.insert(w, key, &row);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::ipc::{IpcCost, IpcMechanism};
+
+    struct Free;
+    impl IpcMechanism for Free {
+        fn name(&self) -> String {
+            "free".into()
+        }
+        fn oneway(&self, _b: u64) -> IpcCost {
+            IpcCost {
+                cycles: 1,
+                copied_bytes: 0,
+            }
+        }
+    }
+
+    fn world() -> World {
+        World::new(Box::new(Free))
+    }
+
+    #[test]
+    fn insert_read_round_trip() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        db.insert(&mut w, "k1", b"value-one");
+        db.insert(&mut w, "k2", b"value-two");
+        assert_eq!(db.read(&mut w, "k1").as_deref(), Some(b"value-one".as_ref()));
+        assert_eq!(db.read(&mut w, "k2").as_deref(), Some(b"value-two".as_ref()));
+        assert_eq!(db.read(&mut w, "k3"), None);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn update_changes_prefix() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        db.insert(&mut w, "k", &[0u8; 100]);
+        assert!(db.update(&mut w, "k", &[9u8; 10]));
+        let row = db.read(&mut w, "k").unwrap();
+        assert_eq!(&row[..10], &[9u8; 10]);
+        assert_eq!(&row[10..], &[0u8; 90]);
+        assert!(!db.update(&mut w, "missing", &[1]));
+    }
+
+    #[test]
+    fn reads_survive_cache_eviction() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        db.set_cache_rows(4);
+        for i in 0..32 {
+            db.insert(&mut w, &format!("k{i:02}"), format!("v{i}").as_bytes());
+        }
+        for i in 0..32 {
+            assert_eq!(
+                db.read(&mut w, &format!("k{i:02}")).unwrap(),
+                format!("v{i}").into_bytes()
+            );
+        }
+        assert!(db.cache_misses > 0, "eviction must force FS reads");
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        for i in [3, 1, 2, 5, 4] {
+            db.insert(&mut w, &format!("k{i}"), format!("v{i}").as_bytes());
+        }
+        let rows = db.scan(&mut w, "k2", 3);
+        assert_eq!(rows, vec![b"v2".to_vec(), b"v3".to_vec(), b"v4".to_vec()]);
+    }
+
+    #[test]
+    fn writes_hit_the_journal() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        let commits = db.fs.stats.commits;
+        db.insert(&mut w, "k", &[1u8; 1000]);
+        assert!(db.fs.stats.commits > commits, "insert must commit");
+    }
+
+    #[test]
+    fn reopen_rebuilds_the_index() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        db.insert(&mut w, "alpha", b"one");
+        db.insert(&mut w, "beta", b"two");
+        db.insert(&mut w, "alpha", b"three"); // newer version wins
+        let dev = db.fs.dev.clone();
+        let mut db2 = MiniDb::reopen(&mut w, dev);
+        assert_eq!(db2.len(), 2);
+        assert_eq!(db2.read(&mut w, "alpha").as_deref(), Some(b"three".as_ref()));
+        assert_eq!(db2.read(&mut w, "beta").as_deref(), Some(b"two".as_ref()));
+        assert_eq!(db2.read(&mut w, "gamma"), None);
+    }
+
+    #[test]
+    fn delete_writes_a_tombstone_that_survives_reopen() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        db.insert(&mut w, "keep", b"k");
+        db.insert(&mut w, "drop", b"d");
+        assert!(db.delete(&mut w, "drop"));
+        assert!(!db.delete(&mut w, "drop"), "second delete is a no-op");
+        assert_eq!(db.read(&mut w, "drop"), None);
+        let dev = db.fs.dev.clone();
+        let mut db2 = MiniDb::reopen(&mut w, dev);
+        assert_eq!(db2.read(&mut w, "drop"), None, "tombstone replayed");
+        assert_eq!(db2.read(&mut w, "keep").as_deref(), Some(b"k".as_ref()));
+    }
+
+    #[test]
+    fn rmw_modifies() {
+        let mut w = world();
+        let mut db = MiniDb::create(&mut w, 1 << 14);
+        db.insert(&mut w, "k", &[10u8; 50]);
+        assert!(db.read_modify_write(&mut w, "k", &[7u8; 5]));
+        let row = db.read(&mut w, "k").unwrap();
+        assert_eq!(&row[..5], &[7u8; 5]);
+    }
+}

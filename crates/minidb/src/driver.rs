@@ -1,0 +1,97 @@
+//! The YCSB-on-minidb driver: loads the table, replays an operation
+//! stream, and reports throughput plus the IPC accounting Figures 1 and
+//! 8 are built from.
+
+use crate::db::MiniDb;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simos::World;
+use ycsb::{Op, WorkloadSpec};
+
+/// Result of one YCSB run.
+#[derive(Debug, Clone)]
+pub struct YcsbResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// IPC mechanism name.
+    pub system: String,
+    /// Operations executed.
+    pub ops: u64,
+    /// Cycles for the run phase (excludes loading).
+    pub cycles: u64,
+    /// Fraction of run-phase cycles spent in IPC (Figure 1a).
+    pub ipc_fraction: f64,
+    /// Fraction of IPC cycles spent on data transfer (§2.1's 58.7%).
+    pub transfer_fraction: f64,
+    /// `(message_bytes, ipc_cycles)` events for the Figure 1b CDF.
+    pub events: Vec<(u64, u64)>,
+    /// Throughput in operations per second at the model clock.
+    pub ops_per_sec: f64,
+    /// Per-operation latency percentiles in cycles (p50, p95, p99) —
+    /// YCSB's standard latency report.
+    pub latency_p50: u64,
+    /// 95th percentile latency.
+    pub latency_p95: u64,
+    /// 99th percentile latency.
+    pub latency_p99: u64,
+}
+
+/// Load the table and run `spec` against a fresh database in `world`.
+/// Loading happens before measurement starts.
+pub fn run_workload(world: &mut World, spec: &WorkloadSpec) -> YcsbResult {
+    let mut db = MiniDb::create(world, 1 << 15);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x10ad);
+    for n in 0..spec.records {
+        let row = spec.row_bytes(&mut rng);
+        db.insert(world, &spec.key(n), &row);
+    }
+    // Reset accounting after the load phase.
+    world.stats = simos::WorldStats::default();
+    let start = world.cycles;
+
+    let ops = spec.generate();
+    let mut latencies = Vec::with_capacity(ops.len());
+    for op in &ops {
+        let op_start = world.cycles;
+        match op {
+            Op::Read(k) => {
+                let _ = db.read(world, k);
+            }
+            Op::Update(k, f) => {
+                let _ = db.update(world, k, f);
+            }
+            Op::Insert(k, row) => db.insert(world, k, row),
+            Op::Scan(k, n) => {
+                let _ = db.scan(world, k, *n);
+            }
+            Op::ReadModifyWrite(k, f) => {
+                let _ = db.read_modify_write(world, k, f);
+            }
+        }
+        latencies.push(world.cycles - op_start);
+    }
+    latencies.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[(latencies.len() - 1) * p / 100]
+        }
+    };
+
+    let cycles = world.cycles - start;
+    let secs = cycles as f64 / world.cost.clock_hz as f64;
+    YcsbResult {
+        workload: spec.workload.name(),
+        system: world.ipc_name(),
+        ops: ops.len() as u64,
+        cycles,
+        ipc_fraction: world.stats.ipc_fraction(),
+        transfer_fraction: world.stats.transfer_fraction_of_ipc(),
+        events: world.stats.events.clone(),
+        ops_per_sec: ops.len() as f64 / secs,
+        latency_p50: pct(50),
+        latency_p95: pct(95),
+        latency_p99: pct(99),
+    }
+}

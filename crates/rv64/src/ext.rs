@@ -1,0 +1,78 @@
+//! The ISA-extension hook through which the XPC engine plugs into the core.
+//!
+//! The paper adds the XPC engine "as a unit of a RocketChip core" (§4.1):
+//! new instructions are dispatched to it at Execute, new CSRs appear in the
+//! CSR file, and the relay segment extends the TLB. This trait is the
+//! software analogue: the machine offers undecoded instruction words and
+//! unknown CSR addresses to the extension, which manipulates the [`Core`]
+//! (registers, memory, MMU seg window, cycle charge) directly.
+
+use crate::machine::Core;
+use crate::trap::Trap;
+
+/// What an extension did with an offered instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtResult {
+    /// Not an instruction of this extension; the core raises illegal-inst.
+    NotClaimed,
+    /// Executed; the extension already set the next PC and charged cycles.
+    Done,
+    /// Executed and trapped (e.g. invalid x-entry).
+    Trapped(Trap),
+}
+
+/// An ISA extension plugged into a [`crate::Machine`].
+pub trait IsaExtension {
+    /// Extension name for traces.
+    fn name(&self) -> &'static str;
+
+    /// Downcast hook so host-side control planes (the `xpc` kernel model)
+    /// can reach the concrete engine behind the trait object.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Offer an instruction word that the base decoder did not claim.
+    /// On `Done`, the extension must have advanced `core.cpu.pc` itself.
+    fn execute(&mut self, raw: u32, core: &mut Core) -> ExtResult;
+
+    /// Read a CSR the base file does not implement. `None` = not mine.
+    fn csr_read(&mut self, addr: u16, core: &mut Core) -> Option<Result<u64, Trap>>;
+
+    /// Write a CSR the base file does not implement. `None` = not mine.
+    fn csr_write(&mut self, addr: u16, value: u64, core: &mut Core)
+        -> Option<Result<(), Trap>>;
+
+    /// Called after the kernel context-switches address spaces (satp write),
+    /// letting the extension invalidate address-space-derived state.
+    fn on_satp_write(&mut self, _core: &mut Core) {}
+}
+
+/// A no-op extension for machines without XPC (the baseline platform).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullExtension;
+
+impl IsaExtension for NullExtension {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn execute(&mut self, _raw: u32, _core: &mut Core) -> ExtResult {
+        ExtResult::NotClaimed
+    }
+
+    fn csr_read(&mut self, _addr: u16, _core: &mut Core) -> Option<Result<u64, Trap>> {
+        None
+    }
+
+    fn csr_write(
+        &mut self,
+        _addr: u16,
+        _value: u64,
+        _core: &mut Core,
+    ) -> Option<Result<(), Trap>> {
+        None
+    }
+}

@@ -1,0 +1,54 @@
+//! A cycle-modeled RV64IM+Zicsr emulator used as the hardware substrate of
+//! the XPC (ISCA'19) reproduction.
+//!
+//! The paper evaluates XPC on a Rocket RISC-V core synthesized to FPGA. We
+//! do not have that hardware, so this crate provides the closest executable
+//! equivalent: a deterministic interpreter for RV64IM with the privileged
+//! architecture (M/S/U modes, Sv39 paging, traps) plus a first-order timing
+//! model (instruction base cost, I/D cache hit/miss, TLB fills via real page
+//! walks, trap entry/exit penalties). All evaluation numbers in the
+//! reproduction are *cycle counts* produced by this model.
+//!
+//! Extensibility is the point: the XPC engine ([`crate::ext::IsaExtension`])
+//! plugs in new instructions (custom-0 opcode space), new CSRs and a
+//! relay-segment translation window that takes priority over the page table,
+//! exactly as §3 of the paper specifies.
+//!
+//! # Example
+//!
+//! ```
+//! use rv64::{Assembler, Machine, MachineConfig, reg};
+//!
+//! let mut asm = Assembler::new(rv64::mem::DRAM_BASE);
+//! asm.li(reg::A0, 41);
+//! asm.addi(reg::A0, reg::A0, 1);
+//! asm.ebreak();
+//! let mut m = Machine::new(MachineConfig::rocket_u500());
+//! m.load_program(&asm.assemble());
+//! m.run(1_000).unwrap();
+//! assert_eq!(m.core.cpu.x(reg::A0), 42);
+//! ```
+
+pub mod asm;
+pub mod cache;
+pub mod config;
+pub mod cpu;
+pub mod disasm;
+pub mod csr;
+pub mod ext;
+pub mod inst;
+pub mod machine;
+pub mod mem;
+pub mod mmu;
+pub mod reg;
+pub mod tlb;
+pub mod trap;
+
+pub use asm::Assembler;
+pub use config::{CacheConfig, MachineConfig};
+pub use cpu::{Cpu, Mode};
+pub use ext::{ExtResult, IsaExtension};
+pub use machine::{Core, Exit, Machine, RunResult};
+pub use mem::Memory;
+pub use mmu::{Access, SegWindow};
+pub use trap::{Cause, Trap};

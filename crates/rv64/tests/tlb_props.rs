@@ -1,0 +1,115 @@
+//! Property tests of the TLB against a reference map, and machine-level
+//! timer-interrupt behaviour.
+
+use proptest::prelude::*;
+use rv64::csr::addr as csr;
+use rv64::machine::{MCAUSE_TIMER, MTIE};
+use rv64::mem::DRAM_BASE;
+use rv64::tlb::{pte, Tlb};
+use rv64::{reg, Assembler, Exit, Machine, MachineConfig};
+use std::collections::HashMap;
+
+proptest! {
+    /// A tagged TLB never returns a translation filled under a different
+    /// ASID, and always returns the latest fill for (vpn, asid) while the
+    /// entry is resident.
+    #[test]
+    fn tagged_tlb_matches_reference(ops in prop::collection::vec(
+        (0u64..64, 0u16..4, 0u64..1 << 20), 1..200)) {
+        // Large TLB so nothing is evicted — isolates tagging semantics.
+        let mut tlb = Tlb::new(1024, true);
+        let mut reference: HashMap<(u64, u16), u64> = HashMap::new();
+        for (vpn, asid, ppn) in ops {
+            tlb.fill(vpn, 0, asid, ppn, pte::V | pte::R);
+            reference.insert((vpn, asid), ppn);
+            // Probe a few keys.
+            for probe_asid in 0..4u16 {
+                let got = tlb.lookup(vpn, probe_asid).map(|e| e.ppn);
+                let want = reference.get(&(vpn, probe_asid)).copied();
+                prop_assert_eq!(got, want, "vpn {} asid {}", vpn, probe_asid);
+            }
+        }
+    }
+
+    /// flush_asid removes exactly that ASID's entries.
+    #[test]
+    fn flush_asid_is_exact(fills in prop::collection::vec((0u64..32, 0u16..4), 1..64),
+                           victim in 0u16..4) {
+        let mut tlb = Tlb::new(256, true);
+        for (vpn, asid) in &fills {
+            tlb.fill(*vpn, 0, *asid, 0x100 + vpn, pte::V);
+        }
+        tlb.flush_asid(victim);
+        for (vpn, asid) in &fills {
+            let hit = tlb.lookup(*vpn, *asid).is_some();
+            if *asid == victim {
+                prop_assert!(!hit, "victim asid survived");
+            }
+        }
+    }
+}
+
+#[test]
+fn timer_interrupt_fires_and_resumes() {
+    // Guest: M-mode handler counts ticks, re-arms twice, then lets the
+    // loop finish.
+    let mut a = Assembler::new(DRAM_BASE);
+    a.li(reg::T0, (DRAM_BASE + 0x1000) as i64);
+    a.csrw(csr::MTVEC, reg::T0);
+    a.li(reg::T1, MTIE as i64);
+    a.csrw(csr::MIE, reg::T1);
+    // mstatus.MIE = 1 (bit 3).
+    a.li(reg::T1, 8);
+    a.csrrs(reg::ZERO, csr::MSTATUS, reg::T1);
+    // Arm the timer 200 cycles out.
+    a.csrr(reg::T1, csr::CYCLE);
+    a.addi(reg::T1, reg::T1, 200);
+    a.csrw(csr::MTIMECMP, reg::T1);
+    // Busy loop.
+    a.li(reg::S1, 2000);
+    a.label("loop");
+    a.addi(reg::S1, reg::S1, -1);
+    a.bne(reg::S1, reg::ZERO, "loop");
+    a.ebreak();
+    let body = a.assemble();
+
+    // Handler: s2 += 1; if s2 < 3 re-arm, else disarm; mret.
+    let mut h = Assembler::new(DRAM_BASE + 0x1000);
+    h.addi(reg::S2, reg::S2, 1);
+    h.li(reg::T2, 3);
+    h.bge(reg::S2, reg::T2, "disarm");
+    h.csrr(reg::T1, csr::CYCLE);
+    h.addi(reg::T1, reg::T1, 200);
+    h.csrw(csr::MTIMECMP, reg::T1);
+    h.mret();
+    h.label("disarm");
+    h.csrw(csr::MTIMECMP, reg::ZERO);
+    h.mret();
+    let handler = h.assemble();
+
+    let mut m = Machine::new(MachineConfig::rocket_u500());
+    m.load_program(&body);
+    m.load_program_at(DRAM_BASE + 0x1000, &handler);
+    let r = m.run(100_000).unwrap();
+    assert_eq!(r.exit, Exit::Break, "loop completed despite interrupts");
+    assert_eq!(m.core.cpu.x(reg::S2), 3, "handler ran exactly three times");
+    assert_eq!(m.core.cpu.csr.mcause, MCAUSE_TIMER);
+}
+
+#[test]
+fn masked_timer_never_fires() {
+    let mut a = Assembler::new(DRAM_BASE);
+    // mtimecmp armed but MTIE clear: no interrupt.
+    a.li(reg::T1, 100);
+    a.csrw(csr::MTIMECMP, reg::T1);
+    a.li(reg::S1, 500);
+    a.label("loop");
+    a.addi(reg::S1, reg::S1, -1);
+    a.bne(reg::S1, reg::ZERO, "loop");
+    a.ebreak();
+    let mut m = Machine::new(MachineConfig::rocket_u500());
+    m.load_program(&a.assemble());
+    let r = m.run(100_000).unwrap();
+    assert_eq!(r.exit, Exit::Break);
+    assert_eq!(m.core.cpu.csr.mcause, 0, "no interrupt was delivered");
+}

@@ -1,0 +1,30 @@
+//! User-level OS services of the XPC evaluation (§5.3, §5.4).
+//!
+//! The paper's microkernel workloads split every OS function into
+//! separate servers communicating by IPC:
+//!
+//! * [`blockdev::BlockDev`] — the ramdisk block server;
+//! * [`fs::Xv6Fs`] — the xv6fs-style journaling file system server
+//!   (ported from FSCQ in the paper), talking to the block server one
+//!   block per IPC;
+//! * [`net`] — the lwIP-style TCP stack server with a loopback device
+//!   server and client-side buffering;
+//! * [`aes::Aes128`] — a real AES-128 implementation backing the
+//!   encryption server of the §5.4 web stack;
+//! * [`filecache::FileCache`] — the in-memory file cache server;
+//! * [`http`] — the HTTP server chaining cache → (AES) → client, the
+//!   handover showcase of Figure 8(c).
+//!
+//! All servers do *real* data work on real bytes; the cycle cost of every
+//! IPC hop comes from the active [`simos::IpcMechanism`], so the same
+//! service code reproduces all five systems of Figure 7/8.
+
+pub mod aes;
+pub mod blockdev;
+pub mod filecache;
+pub mod fs;
+pub mod http;
+pub mod net;
+
+pub use blockdev::{BlockDev, BLOCK_SIZE};
+pub use fs::{FsClient, Xv6Fs};

@@ -1,0 +1,79 @@
+//! The IPC-mechanism interface every kernel model implements.
+
+/// Cost of one IPC hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IpcCost {
+    /// Cycles charged.
+    pub cycles: u64,
+    /// Bytes copied by the mechanism (0 for handover mechanisms).
+    pub copied_bytes: u64,
+}
+
+impl IpcCost {
+    /// Sum two hop costs.
+    pub fn plus(self, other: IpcCost) -> IpcCost {
+        IpcCost {
+            cycles: self.cycles + other.cycles,
+            copied_bytes: self.copied_bytes + other.copied_bytes,
+        }
+    }
+}
+
+/// A synchronous IPC mechanism: what one hop costs.
+///
+/// Implementations live in the `kernels` crate (seL4 fast/slow path,
+/// Zircon channels, Binder, and the XPC-accelerated variants).
+pub trait IpcMechanism {
+    /// Mechanism name (used in experiment output).
+    fn name(&self) -> String;
+
+    /// One-way cost: deliver `bytes` from caller to callee.
+    fn oneway(&self, bytes: u64) -> IpcCost;
+
+    /// Reply cost (defaults to the one-way cost of the reply size).
+    fn reply(&self, bytes: u64) -> IpcCost {
+        self.oneway(bytes)
+    }
+
+    /// Full round trip.
+    fn roundtrip(&self, request: u64, response: u64) -> IpcCost {
+        self.oneway(request).plus(self.reply(response))
+    }
+
+    /// Whether a message can be *handed over* along a chain without
+    /// another copy (relay segments can; copy mechanisms cannot, §7.2).
+    fn supports_handover(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl IpcMechanism for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn oneway(&self, bytes: u64) -> IpcCost {
+            IpcCost {
+                cycles: self.0 + bytes,
+                copied_bytes: bytes,
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_sums_both_ways() {
+        let m = Fixed(100);
+        let rt = m.roundtrip(10, 20);
+        assert_eq!(rt.cycles, 100 + 10 + 100 + 20);
+        assert_eq!(rt.copied_bytes, 30);
+    }
+
+    #[test]
+    fn default_handover_is_false() {
+        assert!(!Fixed(1).supports_handover());
+    }
+}

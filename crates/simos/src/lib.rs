@@ -1,0 +1,28 @@
+//! OS-model simulation framework for the XPC (ISCA'19) reproduction.
+//!
+//! The paper's micro-benchmarks (Tables 1/3, Figures 5/6) run on the real
+//! [`rv64`](https://docs.rs) emulator. Its *application* results (Figures
+//! 1, 7, 8, 9) are end-to-end workloads — file systems, network stacks, a
+//! database, Android Binder — whose IPC patterns dominate. This crate
+//! provides the cost-model layer those workloads run on:
+//!
+//! * [`cost::CostModel`] — the calibrated phase constants (Table 1's
+//!   trap / IPC-logic / switch / restore, copy cycles per byte, the XPC
+//!   instruction costs measured on the emulator);
+//! * [`ipc::IpcMechanism`] — the interface every kernel model implements
+//!   (one-way cost as a function of message size, handover capability);
+//! * [`transport`] — the four long-message mechanisms of Figure 10
+//!   (twofold copy, user shared memory, remap, relay segment) with their
+//!   security properties from Table 7;
+//! * [`world::World`] — a charging context that services run against,
+//!   splitting time into IPC vs non-IPC (exactly the Figure 1(a)
+//!   measurement) and recording a message-size histogram (Figure 1(b)).
+
+pub mod cost;
+pub mod ipc;
+pub mod transport;
+pub mod world;
+
+pub use cost::CostModel;
+pub use ipc::{IpcCost, IpcMechanism};
+pub use world::{World, WorldStats};

@@ -1,0 +1,241 @@
+//! The charging context service code runs against.
+//!
+//! A [`World`] owns a cycle clock, the active IPC mechanism, and the
+//! accounting that Figure 1 is made of: how many cycles went to IPC vs
+//! everything else, and the per-message-size distribution of IPC time.
+
+use crate::cost::CostModel;
+use crate::ipc::{IpcCost, IpcMechanism};
+
+/// Accumulated accounting.
+#[derive(Debug, Clone, Default)]
+pub struct WorldStats {
+    /// Cycles spent inside the IPC mechanism.
+    pub ipc_cycles: u64,
+    /// Cycles spent on everything else (compute, data passes).
+    pub other_cycles: u64,
+    /// Of the IPC cycles, how many were moving message payload.
+    pub ipc_transfer_cycles: u64,
+    /// `(message_bytes, ipc_cycles)` per IPC event — Figure 1(b)'s CDF
+    /// source.
+    pub events: Vec<(u64, u64)>,
+    /// Total IPC invocations.
+    pub ipc_count: u64,
+    /// Total bytes moved through IPC payloads.
+    pub payload_bytes: u64,
+}
+
+impl WorldStats {
+    /// Fraction of total cycles spent in IPC (Figure 1(a)).
+    pub fn ipc_fraction(&self) -> f64 {
+        let total = self.ipc_cycles + self.other_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.ipc_cycles as f64 / total as f64
+        }
+    }
+
+    /// Fraction of IPC time spent on data transfer (the 58.7% of §2.1).
+    pub fn transfer_fraction_of_ipc(&self) -> f64 {
+        if self.ipc_cycles == 0 {
+            0.0
+        } else {
+            self.ipc_transfer_cycles as f64 / self.ipc_cycles as f64
+        }
+    }
+
+    /// Cumulative distribution of IPC time by message size: returns
+    /// `(size_bound, fraction_of_ipc_time_at_or_below)` for each bound.
+    pub fn cdf_by_size(&self, bounds: &[u64]) -> Vec<(u64, f64)> {
+        let total: u64 = self.events.iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            return bounds.iter().map(|&b| (b, 0.0)).collect();
+        }
+        bounds
+            .iter()
+            .map(|&b| {
+                let at_or_below: u64 = self
+                    .events
+                    .iter()
+                    .filter(|(len, _)| *len <= b)
+                    .map(|(_, c)| c)
+                    .sum();
+                (b, at_or_below as f64 / total as f64)
+            })
+            .collect()
+    }
+}
+
+/// The execution context: clock + mechanism + stats.
+pub struct World {
+    /// Cycle clock.
+    pub cycles: u64,
+    /// Cost constants.
+    pub cost: CostModel,
+    ipc: Box<dyn IpcMechanism>,
+    /// Accounting.
+    pub stats: WorldStats,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("cycles", &self.cycles)
+            .field("ipc", &self.ipc.name())
+            .finish()
+    }
+}
+
+impl World {
+    /// A world using mechanism `ipc`.
+    pub fn new(ipc: Box<dyn IpcMechanism>) -> Self {
+        World {
+            cycles: 0,
+            cost: CostModel::u500(),
+            ipc,
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Name of the active mechanism.
+    pub fn ipc_name(&self) -> String {
+        self.ipc.name()
+    }
+
+    /// Whether the active mechanism hands messages over without copies.
+    pub fn handover(&self) -> bool {
+        self.ipc.supports_handover()
+    }
+
+    /// Charge one IPC round trip carrying `request` bytes out and
+    /// `response` bytes back.
+    pub fn ipc_roundtrip(&mut self, request: u64, response: u64) {
+        let c = self.ipc.roundtrip(request, response);
+        self.charge_ipc(request + response, c);
+    }
+
+    /// Charge a one-way IPC (calls into a chain that will not reply yet).
+    pub fn ipc_oneway(&mut self, bytes: u64) {
+        let c = self.ipc.oneway(bytes);
+        self.charge_ipc(bytes, c);
+    }
+
+    fn charge_ipc(&mut self, payload: u64, c: IpcCost) {
+        self.cycles += c.cycles;
+        self.stats.ipc_cycles += c.cycles;
+        let transfer = self.cost.copy_cycles(c.copied_bytes);
+        self.stats.ipc_transfer_cycles += transfer.min(c.cycles);
+        self.stats.events.push((payload, c.cycles));
+        self.stats.ipc_count += 1;
+        self.stats.payload_bytes += payload;
+    }
+
+    /// Charge non-IPC compute cycles.
+    pub fn compute(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.stats.other_cycles += cycles;
+    }
+
+    /// Charge one pass over `bytes` of data (memcpy-grade work) outside
+    /// IPC — e.g. a ramdisk filling a buffer, AES with a multiplier.
+    pub fn data_pass(&mut self, bytes: u64, intensity_x10: u64) {
+        let c = self.cost.copy_cycles(bytes) * intensity_x10 / 10;
+        self.compute(c);
+    }
+
+    /// Elapsed wall time in microseconds at the model clock.
+    pub fn elapsed_us(&self) -> f64 {
+        self.cost.cycles_to_us(self.cycles)
+    }
+
+    /// Throughput for `bytes` of useful work over the whole elapsed time.
+    pub fn throughput_mb_s(&self, bytes: u64) -> f64 {
+        self.cost.throughput_mb_s(bytes, self.cycles)
+    }
+
+    /// One-line accounting summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} cycles ({:.1} us), {} IPCs, {:.1}% in IPC              ({:.1}% of that moving data), {} payload bytes",
+            self.ipc_name(),
+            self.cycles,
+            self.elapsed_us(),
+            self.stats.ipc_count,
+            self.stats.ipc_fraction() * 100.0,
+            self.stats.transfer_fraction_of_ipc() * 100.0,
+            self.stats.payload_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipc::IpcCost;
+
+    struct Fixed;
+    impl IpcMechanism for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn oneway(&self, bytes: u64) -> IpcCost {
+            IpcCost {
+                cycles: 100 + bytes,
+                copied_bytes: bytes,
+            }
+        }
+    }
+
+    fn world() -> World {
+        World::new(Box::new(Fixed))
+    }
+
+    #[test]
+    fn accounting_splits_ipc_and_compute() {
+        let mut w = world();
+        w.ipc_roundtrip(50, 0);
+        w.compute(250);
+        assert_eq!(w.stats.ipc_cycles, 100 + 50 + 100);
+        assert_eq!(w.stats.other_cycles, 250);
+        assert_eq!(w.cycles, 500);
+        assert!((w.stats.ipc_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_feed_cdf() {
+        let mut w = world();
+        w.ipc_oneway(10); // 110 cycles at size 10
+        w.ipc_oneway(1000); // 1100 cycles at size 1000
+        let cdf = w.stats.cdf_by_size(&[10, 100, 1000]);
+        let total = 110.0 + 1100.0;
+        assert!((cdf[0].1 - 110.0 / total).abs() < 1e-9);
+        assert!((cdf[1].1 - 110.0 / total).abs() < 1e-9);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_pass_scales_with_intensity() {
+        let mut w = world();
+        w.data_pass(4096, 10);
+        let one = w.stats.other_cycles;
+        w.data_pass(4096, 30);
+        assert_eq!(w.stats.other_cycles - one, 3 * one);
+    }
+
+    #[test]
+    fn summary_mentions_the_mechanism_and_counts() {
+        let mut w = world();
+        w.ipc_roundtrip(100, 0);
+        let s = w.summary();
+        assert!(s.contains("fixed"));
+        assert!(s.contains("1 IPCs"));
+    }
+
+    #[test]
+    fn elapsed_time_uses_clock() {
+        let mut w = world();
+        w.compute(100); // 1 us at 100 MHz
+        assert!((w.elapsed_us() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! `xcall`/`xret`/`swapseg` encoders and the [`XpcAsm`] assembler extension.
+//!
+//! The three instructions live in the RISC-V custom-0 opcode space
+//! (`0001011`), distinguished by funct3: 0 = `xcall`, 1 = `xret`,
+//! 2 = `swapseg`, mirroring §4.1's RocketChip integration.
+
+use rv64::inst::OPCODE_CUSTOM0;
+use rv64::Assembler;
+
+/// Encode `xcall #rs1`.
+pub fn encode_xcall(rs1: u8) -> u32 {
+    OPCODE_CUSTOM0 | ((rs1 as u32) << 15)
+}
+
+/// Encode `xret`.
+pub fn encode_xret() -> u32 {
+    OPCODE_CUSTOM0 | (1 << 12)
+}
+
+/// Encode `swapseg #rs1`.
+pub fn encode_swapseg(rs1: u8) -> u32 {
+    OPCODE_CUSTOM0 | (2 << 12) | ((rs1 as u32) << 15)
+}
+
+/// Assembler sugar for the XPC instructions.
+///
+/// ```
+/// use rv64::{Assembler, reg};
+/// use xpc_engine::XpcAsm;
+/// let mut a = Assembler::new(0x8000_0000);
+/// a.li(reg::A0, 1);
+/// a.xcall(reg::A0);
+/// a.xret();
+/// ```
+pub trait XpcAsm {
+    /// Emit `xcall #rs1` (x-entry ID, or negative ID to prefetch).
+    fn xcall(&mut self, rs1: u8);
+    /// Emit `xret`.
+    fn xret(&mut self);
+    /// Emit `swapseg #rs1` (seg-list index).
+    fn swapseg(&mut self, rs1: u8);
+}
+
+impl XpcAsm for Assembler {
+    fn xcall(&mut self, rs1: u8) {
+        self.raw(encode_xcall(rs1));
+    }
+
+    fn xret(&mut self) {
+        self.raw(encode_xret());
+    }
+
+    fn swapseg(&mut self, rs1: u8) {
+        self.raw(encode_swapseg(rs1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv64::inst::decode;
+
+    #[test]
+    fn encodings_are_custom0_and_undecoded() {
+        for w in [encode_xcall(10), encode_xret(), encode_swapseg(11)] {
+            assert_eq!(w & 0x7f, OPCODE_CUSTOM0);
+            assert!(decode(w).is_none(), "base decoder must not claim {w:#x}");
+        }
+    }
+
+    #[test]
+    fn funct3_distinguishes() {
+        assert_eq!((encode_xcall(0) >> 12) & 7, 0);
+        assert_eq!((encode_xret() >> 12) & 7, 1);
+        assert_eq!((encode_swapseg(0) >> 12) & 7, 2);
+    }
+
+    #[test]
+    fn rs1_encoded() {
+        assert_eq!((encode_xcall(17) >> 15) & 31, 17);
+        assert_eq!((encode_swapseg(3) >> 15) & 31, 3);
+    }
+}

@@ -1,0 +1,240 @@
+//! xcall-cap representations: the bitmap the prototype uses, and the
+//! radix-tree alternative §6.2 discusses ("Scalable xcall-cap"), kept here
+//! so the `cap_scalability` ablation bench can compare lookup costs and
+//! memory footprint.
+//!
+//! Both structures answer the same question the hardware asks on every
+//! `xcall`: *may this thread invoke x-entry `id`?* — and both report the
+//! number of 64-bit memory words a hardware walker would touch, which is
+//! what the lookup cost model charges.
+
+/// Result of a capability probe: the answer plus modelled memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapProbe {
+    /// Whether the capability is present.
+    pub allowed: bool,
+    /// 64-bit words a hardware walker reads to decide.
+    pub words_touched: u64,
+}
+
+/// Common interface of the capability stores.
+pub trait CapStore {
+    /// Grant capability `id`.
+    fn grant(&mut self, id: u64);
+    /// Revoke capability `id`.
+    fn revoke(&mut self, id: u64);
+    /// Probe capability `id`.
+    fn probe(&self, id: u64) -> CapProbe;
+    /// Bytes of backing memory currently used.
+    fn footprint_bytes(&self) -> usize;
+}
+
+/// The paper's bitmap: one bit per x-entry, single word probe.
+///
+/// O(1) lookup (one word), but footprint scales with the *table size*, not
+/// the number of grants — the scalability concern of §6.2.
+#[derive(Debug, Clone)]
+pub struct BitmapCaps {
+    bits: Vec<u64>,
+}
+
+impl BitmapCaps {
+    /// A bitmap covering `entries` x-entry IDs.
+    pub fn new(entries: u64) -> Self {
+        BitmapCaps {
+            bits: vec![0; entries.div_ceil(64) as usize],
+        }
+    }
+}
+
+impl CapStore for BitmapCaps {
+    fn grant(&mut self, id: u64) {
+        let w = (id / 64) as usize;
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        self.bits[w] |= 1 << (id % 64);
+    }
+
+    fn revoke(&mut self, id: u64) {
+        if let Some(w) = self.bits.get_mut((id / 64) as usize) {
+            *w &= !(1 << (id % 64));
+        }
+    }
+
+    fn probe(&self, id: u64) -> CapProbe {
+        let allowed = self
+            .bits
+            .get((id / 64) as usize)
+            .is_some_and(|w| (w >> (id % 64)) & 1 == 1);
+        CapProbe {
+            allowed,
+            words_touched: 1,
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// §6.2's radix-tree alternative: 3-level tree over the 64-bit ID space
+/// with 64-ary fanout at the leaves. Footprint scales with grants; lookup
+/// touches one word per level.
+#[derive(Debug, Clone, Default)]
+pub struct RadixCaps {
+    root: RadixNode,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RadixNode {
+    children: std::collections::BTreeMap<u16, RadixNode>,
+    leaf_bits: u64,
+}
+
+const LEVEL_BITS: u64 = 9;
+const LEVELS: u32 = 2; // two internal levels + a 64-bit leaf word
+
+impl RadixCaps {
+    /// An empty radix capability tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn path(id: u64) -> ([u16; LEVELS as usize], u64) {
+        let leaf_bit = id % 64;
+        let mut rest = id / 64;
+        let mut idx = [0u16; LEVELS as usize];
+        for slot in idx.iter_mut().rev() {
+            *slot = (rest & ((1 << LEVEL_BITS) - 1)) as u16;
+            rest >>= LEVEL_BITS;
+        }
+        (idx, leaf_bit)
+    }
+}
+
+impl CapStore for RadixCaps {
+    fn grant(&mut self, id: u64) {
+        let (idx, bit) = Self::path(id);
+        let mut node = &mut self.root;
+        for i in idx {
+            node = node.children.entry(i).or_default();
+        }
+        node.leaf_bits |= 1 << bit;
+    }
+
+    fn revoke(&mut self, id: u64) {
+        let (idx, bit) = Self::path(id);
+        let mut node = &mut self.root;
+        for i in idx {
+            match node.children.get_mut(&i) {
+                Some(n) => node = n,
+                None => return,
+            }
+        }
+        node.leaf_bits &= !(1 << bit);
+    }
+
+    fn probe(&self, id: u64) -> CapProbe {
+        let (idx, bit) = Self::path(id);
+        let mut node = &self.root;
+        let mut words = 0;
+        for i in idx {
+            words += 1;
+            match node.children.get(&i) {
+                Some(n) => node = n,
+                None => {
+                    return CapProbe {
+                        allowed: false,
+                        words_touched: words,
+                    }
+                }
+            }
+        }
+        words += 1;
+        CapProbe {
+            allowed: (node.leaf_bits >> bit) & 1 == 1,
+            words_touched: words,
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        fn count(n: &RadixNode) -> usize {
+            // One pointer word per child slot plus the leaf word.
+            8 + n.children.len() * 8 + n.children.values().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn CapStore) {
+        assert!(!store.probe(5).allowed);
+        store.grant(5);
+        assert!(store.probe(5).allowed);
+        assert!(!store.probe(6).allowed);
+        store.revoke(5);
+        assert!(!store.probe(5).allowed);
+        // Far-apart IDs.
+        store.grant(0);
+        store.grant(1023);
+        store.grant(1_000_000);
+        assert!(store.probe(0).allowed);
+        assert!(store.probe(1023).allowed);
+        assert!(store.probe(1_000_000).allowed);
+        assert!(!store.probe(999_999).allowed);
+    }
+
+    #[test]
+    fn bitmap_semantics() {
+        let mut b = BitmapCaps::new(1024);
+        exercise(&mut b);
+    }
+
+    #[test]
+    fn radix_semantics() {
+        let mut r = RadixCaps::new();
+        exercise(&mut r);
+    }
+
+    #[test]
+    fn bitmap_probe_is_one_word() {
+        let mut b = BitmapCaps::new(1024);
+        b.grant(100);
+        assert_eq!(b.probe(100).words_touched, 1);
+    }
+
+    #[test]
+    fn radix_probe_costs_levels() {
+        let mut r = RadixCaps::new();
+        r.grant(100);
+        assert_eq!(r.probe(100).words_touched, LEVELS as u64 + 1);
+        // Early-out on absent subtree touches fewer words.
+        assert!(r.probe(u64::MAX / 2).words_touched <= LEVELS as u64 + 1);
+    }
+
+    #[test]
+    fn footprints_diverge_as_6_2_predicts() {
+        // Sparse grants over a huge ID space: bitmap explodes, radix stays
+        // proportional to grants.
+        let mut b = BitmapCaps::new(64);
+        let mut r = RadixCaps::new();
+        for id in [0u64, 1 << 20, 1 << 24] {
+            b.grant(id);
+            r.grant(id);
+        }
+        assert!(b.footprint_bytes() > 1 << 20);
+        assert!(r.footprint_bytes() < 1 << 12);
+        // Dense small table: bitmap wins.
+        let mut b2 = BitmapCaps::new(1024);
+        let mut r2 = RadixCaps::new();
+        for id in 0..1024 {
+            b2.grant(id);
+            r2.grant(id);
+        }
+        assert!(b2.footprint_bytes() <= r2.footprint_bytes());
+    }
+}

@@ -1,0 +1,102 @@
+//! CSR addresses of the XPC engine (Table 2 of the paper).
+//!
+//! Address-range privilege follows the RISC-V convention the core enforces:
+//! `0x5xx` CSRs are supervisor-only (the kernel control plane), `0x8xx`
+//! CSRs are user-reachable (the relay-segment registers the paper marks
+//! "R/ in user mode" / "R/W in user mode"). Writes to the user-readable
+//! but kernel-owned registers are additionally mode-checked by the engine.
+//!
+//! One deliberate implementation choice: the paper's registers hold virtual
+//! addresses; here they hold *physical* addresses and the kernel keeps all
+//! XPC objects in identity-mapped kernel memory. This keeps the hardware
+//! table walks deterministic without modelling a second translation path,
+//! and matches how the prototype kernel in the `xpc` crate lays out memory.
+
+/// Base address of the x-entry table (S-mode R/W).
+pub const XPC_XENTRY_TABLE: u16 = 0x5c0;
+/// Number of entries in the x-entry table (S-mode R/W).
+pub const XPC_XENTRY_TABLE_SIZE: u16 = 0x5c1;
+/// Per-thread xcall capability bitmap address (S-mode R/W).
+pub const XPC_XCALL_CAP: u16 = 0x5c2;
+/// Per-thread link stack base (S-mode R/W).
+pub const XPC_LINK: u16 = 0x5c3;
+/// Link stack top offset in bytes (S-mode R/W; saved on context switch).
+pub const XPC_LINK_SP: u16 = 0x5c4;
+/// Number of slots in the per-process relay segment list (S-mode R/W).
+pub const XPC_SEG_LIST_SIZE: u16 = 0x5c6;
+
+/// Relay segment virtual base (user-readable, kernel-writable).
+pub const XPC_SEG_VA: u16 = 0x8c0;
+/// Relay segment physical base (user-readable, kernel-writable).
+pub const XPC_SEG_PA: u16 = 0x8c1;
+/// Relay segment length+permission (user-readable, kernel-writable).
+/// Bits 47:0 length in bytes; bit 63 set = writable.
+pub const XPC_SEG_LEN_PERM: u16 = 0x8c2;
+/// Seg-mask virtual base (user R/W).
+pub const XPC_SEG_MASK_VA: u16 = 0x8c3;
+/// Seg-mask length (user R/W; the write validates the pair and raises
+/// invalid seg-mask if it leaves the current relay segment).
+pub const XPC_SEG_MASK_LEN: u16 = 0x8c4;
+/// Per-process relay segment list base (user-readable, kernel-writable).
+pub const XPC_SEG_LIST: u16 = 0x8c5;
+
+/// Sentinel stored in the seg-mask length meaning "no mask set".
+pub const SEG_MASK_NONE: u64 = u64::MAX;
+
+/// All engine CSR addresses, for save/restore loops in kernels.
+pub const ALL: [u16; 12] = [
+    XPC_XENTRY_TABLE,
+    XPC_XENTRY_TABLE_SIZE,
+    XPC_XCALL_CAP,
+    XPC_LINK,
+    XPC_LINK_SP,
+    XPC_SEG_LIST_SIZE,
+    XPC_SEG_VA,
+    XPC_SEG_PA,
+    XPC_SEG_LEN_PERM,
+    XPC_SEG_MASK_VA,
+    XPC_SEG_MASK_LEN,
+    XPC_SEG_LIST,
+];
+
+/// The per-thread CSRs the kernel must save/restore on a context switch
+/// (§4.1: "During a context switch, the kernel saves and restores the
+/// per_thread objects").
+pub const PER_THREAD: [u16; 3] = [XPC_XCALL_CAP, XPC_LINK, XPC_LINK_SP];
+
+/// The per-address-space CSRs (seg-list) plus live segment state.
+pub const PER_SPACE: [u16; 6] = [
+    XPC_SEG_LIST,
+    XPC_SEG_LIST_SIZE,
+    XPC_SEG_VA,
+    XPC_SEG_PA,
+    XPC_SEG_LEN_PERM,
+    XPC_SEG_MASK_VA,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_csrs_are_supervisor_range() {
+        for a in [XPC_XENTRY_TABLE, XPC_XENTRY_TABLE_SIZE, XPC_XCALL_CAP, XPC_LINK] {
+            assert_eq!((a >> 8) & 0b11, 0b01, "{a:#x} should be S-level");
+        }
+    }
+
+    #[test]
+    fn seg_csrs_are_user_range() {
+        for a in [XPC_SEG_VA, XPC_SEG_MASK_VA, XPC_SEG_MASK_LEN, XPC_SEG_LIST] {
+            assert_eq!((a >> 8) & 0b11, 0b00, "{a:#x} should be U-level");
+        }
+    }
+
+    #[test]
+    fn addresses_unique() {
+        let mut v = ALL.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), ALL.len());
+    }
+}

@@ -1,0 +1,41 @@
+//! The XPC engine of *XPC: Architectural Support for Secure and Efficient
+//! Cross Process Call* (ISCA'19), implemented as an [`rv64`] ISA extension.
+//!
+//! The engine adds, per §3 and Table 2 of the paper:
+//!
+//! * **x-entry table** — a global table of callable entries, addressed by
+//!   `x-entry-table-reg` and bounded by `x-entry-table-size`;
+//! * **xcall-cap bitmap** — a per-thread capability bitmap at
+//!   `xcall-cap-reg`, checked in hardware on every `xcall`;
+//! * **link stack** — a per-thread stack of linkage records at `link-reg`
+//!   used by `xret` and validated against tampering/termination;
+//! * **relay segment** — `seg-reg`/`seg-mask`/`seg-list-reg`, a
+//!   register-mapped message window translated ahead of the page table
+//!   (installed into [`rv64::mmu::Mmu::seg_window`]);
+//! * **instructions** `xcall #reg`, `xret`, `swapseg #reg` in the custom-0
+//!   opcode space;
+//! * **five exceptions** — invalid x-entry, invalid xcall-cap, invalid
+//!   linkage, swapseg error, invalid seg-mask;
+//! * the two §3.2 optimizations: a software-managed one-entry **engine
+//!   cache** (prefetch by calling with a negative ID) and the
+//!   **non-blocking link stack**.
+//!
+//! # Example
+//!
+//! Register an x-entry by writing engine CSRs from M/S-mode guest code,
+//! grant the capability, then `xcall` from user mode — all executed on the
+//! emulated core. See `crates/xpc-engine/tests/` and the `xpc` crate for
+//! full scenarios.
+
+pub mod asm_ext;
+pub mod cap;
+pub mod config;
+pub mod csr_map;
+pub mod engine;
+pub mod hwcost;
+pub mod layout;
+
+pub use asm_ext::XpcAsm;
+pub use config::{XpcEngineConfig, XpcTimings};
+pub use engine::{XpcEngine, XpcStats};
+pub use layout::{LinkageRecord, SegDescriptor, SegMask, SegReg, XEntry};

@@ -1,0 +1,80 @@
+//! Error type of the XPC control plane.
+
+use std::fmt;
+
+/// Errors returned by [`crate::kernel::XpcKernel`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XpcError {
+    /// Physical memory exhausted.
+    OutOfMemory,
+    /// Unknown process ID.
+    NoSuchProcess(u64),
+    /// Unknown thread ID.
+    NoSuchThread(u64),
+    /// Unknown x-entry ID.
+    NoSuchEntry(u64),
+    /// x-entry table is full.
+    TableFull,
+    /// The thread lacks the grant capability needed for the operation
+    /// (§4.2: grants require a `grant-cap`).
+    NoGrantCap { thread: u64, entry: u64 },
+    /// The relay segment is owned by another thread (single-owner rule).
+    SegNotOwned { seg: u64, owner: Option<u64> },
+    /// The requested virtual range collides with an existing mapping —
+    /// the kernel must never let a relay-seg overlap a page-table mapping.
+    SegOverlap { va: u64, len: u64 },
+    /// Per-process seg-list is full.
+    SegListFull,
+    /// The guest faulted in a way the scenario did not expect.
+    GuestFault(String),
+    /// The guest exceeded its instruction budget.
+    Timeout,
+    /// No idle XPC context available and the entry's policy is fail-fast.
+    NoIdleContext(u64),
+}
+
+impl fmt::Display for XpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XpcError::OutOfMemory => write!(f, "physical memory exhausted"),
+            XpcError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            XpcError::NoSuchThread(t) => write!(f, "no such thread: {t}"),
+            XpcError::NoSuchEntry(e) => write!(f, "no such x-entry: {e}"),
+            XpcError::TableFull => write!(f, "x-entry table full"),
+            XpcError::NoGrantCap { thread, entry } => {
+                write!(f, "thread {thread} holds no grant-cap for x-entry {entry}")
+            }
+            XpcError::SegNotOwned { seg, owner } => {
+                write!(f, "relay segment {seg} not owned by caller (owner: {owner:?})")
+            }
+            XpcError::SegOverlap { va, len } => {
+                write!(f, "relay segment {va:#x}+{len:#x} overlaps an existing mapping")
+            }
+            XpcError::SegListFull => write!(f, "per-process seg-list full"),
+            XpcError::GuestFault(s) => write!(f, "unexpected guest fault: {s}"),
+            XpcError::Timeout => write!(f, "guest instruction budget exhausted"),
+            XpcError::NoIdleContext(e) => {
+                write!(f, "no idle XPC context for x-entry {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            XpcError::OutOfMemory,
+            XpcError::NoSuchProcess(3),
+            XpcError::SegOverlap { va: 0x1000, len: 64 },
+            XpcError::NoGrantCap { thread: 1, entry: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Virtual/physical address map used by the prototype kernel.
+//!
+//! Mirrors §4.1: the kernel owns the x-entry table globally, per-thread
+//! link stacks (8 KiB) and capability bitmaps (128 B), and a 4 KiB seg-list
+//! page per address space. Relay segments live in a dedicated virtual
+//! window that the kernel never maps through page tables, which is what
+//! makes the §3.3 no-overlap guarantee easy to maintain.
+
+use rv64::mem::DRAM_BASE;
+
+/// Physical address of the M-mode kernel stub (a single `ebreak` that
+/// bounces every trap to the host-side kernel).
+pub const KSTUB_PA: u64 = DRAM_BASE + 0x1000;
+
+/// Physical address of the global x-entry table.
+pub const XENTRY_TABLE_PA: u64 = DRAM_BASE + 0x10_000;
+
+/// Entries in the x-entry table (§4.1 uses 1024).
+pub const XENTRY_TABLE_ENTRIES: u64 = 1024;
+
+/// First physical frame handed to the allocator.
+pub const PALLOC_BASE: u64 = DRAM_BASE + 0x20_000;
+
+/// Virtual base of process code. The VPN indices are chosen so the hot
+/// page-walk lines spread over D-cache sets instead of colliding: with a
+/// 4 KiB-way VIPT cache, a PTE at index i of its (page-aligned) table
+/// frame lands in set i/8. Code uses vpn1 = 8 (set 1) and vpn0 = 16
+/// (set 2); the root PTEs stay in set 0; data (below) uses sets 32/3.
+pub const USER_CODE_VA: u64 = (8 << 21) | (16 << 12);
+
+/// Virtual top of the initial user stack (grows down).
+pub const USER_STACK_TOP: u64 = 0x3000_0000;
+
+/// Pages mapped for the initial user stack.
+pub const USER_STACK_PAGES: u64 = 4;
+
+/// Virtual base of the relay-segment window. The kernel never creates
+/// page-table mappings in this window, so seg-reg translations can never
+/// be shadowed and no TLB shootdown is ever needed (§3.3). Kept below
+/// 2^31 so generated guest code can load these addresses in two
+/// instructions.
+pub const RELAY_REGION_VA: u64 = 0x7000_0000;
+
+/// Size of the relay-segment virtual window.
+pub const RELAY_REGION_LEN: u64 = 0x1000_0000;
+
+/// Virtual base for per-process scratch data pages (vpn1 = 0x100 ->
+/// set 32, vpn0 = 24 -> set 3; see [`USER_CODE_VA`] on coloring).
+pub const USER_DATA_VA: u64 = 0x2001_8000;
+
+/// Bytes of a per-thread capability bitmap (§4.1: 128 B = 1024 bits).
+pub const CAP_BITMAP_BYTES: u64 = 128;
+
+/// Per-address-space seg-list page size (§4.1: one 4 KiB page).
+pub const SEG_LIST_BYTES: u64 = 4096;
+
+/// Slots in a seg-list page (32-byte descriptors).
+pub const SEG_LIST_SLOTS: u64 = SEG_LIST_BYTES / 32;
+
+/// Bytes of a per-invocation C-stack.
+pub const C_STACK_BYTES: u64 = 4096;
+
+// Layout invariants, enforced at compile time.
+const _: () = assert!(XENTRY_TABLE_PA + XENTRY_TABLE_ENTRIES * 32 <= PALLOC_BASE);
+const _: () = assert!(USER_CODE_VA < RELAY_REGION_VA);
+const _: () = assert!(USER_STACK_TOP < RELAY_REGION_VA);
+const _: () = assert!(USER_DATA_VA < RELAY_REGION_VA);
+// Keep relay addresses li-friendly (two-instruction loads).
+const _: () = assert!(RELAY_REGION_VA + RELAY_REGION_LEN <= 1 << 31);
+const _: () = assert!(SEG_LIST_SLOTS == 128);

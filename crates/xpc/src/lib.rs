@@ -1,0 +1,39 @@
+//! The XPC OS primitive (ISCA'19): kernel control plane and user library
+//! over the hardware engine in [`xpc_engine`].
+//!
+//! §3 of the paper splits IPC into a **control plane** (the kernel:
+//! creating x-entries, granting capabilities, allocating relay segments,
+//! handling termination) and a **data plane** (the engine: `xcall`/`xret`
+//! at user level). This crate is the control plane plus the user library:
+//!
+//! * [`kernel::XpcKernel`] — processes with real Sv39 page tables, threads
+//!   with split scheduling/runtime state (§4.2), x-entry registration,
+//!   `grant-cap` propagation, abnormal-termination handling (link-stack
+//!   scanning / page-table zeroing), context switches that save/restore the
+//!   per-thread engine registers;
+//! * [`seg`] — the relay-segment allocator with the two kernel guarantees
+//!   of §3.3: a relay-seg never overlaps any page-table mapping, and has
+//!   exactly one owner at any time (TOCTTOU defense);
+//! * [`trampoline`] — generated guest code: caller-side full/partial
+//!   context save (Figure 5's "Trampoline" component) and the callee-side
+//!   per-invocation C-stack trampoline (§4.2);
+//! * [`handover`] — message size negotiation, seg-mask shrinking and
+//!   segment revocation along calling chains (§4.4).
+//!
+//! Everything executes on the [`rv64`] emulator: `xcall` really switches
+//! page tables, relay segments really translate ahead of the page table,
+//! and every number is a cycle count from the machine's timing model.
+
+pub mod error;
+pub mod handover;
+pub mod kernel;
+pub mod layout;
+pub mod pagetable;
+pub mod palloc;
+pub mod seg;
+pub mod thread;
+pub mod trampoline;
+
+pub use error::XpcError;
+pub use kernel::{ProcessId, ThreadId, XEntryId, XpcKernel, XpcKernelConfig};
+pub use seg::SegHandle;

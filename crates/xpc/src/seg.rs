@@ -1,0 +1,308 @@
+//! Relay-segment allocation and the kernel's two §3.3 guarantees:
+//!
+//! 1. **No overlap**: a relay segment's virtual range is carved from a
+//!    window the kernel never maps through page tables, and segments never
+//!    overlap each other — so the seg-reg translation can never shadow (or
+//!    be shadowed by) a page-table mapping, and no TLB shootdown is needed
+//!    when ownership moves.
+//! 2. **Single owner**: each segment is owned by exactly one thread (or
+//!    stashed in exactly one process's seg-list) at any time, which is the
+//!    TOCTTOU defense — the sender cannot mutate a message after passing
+//!    it.
+
+use crate::error::XpcError;
+use crate::layout::{RELAY_REGION_LEN, RELAY_REGION_VA};
+use crate::palloc::{FrameAlloc, FRAME_BYTES};
+use xpc_engine::SegReg;
+
+/// Handle to an allocated relay segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegHandle(pub u64);
+
+/// Who currently holds a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegOwner {
+    /// Live in a thread's seg-reg (by thread id).
+    Thread(u64),
+    /// Stashed in a process's seg-list (process id, slot).
+    ListSlot(u64, u64),
+    /// Returned to the allocator.
+    Freed,
+}
+
+#[derive(Debug, Clone)]
+struct SegInfo {
+    seg: SegReg,
+    owner: SegOwner,
+}
+
+/// Kernel-side registry of every relay segment.
+#[derive(Debug, Clone, Default)]
+pub struct SegRegistry {
+    segs: Vec<SegInfo>,
+    va_cursor: u64,
+}
+
+impl SegRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SegRegistry {
+            segs: Vec::new(),
+            va_cursor: RELAY_REGION_VA,
+        }
+    }
+
+    /// Allocate a segment of `len` bytes (rounded up to whole frames),
+    /// owned by `owner_thread`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory (physical frames or virtual window).
+    pub fn alloc(
+        &mut self,
+        alloc: &mut FrameAlloc,
+        len: u64,
+        owner_thread: u64,
+        writable: bool,
+    ) -> Result<SegHandle, XpcError> {
+        let frames = len.max(1).div_ceil(FRAME_BYTES);
+        let bytes = frames * FRAME_BYTES;
+        if self.va_cursor + bytes > RELAY_REGION_VA + RELAY_REGION_LEN {
+            return Err(XpcError::OutOfMemory);
+        }
+        let pa = alloc.alloc_contig(frames)?;
+        let va = self.va_cursor;
+        self.va_cursor += bytes;
+        let seg = SegReg {
+            va_base: va,
+            pa_base: pa,
+            len,
+            writable,
+            paged: false,
+        };
+        self.segs.push(SegInfo {
+            seg,
+            owner: SegOwner::Thread(owner_thread),
+        });
+        Ok(SegHandle(self.segs.len() as u64 - 1))
+    }
+
+    /// Allocate a §6.2 *relay-page-table* segment of `pages` pages: the
+    /// backing frames need not be contiguous; a one-level table (whose
+    /// frame is also allocated here) maps window page i to frame i.
+    /// Returns the handle, the table's physical address, and the frames
+    /// (the kernel writes the PPN entries — the registry has no memory
+    /// access).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-memory (frames, table, or virtual window).
+    pub fn alloc_paged(
+        &mut self,
+        alloc: &mut FrameAlloc,
+        pages: u64,
+        owner_thread: u64,
+        writable: bool,
+    ) -> Result<(SegHandle, u64, Vec<u64>), XpcError> {
+        assert!(pages > 0, "empty paged segment");
+        let bytes = pages * FRAME_BYTES;
+        if self.va_cursor + bytes > RELAY_REGION_VA + RELAY_REGION_LEN {
+            return Err(XpcError::OutOfMemory);
+        }
+        let table_pa = alloc.alloc()?;
+        let frames: Vec<u64> = (0..pages)
+            .map(|_| alloc.alloc())
+            .collect::<Result<_, _>>()?;
+        let va = self.va_cursor;
+        self.va_cursor += bytes;
+        let seg = SegReg {
+            va_base: va,
+            pa_base: table_pa,
+            len: bytes,
+            writable,
+            paged: true,
+        };
+        self.segs.push(SegInfo {
+            seg,
+            owner: SegOwner::Thread(owner_thread),
+        });
+        Ok((SegHandle(self.segs.len() as u64 - 1), table_pa, frames))
+    }
+
+    /// The segment register value for `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling handle (kernel bug).
+    pub fn seg_reg(&self, h: SegHandle) -> SegReg {
+        self.segs[h.0 as usize].seg
+    }
+
+    /// Current owner of `h`.
+    pub fn owner(&self, h: SegHandle) -> SegOwner {
+        self.segs[h.0 as usize].owner
+    }
+
+    /// Transfer ownership (kernel-observed; e.g. along a calling chain or
+    /// into a seg-list slot).
+    ///
+    /// # Errors
+    ///
+    /// [`XpcError::SegNotOwned`] if the segment was freed.
+    pub fn transfer(&mut self, h: SegHandle, to: SegOwner) -> Result<(), XpcError> {
+        let info = &mut self.segs[h.0 as usize];
+        if info.owner == SegOwner::Freed {
+            return Err(XpcError::SegNotOwned {
+                seg: h.0,
+                owner: None,
+            });
+        }
+        info.owner = to;
+        Ok(())
+    }
+
+    /// Free a segment, returning its frames to `alloc`. Paged segments
+    /// only return their *table* frame here; the kernel (which can read
+    /// the table) returns the data frames via
+    /// [`SegRegistry::free_paged_frames`]-style iteration before calling
+    /// this.
+    pub fn free(&mut self, alloc: &mut FrameAlloc, h: SegHandle) {
+        let info = &mut self.segs[h.0 as usize];
+        if info.owner == SegOwner::Freed {
+            return;
+        }
+        if info.seg.paged {
+            alloc.free(info.seg.pa_base);
+        } else {
+            let frames = info.seg.len.max(1).div_ceil(FRAME_BYTES);
+            for i in 0..frames {
+                alloc.free(info.seg.pa_base + i * FRAME_BYTES);
+            }
+        }
+        info.owner = SegOwner::Freed;
+    }
+
+    /// All live handles owned by `thread`.
+    pub fn owned_by_thread(&self, thread: u64) -> Vec<SegHandle> {
+        self.segs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.owner == SegOwner::Thread(thread))
+            .map(|(n, _)| SegHandle(n as u64))
+            .collect()
+    }
+
+    /// All live handles stashed in `process`'s seg-list.
+    pub fn stashed_in_process(&self, process: u64) -> Vec<SegHandle> {
+        self.segs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i.owner, SegOwner::ListSlot(p, _) if p == process))
+            .map(|(n, _)| SegHandle(n as u64))
+            .collect()
+    }
+
+    /// Invariant: no two live segments overlap in VA or PA, and all live
+    /// segments sit inside the relay window. Returns a violation message.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let live: Vec<&SegInfo> = self
+            .segs
+            .iter()
+            .filter(|i| i.owner != SegOwner::Freed)
+            .collect();
+        for (n, a) in live.iter().enumerate() {
+            let a_end = a.seg.va_base + a.seg.len;
+            if a.seg.va_base < RELAY_REGION_VA || a_end > RELAY_REGION_VA + RELAY_REGION_LEN {
+                return Err(format!("segment outside relay window: {:?}", a.seg));
+            }
+            for b in live.iter().skip(n + 1) {
+                let va_overlap =
+                    a.seg.va_base < b.seg.va_base + b.seg.len && b.seg.va_base < a_end;
+                // Paged segments' data frames come from the allocator
+                // (disjoint by construction); their pa_base is a table
+                // pointer, so the linear PA check only applies to
+                // contiguous pairs.
+                let pa_overlap = !a.seg.paged
+                    && !b.seg.paged
+                    && a.seg.pa_base < b.seg.pa_base + b.seg.len
+                    && b.seg.pa_base < a.seg.pa_base + a.seg.len;
+                if va_overlap || pa_overlap {
+                    return Err(format!("segments overlap: {:?} vs {:?}", a.seg, b.seg));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PALLOC_BASE;
+
+    fn alloc() -> FrameAlloc {
+        FrameAlloc::new(PALLOC_BASE, 1 << 22)
+    }
+
+    #[test]
+    fn alloc_assigns_disjoint_ranges() {
+        let mut fa = alloc();
+        let mut r = SegRegistry::new();
+        let h1 = r.alloc(&mut fa, 4096, 1, true).unwrap();
+        let h2 = r.alloc(&mut fa, 100, 1, true).unwrap();
+        assert!(r.check_invariants().is_ok());
+        let s1 = r.seg_reg(h1);
+        let s2 = r.seg_reg(h2);
+        assert!(s1.va_base + 4096 <= s2.va_base);
+        assert_ne!(s1.pa_base, s2.pa_base);
+    }
+
+    #[test]
+    fn ownership_lifecycle() {
+        let mut fa = alloc();
+        let mut r = SegRegistry::new();
+        let h = r.alloc(&mut fa, 64, 7, true).unwrap();
+        assert_eq!(r.owner(h), SegOwner::Thread(7));
+        r.transfer(h, SegOwner::ListSlot(3, 0)).unwrap();
+        assert_eq!(r.owner(h), SegOwner::ListSlot(3, 0));
+        assert_eq!(r.stashed_in_process(3), vec![h]);
+        r.free(&mut fa, h);
+        assert_eq!(r.owner(h), SegOwner::Freed);
+        assert!(r.transfer(h, SegOwner::Thread(1)).is_err());
+    }
+
+    #[test]
+    fn double_free_is_idempotent() {
+        let mut fa = alloc();
+        let mut r = SegRegistry::new();
+        let h = r.alloc(&mut fa, 64, 7, true).unwrap();
+        let before = fa.remaining();
+        r.free(&mut fa, h);
+        let after_first = fa.remaining();
+        r.free(&mut fa, h);
+        assert_eq!(fa.remaining(), after_first);
+        assert!(after_first > before);
+    }
+
+    #[test]
+    fn window_exhaustion() {
+        let mut fa = FrameAlloc::new(PALLOC_BASE, 1 << 30);
+        let mut r = SegRegistry::new();
+        // One huge segment nearly fills the window.
+        r.alloc(&mut fa, RELAY_REGION_LEN - FRAME_BYTES, 1, true)
+            .unwrap();
+        assert!(matches!(
+            r.alloc(&mut fa, 2 * FRAME_BYTES, 1, true),
+            Err(XpcError::OutOfMemory)
+        ));
+    }
+
+    #[test]
+    fn owned_by_thread_filters() {
+        let mut fa = alloc();
+        let mut r = SegRegistry::new();
+        let h1 = r.alloc(&mut fa, 64, 1, true).unwrap();
+        let _h2 = r.alloc(&mut fa, 64, 2, true).unwrap();
+        assert_eq!(r.owned_by_thread(1), vec![h1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Deep calling chains on the emulator: the link stack under real depth,
+//! handover across many address spaces, and stack-overflow behaviour.
+
+use rv64::{reg, Assembler};
+use xpc::kernel::{syscall, KernelEvent, XpcKernel, XpcKernelConfig};
+use xpc::layout::USER_CODE_VA;
+use xpc_engine::layout::{LINK_RECORD_BYTES, LINK_STACK_BYTES};
+use xpc_engine::XpcAsm;
+
+/// Build a chain of `n` processes where each handler increments a0 and
+/// calls the next; the last one just returns. Returns the first entry id.
+fn build_chain(k: &mut XpcKernel, n: usize) -> (xpc::kernel::XEntryId, xpc::kernel::ThreadId) {
+    let mut entries = Vec::new();
+    let mut threads = Vec::new();
+    // Build from the tail so each handler knows its callee's entry id.
+    for depth in (0..n).rev() {
+        let p = k.create_process().unwrap();
+        let t = k.create_thread(p).unwrap();
+        let mut h = Assembler::new(USER_CODE_VA);
+        h.addi(reg::A0, reg::A0, 1);
+        if let Some(&(next_entry, _)) = entries.last() {
+            // Preserve sp/ra across the nested call (migrating-thread
+            // convention), then call onward.
+            h.mv(reg::S3, reg::SP);
+            h.mv(reg::S4, reg::RA);
+            h.li(reg::T6, next_entry as i64);
+            h.xcall(reg::T6);
+            h.mv(reg::SP, reg::S3);
+            h.mv(reg::RA, reg::S4);
+        }
+        h.ret();
+        let hv = k.load_code(p, &h.assemble()).unwrap();
+        let entry = k.register_entry(t, t, hv, 1).unwrap();
+        // Grant the previous (deeper) thread the right to call us... the
+        // *next shallower* handler calls this entry, so grant after we
+        // know the caller; collect and grant below.
+        entries.push((entry.0, depth));
+        threads.push(t);
+    }
+    // Grant each handler thread the capability for the entry it calls:
+    // threads[i] (handler at depth n-1-i) calls entries[i-1].
+    for i in 1..entries.len() {
+        let callee_entry = xpc::kernel::XEntryId(entries[i - 1].0);
+        let owner = threads[i - 1];
+        let caller = threads[i];
+        k.grant_xcall(owner, caller, callee_entry).unwrap();
+    }
+    (
+        xpc::kernel::XEntryId(entries.last().unwrap().0),
+        *threads.last().unwrap(),
+    )
+}
+
+#[test]
+fn twenty_process_chain_counts_every_hop() {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let n = 20;
+    let (first_entry, first_owner) = build_chain(&mut k, n);
+
+    let client_proc = k.create_process().unwrap();
+    let client = k.create_thread(client_proc).unwrap();
+    k.grant_xcall(first_owner, client, first_entry).unwrap();
+
+    let mut c = Assembler::new(USER_CODE_VA);
+    c.li(reg::A0, 0);
+    c.li(reg::T6, first_entry.0 as i64);
+    c.xcall(reg::T6);
+    c.li(reg::A7, syscall::EXIT as i64);
+    c.ecall();
+    let cv = k.load_code(client_proc, &c.assemble()).unwrap();
+    k.enter_thread(client, cv, &[]).unwrap();
+    let ev = k.run(50_000_000).unwrap();
+    assert_eq!(ev, KernelEvent::ThreadExit(n as u64), "every hop counted");
+    let st = k.engine().stats;
+    assert_eq!(st.xcalls, n as u64);
+    assert_eq!(st.xrets, n as u64);
+    assert_eq!(k.engine().regs.link_sp, 0, "stack fully unwound");
+}
+
+#[test]
+fn link_stack_overflow_raises_invalid_linkage() {
+    // A self-recursive entry with enough contexts deepens the stack until
+    // the 8 KiB link stack is full: the engine must trap, not corrupt.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p = k.create_process().unwrap();
+    let t = k.create_thread(p).unwrap();
+    let capacity = (LINK_STACK_BYTES / LINK_RECORD_BYTES) as i64;
+
+    // Handler: call itself forever (context pool is large enough that
+    // the link stack, not the context pool, is the limit).
+    let mut h = Assembler::new(USER_CODE_VA);
+    h.li(reg::T6, 1); // first registered entry id
+    h.xcall(reg::T6);
+    h.ret();
+    let hv = k.load_code(p, &h.assemble()).unwrap();
+    let entry = k
+        .register_entry(t, t, hv, capacity as u64 + 8)
+        .unwrap();
+    assert_eq!(entry.0, 1);
+    k.grant_xcall(t, t, entry).unwrap();
+
+    let client_proc = k.create_process().unwrap();
+    let client = k.create_thread(client_proc).unwrap();
+    k.grant_xcall(t, client, entry).unwrap();
+    let mut c = Assembler::new(USER_CODE_VA);
+    c.li(reg::T6, entry.0 as i64);
+    c.xcall(reg::T6);
+    c.li(reg::A7, syscall::EXIT as i64);
+    c.ecall();
+    let cv = k.load_code(client_proc, &c.assemble()).unwrap();
+    k.enter_thread(client, cv, &[]).unwrap();
+    match k.run(50_000_000).unwrap() {
+        KernelEvent::Fault { cause, .. } => {
+            assert_eq!(cause, rv64::trap::Cause::InvalidLinkage);
+        }
+        other => panic!("expected link-stack overflow fault, got {other:?}"),
+    }
+    // The engine refused the push that would overflow: depth is bounded.
+    assert!(k.engine().regs.link_sp + LINK_RECORD_BYTES > LINK_STACK_BYTES);
+}

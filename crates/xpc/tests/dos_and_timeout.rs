@@ -1,0 +1,155 @@
+//! §6.1 defenses end to end: the credit system against context-exhaustion
+//! DoS, and the kernel timeout mechanism for hung callees.
+
+use rv64::{reg, Assembler};
+use xpc::kernel::{syscall, KernelEvent, XpcKernel, XpcKernelConfig, ERR_TIMEOUT};
+use xpc::layout::USER_CODE_VA;
+use xpc::trampoline::ERR_NO_CREDIT;
+use xpc_engine::XpcAsm;
+
+fn asm() -> Assembler {
+    Assembler::new(USER_CODE_VA)
+}
+
+fn exit_syscall(a: &mut Assembler) {
+    a.li(reg::A7, syscall::EXIT as i64);
+    a.ecall();
+}
+
+#[test]
+fn credits_throttle_a_greedy_client() {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let pa = k.create_process().unwrap();
+    let pb = k.create_process().unwrap();
+    let server = k.create_thread(pb).unwrap();
+    let client = k.create_thread(pa).unwrap();
+
+    // Handler: return 1.
+    let mut h = asm();
+    h.li(reg::A0, 1);
+    h.ret();
+    let handler_va = k.load_code(pb, &h.assemble()).unwrap();
+    let entry = k
+        .register_entry_with_credits(server, server, handler_va, 2)
+        .unwrap();
+    k.grant_xcall_with_credits(server, client, entry, 3).unwrap();
+
+    // Client: call 5 times, summing results (successes return 1, the
+    // starved calls return ERR_NO_CREDIT).
+    let mut c = asm();
+    c.li(reg::S2, 0);
+    for _ in 0..5 {
+        c.li(reg::T6, entry.0 as i64);
+        c.xcall(reg::T6);
+        c.add(reg::S2, reg::S2, reg::A0);
+    }
+    c.mv(reg::A0, reg::S2);
+    exit_syscall(&mut c);
+    let client_va = k.load_code(pa, &c.assemble()).unwrap();
+
+    k.enter_thread(client, client_va, &[]).unwrap();
+    let ev = k.run(10_000_000).unwrap();
+    // 3 funded calls succeed (3 * 1), 2 starved calls return -12 each.
+    let expected = (3i64 + 2 * ERR_NO_CREDIT) as u64;
+    assert_eq!(ev, KernelEvent::ThreadExit(expected));
+    assert_eq!(k.credits_of(entry, client).unwrap(), 0, "drained");
+}
+
+#[test]
+fn refill_restores_service() {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let pa = k.create_process().unwrap();
+    let pb = k.create_process().unwrap();
+    let server = k.create_thread(pb).unwrap();
+    let client = k.create_thread(pa).unwrap();
+
+    let mut h = asm();
+    h.li(reg::A0, 42);
+    h.ret();
+    let handler_va = k.load_code(pb, &h.assemble()).unwrap();
+    let entry = k
+        .register_entry_with_credits(server, server, handler_va, 1)
+        .unwrap();
+    k.grant_xcall_with_credits(server, client, entry, 0).unwrap();
+
+    let mut c = asm();
+    c.li(reg::T6, entry.0 as i64);
+    c.xcall(reg::T6);
+    exit_syscall(&mut c);
+    let client_va = k.load_code(pa, &c.assemble()).unwrap();
+
+    // Unfunded: fails fast.
+    k.enter_thread(client, client_va, &[]).unwrap();
+    let ev = k.run(1_000_000).unwrap();
+    assert_eq!(ev, KernelEvent::ThreadExit(ERR_NO_CREDIT as u64));
+
+    // Refilled: works.
+    k.refill_credits(entry, client, 10).unwrap();
+    k.enter_thread(client, client_va, &[]).unwrap();
+    let ev = k.run(1_000_000).unwrap();
+    assert_eq!(ev, KernelEvent::ThreadExit(42));
+    assert_eq!(k.credits_of(entry, client).unwrap(), 9);
+}
+
+#[test]
+fn plain_entries_are_uncredited() {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let pa = k.create_process().unwrap();
+    let pb = k.create_process().unwrap();
+    let server = k.create_thread(pb).unwrap();
+    let client = k.create_thread(pa).unwrap();
+    let mut h = asm();
+    h.ret();
+    let handler_va = k.load_code(pb, &h.assemble()).unwrap();
+    let entry = k.register_entry(server, server, handler_va, 1).unwrap();
+    assert!(k.grant_xcall_with_credits(server, client, entry, 5).is_err());
+    assert!(k.credits_of(entry, client).is_err());
+}
+
+#[test]
+fn timeout_mechanism_returns_control_to_the_caller() {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let pa = k.create_process().unwrap();
+    let pb = k.create_process().unwrap();
+    let server = k.create_thread(pb).unwrap();
+    let client = k.create_thread(pa).unwrap();
+
+    // Handler: hang forever (the §6.1 "callee hangs" scenario).
+    let mut h = asm();
+    h.label("hang");
+    h.j("hang");
+    let handler_va = k.load_code(pb, &h.assemble()).unwrap();
+    let entry = k.register_entry(server, server, handler_va, 1).unwrap();
+    k.grant_xcall(server, client, entry).unwrap();
+
+    let mut c = asm();
+    c.li(reg::T6, entry.0 as i64);
+    c.xcall(reg::T6);
+    exit_syscall(&mut c);
+    let client_va = k.load_code(pa, &c.assemble()).unwrap();
+
+    k.enter_thread(client, client_va, &[]).unwrap();
+    let ev = k.run(50_000).unwrap();
+    assert_eq!(ev, KernelEvent::Timeout, "callee must be hanging");
+
+    // The kernel's timeout policy fires: force control back to the
+    // caller with a timeout error.
+    assert!(k.force_timeout_unwind().unwrap());
+    let ev = k.run(1_000_000).unwrap();
+    assert_eq!(ev, KernelEvent::ThreadExit(ERR_TIMEOUT));
+}
+
+#[test]
+fn timeout_unwind_without_outstanding_call_is_a_noop() {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let pa = k.create_process().unwrap();
+    let client = k.create_thread(pa).unwrap();
+    let mut c = asm();
+    c.li(reg::A0, 5);
+    exit_syscall(&mut c);
+    let client_va = k.load_code(pa, &c.assemble()).unwrap();
+    k.enter_thread(client, client_va, &[]).unwrap();
+    assert!(!k.force_timeout_unwind().unwrap(), "empty link stack");
+    let ev = k.run(1_000).unwrap();
+    assert_eq!(ev, KernelEvent::ThreadExit(5));
+}

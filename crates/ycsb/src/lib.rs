@@ -1,0 +1,21 @@
+//! YCSB core workloads for the Figure 1 / Figure 8 experiments.
+//!
+//! Implements the standard six core workloads with the standard request
+//! distributions:
+//!
+//! | Workload | Mix | Distribution |
+//! |---|---|---|
+//! | A | 50% read / 50% update | zipfian |
+//! | B | 95% read / 5% update | zipfian |
+//! | C | 100% read | zipfian |
+//! | D | 95% read / 5% insert | latest |
+//! | E | 95% scan / 5% insert | zipfian (scan length uniform <= 100) |
+//! | F | 50% read / 50% read-modify-write | zipfian |
+//!
+//! Deterministic given a seed, so every figure regenerates bit-for-bit.
+
+pub mod generator;
+pub mod workload;
+
+pub use generator::{LatestGen, ScrambledZipfian, UniformGen, ZipfianGen};
+pub use workload::{Op, Workload, WorkloadSpec};

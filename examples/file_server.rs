@@ -1,0 +1,67 @@
+//! The §5.3 file-system scenario: an xv6fs server over a ramdisk server,
+//! driven through each IPC mechanism, printing Figure 7(a)/(b)-style
+//! throughput so you can watch the relay segment pay off.
+//!
+//! ```text
+//! cargo run --release --example file_server
+//! ```
+
+use xpc_repro::kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
+use xpc_repro::services::fs::{FsClient, Xv6Fs};
+use xpc_repro::simos::{IpcMechanism, World};
+
+fn run_one(mech: Box<dyn IpcMechanism>, buf: u64) -> (String, f64, f64) {
+    let name = mech.name();
+    let mut w = World::new(mech);
+    let mut fs = Xv6Fs::mkfs(&mut w, 1 << 14);
+    let ino = fs.create(&mut w, "data");
+    fs.write(&mut w, ino, 0, &vec![7u8; (4 * buf) as usize]);
+
+    // Read phase.
+    let start = w.cycles;
+    let mut moved = 0;
+    for i in 0..16u64 {
+        let got = FsClient::read(&mut fs, &mut w, ino, (i % 4) * buf, buf);
+        assert_eq!(got.len() as u64, buf);
+        moved += buf;
+    }
+    let read_mb_s = w.cost.throughput_mb_s(moved, w.cycles - start);
+
+    // Write phase (journaled).
+    let data = vec![9u8; buf as usize];
+    let start = w.cycles;
+    let mut moved = 0;
+    for i in 0..16u64 {
+        FsClient::write(&mut fs, &mut w, ino, (i % 4) * buf, &data);
+        moved += buf;
+    }
+    let write_mb_s = w.cost.throughput_mb_s(moved, w.cycles - start);
+    (name, read_mb_s, write_mb_s)
+}
+
+fn main() {
+    let buf = 16384;
+    println!("xv6fs over ramdisk, {}KB buffers, journaling on:\n", buf / 1024);
+    println!("{:<16} {:>12} {:>12}", "system", "read MB/s", "write MB/s");
+    let systems: Vec<Box<dyn IpcMechanism>> = vec![
+        Box::new(Zircon::new()),
+        Box::new(XpcIpc::zircon_xpc()),
+        Box::new(Sel4::new(Sel4Transfer::OneCopy)),
+        Box::new(Sel4::new(Sel4Transfer::TwoCopy)),
+        Box::new(XpcIpc::sel4_xpc()),
+    ];
+    let mut rows = Vec::new();
+    for m in systems {
+        let (name, r, w) = run_one(m, buf);
+        println!("{name:<16} {r:>12.1} {w:>12.1}");
+        rows.push((name, r, w));
+    }
+    let zircon = rows.iter().find(|r| r.0 == "Zircon").unwrap();
+    let xpc = rows.iter().find(|r| r.0 == "Zircon-XPC").unwrap();
+    println!(
+        "\nZircon-XPC vs Zircon: {:.1}x read, {:.1}x write \
+         (paper: 7.8x read, 13.2x write)",
+        xpc.1 / zircon.1,
+        xpc.2 / zircon.2
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the XPC (ISCA'19) reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! reach the whole system through one dependency. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use kernels;
+pub use minidb;
+pub use rv64;
+pub use services;
+pub use simos;
+pub use xpc;
+pub use xpc_engine;
+pub use ycsb;
