@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus figure regeneration, fully offline (the workspace has
+# no external dependencies — see Cargo.toml's [features] note).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export RUSTFLAGS="-D warnings"
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== figures (+ BENCH_figures.json phase dump) =="
+cargo run --release -p xpc-bench --bin figures -- --json all > /dev/null
+
+echo "ci: OK"

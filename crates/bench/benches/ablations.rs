@@ -1,55 +1,74 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! transport mechanisms (Figure 10 / Table 7), xcall-cap representation
 //! (§6.2), and the caller context convention.
+//!
+//! Gated behind the off-by-default `criterion` feature: enabling it
+//! requires adding the external `criterion` crate back to this package's
+//! dev-dependencies (kept out of the graph by the offline build policy).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use simos::cost::CostModel;
-use simos::transport::Transport;
-use std::hint::black_box;
-use xpc_engine::cap::{BitmapCaps, CapStore, RadixCaps};
+#[cfg(feature = "criterion")]
+mod bench {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use simos::cost::CostModel;
+    use simos::transport::Transport;
+    use std::hint::black_box;
+    use xpc_engine::cap::{BitmapCaps, CapStore, RadixCaps};
 
-fn bench_transports(c: &mut Criterion) {
-    // Cycle cost of moving 1 MiB across a 4-hop chain under each of the
-    // Figure 10 mechanisms: regenerates the Table 7 "copy time" column.
-    let cost = CostModel::u500();
-    let mut g = c.benchmark_group("transport_ablation");
-    for t in Transport::ALL {
-        g.bench_with_input(BenchmarkId::new("1mb_4hops", t.name()), &t, |b, t| {
-            b.iter(|| black_box(t.transfer_cycles(&cost, 1 << 20, 4)))
+    fn bench_transports(c: &mut Criterion) {
+        // Cycle cost of moving 1 MiB across a 4-hop chain under each of the
+        // Figure 10 mechanisms: regenerates the Table 7 "copy time" column.
+        let cost = CostModel::u500();
+        let mut g = c.benchmark_group("transport_ablation");
+        for t in Transport::ALL {
+            g.bench_with_input(BenchmarkId::new("1mb_4hops", t.name()), &t, |b, t| {
+                b.iter(|| black_box(t.transfer_cycles(&cost, 1 << 20, 4)))
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_cap_scalability(c: &mut Criterion) {
+        // §6.2: bitmap vs radix-tree probe cost and footprint.
+        let mut g = c.benchmark_group("cap_scalability");
+        let mut bitmap = BitmapCaps::new(1 << 20);
+        let mut radix = RadixCaps::new();
+        for id in (0..1u64 << 20).step_by(1013) {
+            bitmap.grant(id);
+            radix.grant(id);
+        }
+        g.bench_function("bitmap_probe", |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for id in (0..1u64 << 20).step_by(4099) {
+                    hits += bitmap.probe(black_box(id)).allowed as u64;
+                }
+                black_box(hits)
+            })
         });
+        g.bench_function("radix_probe", |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for id in (0..1u64 << 20).step_by(4099) {
+                    hits += radix.probe(black_box(id)).allowed as u64;
+                }
+                black_box(hits)
+            })
+        });
+        g.finish();
     }
-    g.finish();
+
+    criterion_group!(benches, bench_transports, bench_cap_scalability);
 }
 
-fn bench_cap_scalability(c: &mut Criterion) {
-    // §6.2: bitmap vs radix-tree probe cost and footprint.
-    let mut g = c.benchmark_group("cap_scalability");
-    let mut bitmap = BitmapCaps::new(1 << 20);
-    let mut radix = RadixCaps::new();
-    for id in (0..1u64 << 20).step_by(1013) {
-        bitmap.grant(id);
-        radix.grant(id);
-    }
-    g.bench_function("bitmap_probe", |b| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for id in (0..1u64 << 20).step_by(4099) {
-                hits += bitmap.probe(black_box(id)).allowed as u64;
-            }
-            black_box(hits)
-        })
-    });
-    g.bench_function("radix_probe", |b| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for id in (0..1u64 << 20).step_by(4099) {
-                hits += radix.probe(black_box(id)).allowed as u64;
-            }
-            black_box(hits)
-        })
-    });
-    g.finish();
+#[cfg(feature = "criterion")]
+fn main() {
+    bench::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_transports, bench_cap_scalability);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!("bench disabled: rebuild with --features criterion (needs the criterion crate)");
+}

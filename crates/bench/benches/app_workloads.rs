@@ -1,82 +1,101 @@
 //! Criterion benches for Figures 1/7/8/9: the application workloads on
-//! the service stack, per IPC mechanism.
+//! the service stack, per IPC system.
+//!
+//! Gated behind the off-by-default `criterion` feature: enabling it
+//! requires adding the external `criterion` crate back to this package's
+//! dev-dependencies (kept out of the graph by the offline build policy).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kernels::{binder_latency_us, BinderSystem, Sel4, Sel4Transfer, XpcIpc, Zircon};
-use minidb::run_workload;
-use services::net::tcp_throughput_mb_s;
-use simos::{IpcMechanism, World};
-use std::hint::black_box;
-use xpc_bench::experiments::fig7::fs_throughput;
-use ycsb::{Workload, WorkloadSpec};
+#[cfg(feature = "criterion")]
+mod bench {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use kernels::{binder_latency_us, BinderSystem, IpcSystem, Sel4, Sel4Transfer, XpcIpc, Zircon};
+    use minidb::run_workload;
+    use services::net::tcp_throughput_mb_s;
+    use simos::World;
+    use std::hint::black_box;
+    use xpc_bench::experiments::fig7::fs_throughput;
+    use ycsb::{Workload, WorkloadSpec};
 
-fn mech(name: &str) -> Box<dyn IpcMechanism> {
-    match name {
-        "zircon" => Box::new(Zircon::new()),
-        "sel4" => Box::new(Sel4::new(Sel4Transfer::TwoCopy)),
-        "xpc" => Box::new(XpcIpc::sel4_xpc()),
-        _ => unreachable!(),
-    }
-}
-
-fn bench_ycsb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_ycsb");
-    g.sample_size(10);
-    for sys in ["zircon", "sel4", "xpc"] {
-        g.bench_with_input(BenchmarkId::new("ycsb_a", sys), &sys, |b, s| {
-            b.iter(|| {
-                let mut w = World::new(mech(s));
-                let spec = WorkloadSpec {
-                    ops: 100,
-                    ..WorkloadSpec::paper(Workload::A)
-                };
-                black_box(run_workload(&mut w, &spec).ops_per_sec)
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_fs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_fs");
-    g.sample_size(10);
-    for sys in ["zircon", "xpc"] {
-        for write in [false, true] {
-            let id = format!("{}_{}", sys, if write { "write" } else { "read" });
-            g.bench_function(BenchmarkId::new("fs_16k", id), |b| {
-                b.iter(|| black_box(fs_throughput(mech(sys), 16384, write)))
-            });
+    fn mech(name: &str) -> Box<dyn IpcSystem> {
+        match name {
+            "zircon" => Box::new(Zircon::new()),
+            "sel4" => Box::new(Sel4::new(Sel4Transfer::TwoCopy)),
+            "xpc" => Box::new(XpcIpc::sel4_xpc()),
+            _ => unreachable!(),
         }
     }
-    g.finish();
-}
 
-fn bench_tcp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7c_tcp");
-    g.sample_size(10);
-    for sys in ["zircon", "xpc"] {
-        g.bench_with_input(BenchmarkId::new("tcp_1mb", sys), &sys, |b, s| {
+    fn bench_ycsb(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig8_ycsb");
+        g.sample_size(10);
+        for sys in ["zircon", "sel4", "xpc"] {
+            g.bench_with_input(BenchmarkId::new("ycsb_a", sys), &sys, |b, s| {
+                b.iter(|| {
+                    let mut w = World::new(mech(s));
+                    let spec = WorkloadSpec {
+                        ops: 100,
+                        ..WorkloadSpec::paper(Workload::A)
+                    };
+                    black_box(run_workload(&mut w, &spec).ops_per_sec)
+                })
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_fs(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig7_fs");
+        g.sample_size(10);
+        for sys in ["zircon", "xpc"] {
+            for write in [false, true] {
+                let id = format!("{}_{}", sys, if write { "write" } else { "read" });
+                g.bench_function(BenchmarkId::new("fs_16k", id), |b| {
+                    b.iter(|| black_box(fs_throughput(mech(sys), 16384, write)))
+                });
+            }
+        }
+        g.finish();
+    }
+
+    fn bench_tcp(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig7c_tcp");
+        g.sample_size(10);
+        for sys in ["zircon", "xpc"] {
+            g.bench_with_input(BenchmarkId::new("tcp_1mb", sys), &sys, |b, s| {
+                b.iter(|| {
+                    let mut w = World::new(mech(s));
+                    black_box(tcp_throughput_mb_s(&mut w, 1024, 1 << 20))
+                })
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_binder(c: &mut Criterion) {
+        c.bench_function("fig9_binder_latency_model", |b| {
             b.iter(|| {
-                let mut w = World::new(mech(s));
-                black_box(tcp_throughput_mb_s(&mut w, 1024, 1 << 20))
+                let mut acc = 0.0;
+                for size in [2048u64, 16384, 1 << 20, 32 << 20] {
+                    acc += binder_latency_us(black_box(BinderSystem::Binder), true, size);
+                    acc += binder_latency_us(black_box(BinderSystem::BinderXpc), true, size);
+                }
+                black_box(acc)
             })
         });
     }
-    g.finish();
+
+    criterion_group!(benches, bench_ycsb, bench_fs, bench_tcp, bench_binder);
 }
 
-fn bench_binder(c: &mut Criterion) {
-    c.bench_function("fig9_binder_latency_model", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for size in [2048u64, 16384, 1 << 20, 32 << 20] {
-                acc += binder_latency_us(black_box(BinderSystem::Binder), true, size);
-                acc += binder_latency_us(black_box(BinderSystem::BinderXpc), true, size);
-            }
-            black_box(acc)
-        })
-    });
+#[cfg(feature = "criterion")]
+fn main() {
+    bench::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_ycsb, bench_fs, bench_tcp, bench_binder);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!("bench disabled: rebuild with --features criterion (needs the criterion crate)");
+}

@@ -1,50 +1,74 @@
 //! Criterion benches for Table 3 / Figure 5: emulated XPC instruction
 //! costs (the benchmark re-runs the whole emulator measurement, so this
 //! also times the simulator's own hot path).
+//!
+//! Gated behind the off-by-default `criterion` feature: enabling it
+//! requires adding the external `criterion` crate back to this package's
+//! dev-dependencies (kept out of the graph by the offline build policy).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use xpc_bench::{CallBench, CallBenchConfig};
+#[cfg(feature = "criterion")]
+mod bench {
+    use criterion::{criterion_group, Criterion};
+    use std::hint::black_box;
+    use xpc_bench::{CallBench, CallBenchConfig};
 
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_instructions");
-    g.sample_size(20);
-    g.bench_function("measure_xcall_xret", |b| {
-        b.iter(|| {
-            let mut cb = CallBench::new(&CallBenchConfig::paper_default());
-            let m = cb.measure(2);
-            assert_eq!((m.xcall, m.xret), (18, 23));
-            black_box(m)
-        })
-    });
-    g.finish();
-}
-
-fn bench_fig5_configs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_breakdown");
-    g.sample_size(10);
-    for (name, cfg) in CallBenchConfig::fig5_ladder() {
-        g.bench_function(name, |b| {
+    fn bench_table3(c: &mut Criterion) {
+        let mut g = c.benchmark_group("table3_instructions");
+        g.sample_size(20);
+        g.bench_function("measure_xcall_xret", |b| {
             b.iter(|| {
-                let mut cb = CallBench::new(&cfg);
-                black_box(cb.measure(2).roundtrip)
+                let mut cb = CallBench::new(&CallBenchConfig::paper_default());
+                let m = cb.measure(2);
+                assert_eq!((m.xcall, m.xret), (18, 23));
+                black_box(m)
             })
         });
+        g.finish();
     }
-    g.finish();
+
+    fn bench_fig5_configs(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig5_breakdown");
+        g.sample_size(10);
+        for (name, cfg) in CallBenchConfig::fig5_ladder() {
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut cb = CallBench::new(&cfg);
+                    black_box(cb.measure(2).roundtrip)
+                })
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_emulated_ipc_rate(c: &mut Criterion) {
+        // How many emulated cross-process calls per second of host time the
+        // simulator sustains (steady-state, one long-lived machine).
+        let mut g = c.benchmark_group("emulator");
+        g.sample_size(20);
+        g.bench_function("one_emulated_ipc_roundtrip", |b| {
+            let mut cb = CallBench::new(&CallBenchConfig::paper_default());
+            b.iter(|| black_box(cb.measure(0).roundtrip))
+        });
+        g.finish();
+    }
+
+    criterion_group!(
+        benches,
+        bench_table3,
+        bench_fig5_configs,
+        bench_emulated_ipc_rate
+    );
 }
 
-fn bench_emulated_ipc_rate(c: &mut Criterion) {
-    // How many emulated cross-process calls per second of host time the
-    // simulator sustains (steady-state, one long-lived machine).
-    let mut g = c.benchmark_group("emulator");
-    g.sample_size(20);
-    g.bench_function("one_emulated_ipc_roundtrip", |b| {
-        let mut cb = CallBench::new(&CallBenchConfig::paper_default());
-        b.iter(|| black_box(cb.measure(0).roundtrip))
-    });
-    g.finish();
+#[cfg(feature = "criterion")]
+fn main() {
+    bench::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_table3, bench_fig5_configs, bench_emulated_ipc_rate);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!("bench disabled: rebuild with --features criterion (needs the criterion crate)");
+}

@@ -1,41 +1,60 @@
 //! Criterion benches for Figure 6 / Table 1: one-way IPC cost-model
-//! evaluation across mechanisms and message sizes.
+//! evaluation across systems and message sizes.
+//!
+//! Gated behind the off-by-default `criterion` feature: enabling it
+//! requires adding the external `criterion` crate back to this package's
+//! dev-dependencies (kept out of the graph by the offline build policy).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
-use simos::IpcMechanism;
-use std::hint::black_box;
+#[cfg(feature = "criterion")]
+mod bench {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use kernels::{IpcSystem, InvokeOpts, Sel4, Sel4Transfer, XpcIpc, Zircon};
+    use std::hint::black_box;
 
-fn bench_oneway(c: &mut Criterion) {
-    let systems: Vec<(&str, Box<dyn IpcMechanism>)> = vec![
-        ("sel4-onecopy", Box::new(Sel4::new(Sel4Transfer::OneCopy))),
-        ("sel4-twocopy", Box::new(Sel4::new(Sel4Transfer::TwoCopy))),
-        ("zircon", Box::new(Zircon::new())),
-        ("sel4-xpc", Box::new(XpcIpc::sel4_xpc())),
-    ];
-    let mut g = c.benchmark_group("fig6_oneway_model");
-    for (name, mech) in &systems {
-        g.bench_with_input(BenchmarkId::new(*name, "sweep"), mech, |b, m| {
+    fn bench_oneway(c: &mut Criterion) {
+        let mut systems: Vec<(&str, Box<dyn IpcSystem>)> = vec![
+            ("sel4-onecopy", Box::new(Sel4::new(Sel4Transfer::OneCopy))),
+            ("sel4-twocopy", Box::new(Sel4::new(Sel4Transfer::TwoCopy))),
+            ("zircon", Box::new(Zircon::new())),
+            ("sel4-xpc", Box::new(XpcIpc::sel4_xpc())),
+        ];
+        let mut g = c.benchmark_group("fig6_oneway_model");
+        for (name, sys) in &mut systems {
+            g.bench_function(BenchmarkId::new(*name, "sweep"), |b| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for size in [0usize, 64, 1024, 4096, 32768] {
+                        acc += sys.oneway(black_box(size), &InvokeOpts::call()).total;
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+        g.finish();
+    }
+
+    fn bench_table1_phases(c: &mut Criterion) {
+        c.bench_function("table1_phase_breakdown", |b| {
+            let mut s = Sel4::new(Sel4Transfer::OneCopy);
             b.iter(|| {
-                let mut acc = 0u64;
-                for size in [0u64, 64, 1024, 4096, 32768] {
-                    acc += m.oneway(black_box(size)).cycles;
-                }
-                black_box(acc)
+                let inv = s.oneway(black_box(4096), &InvokeOpts::call());
+                black_box(inv.ledger.spans().len());
             })
         });
     }
-    g.finish();
+
+    criterion_group!(benches, bench_oneway, bench_table1_phases);
 }
 
-fn bench_table1_phases(c: &mut Criterion) {
-    c.bench_function("table1_phase_breakdown", |b| {
-        let s = Sel4::new(Sel4Transfer::OneCopy);
-        b.iter(|| {
-            black_box(s.table1_phases(black_box(4096)));
-        })
-    });
+#[cfg(feature = "criterion")]
+fn main() {
+    bench::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_oneway, bench_table1_phases);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!("bench disabled: rebuild with --features criterion (needs the criterion crate)");
+}

@@ -3,12 +3,21 @@
 //! ```text
 //! cargo run -p xpc-bench --bin figures -- all
 //! cargo run -p xpc-bench --bin figures -- table3 fig6
+//! cargo run -p xpc-bench --bin figures -- --json
 //! ```
+//!
+//! `--json` additionally sweeps the full kernel-model roster and dumps
+//! per-system, per-size, per-phase cycle attributions (plus the Figure 5
+//! ablation ledgers) to `BENCH_figures.json`.
 
 use xpc_bench::experiments;
+use xpc_bench::sweep;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+
     let registry = experiments::all();
     let keys: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         registry.iter().map(|(k, _)| *k).collect()
@@ -32,5 +41,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if json {
+        let rows = sweep::roster_sweep();
+        let fig5: Vec<(String, kernels::Invocation)> = experiments::fig5::invocations()
+            .into_iter()
+            .map(|(name, inv)| (name.to_string(), inv))
+            .collect();
+        let doc = sweep::json_dump(&rows, &[("fig5", fig5)]);
+        let path = "BENCH_figures.json";
+        std::fs::write(path, &doc).expect("write BENCH_figures.json");
+        eprintln!(
+            "wrote {path}: {} systems x {} sizes, phase-attributed",
+            rows.len(),
+            sweep::SIZES.len()
+        );
     }
 }

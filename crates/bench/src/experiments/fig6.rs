@@ -3,14 +3,15 @@
 
 use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc};
-use simos::IpcMechanism;
+use simos::{InvokeOpts, IpcSystem};
 
 /// The paper's x-axis.
 pub const SIZES: [u64; 11] = [0, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
 
-/// One curve: (system, per-size one-way cycles).
+/// One curve: (system, per-size one-way cycles). Driven through the
+/// shared [`crate::sweep`] harness; the totals are ledger sums.
 pub fn curves() -> Vec<(String, Vec<u64>)> {
-    let systems: Vec<Box<dyn IpcMechanism>> = vec![
+    let systems: Vec<Box<dyn IpcSystem>> = vec![
         Box::new(Sel4::new(Sel4Transfer::OneCopy)),
         Box::new(XpcIpc::sel4_xpc()),
         Box::new(Sel4::cross_core(Sel4Transfer::TwoCopy)),
@@ -22,11 +23,12 @@ pub fn curves() -> Vec<(String, Vec<u64>)> {
         "seL4 (cross cores)",
         "seL4-XPC (cross cores)",
     ];
-    systems
-        .iter()
+    let sizes: Vec<usize> = SIZES.iter().map(|&s| s as usize).collect();
+    crate::sweep::sweep(systems, &sizes, &InvokeOpts::call())
+        .into_iter()
         .zip(labels)
-        .map(|(m, l)| {
-            let vals = SIZES.iter().map(|&s| m.oneway(s).cycles).collect();
+        .map(|(row, l)| {
+            let vals = row.points.into_iter().map(|(_, inv)| inv.total).collect();
             (l.to_string(), vals)
         })
         .collect()

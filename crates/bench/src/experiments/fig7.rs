@@ -5,7 +5,7 @@ use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
 use services::fs::{FsClient, Xv6Fs};
 use services::net::tcp_throughput_mb_s;
-use simos::{IpcMechanism, World};
+use simos::{IpcSystem, World};
 
 /// Buffer sizes of Figure 7(a)/(b) in bytes.
 pub const FS_BUFS: [u64; 4] = [2048, 4096, 8192, 16384];
@@ -13,7 +13,7 @@ pub const FS_BUFS: [u64; 4] = [2048, 4096, 8192, 16384];
 /// Buffer sizes of Figure 7(c) in bytes.
 pub const TCP_BUFS: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
 
-fn systems() -> Vec<Box<dyn IpcMechanism>> {
+fn systems() -> Vec<Box<dyn IpcSystem>> {
     vec![
         Box::new(Zircon::new()),
         Box::new(XpcIpc::zircon_xpc()),
@@ -24,7 +24,7 @@ fn systems() -> Vec<Box<dyn IpcMechanism>> {
 }
 
 /// FS throughput in MB/s for one system and buffer size.
-pub fn fs_throughput(mech: Box<dyn IpcMechanism>, buf: u64, write: bool) -> f64 {
+pub fn fs_throughput(mech: Box<dyn IpcSystem>, buf: u64, write: bool) -> f64 {
     let mut w = World::new(mech);
     let mut fs = Xv6Fs::mkfs(&mut w, 1 << 14);
     let ino = fs.create(&mut w, "bench");
@@ -99,7 +99,7 @@ pub fn fig7ab() -> Report {
 
 /// TCP curves for Figure 7(c): (system, buf -> MB/s).
 pub fn tcp_curves() -> Vec<(String, Vec<f64>)> {
-    let mk: Vec<Box<dyn IpcMechanism>> =
+    let mk: Vec<Box<dyn IpcSystem>> =
         vec![Box::new(Zircon::new()), Box::new(XpcIpc::zircon_xpc())];
     mk.into_iter()
         .map(|m| {
@@ -107,7 +107,7 @@ pub fn tcp_curves() -> Vec<(String, Vec<f64>)> {
             let vals = TCP_BUFS
                 .iter()
                 .map(|&b| {
-                    let mech: Box<dyn IpcMechanism> = if name == "Zircon" {
+                    let mech: Box<dyn IpcSystem> = if name == "Zircon" {
                         Box::new(Zircon::new())
                     } else {
                         Box::new(XpcIpc::zircon_xpc())

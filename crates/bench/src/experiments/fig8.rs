@@ -7,7 +7,7 @@ use minidb::run_workload;
 use services::aes::AesServer;
 use services::filecache::FileCache;
 use services::http::{http_throughput_ops, HttpServer};
-use simos::{IpcMechanism, World};
+use simos::{IpcSystem, World};
 use ycsb::{Workload, WorkloadSpec};
 
 fn spec(wl: Workload) -> WorkloadSpec {
@@ -17,7 +17,7 @@ fn spec(wl: Workload) -> WorkloadSpec {
     }
 }
 
-fn ops(mech: Box<dyn IpcMechanism>, wl: Workload) -> f64 {
+fn ops(mech: Box<dyn IpcSystem>, wl: Workload) -> f64 {
     let mut w = World::new(mech);
     run_workload(&mut w, &spec(wl)).ops_per_sec
 }
@@ -78,7 +78,7 @@ pub fn http_curves() -> Vec<(String, Vec<f64>)> {
             let vals = sizes
                 .iter()
                 .map(|&s| {
-                    let mech: Box<dyn IpcMechanism> = if xpc {
+                    let mech: Box<dyn IpcSystem> = if xpc {
                         Box::new(XpcIpc::zircon_xpc())
                     } else {
                         Box::new(Zircon::new())

@@ -1,49 +1,54 @@
 //! **Table 1** — one-way IPC latency breakdown of seL4 (0 B and 4 KB).
+//!
+//! The table is literally the printed ledger of `Sel4::oneway(0|4096)`:
+//! each row is a [`kernels::Phase`] span in first-charge order, so the
+//! numbers here and the numbers every other figure attributes to seL4
+//! come from the same place.
 
 use super::Report;
-use kernels::{Sel4, Sel4Transfer};
+use crate::sweep::ledger_table;
+use kernels::{Invocation, InvokeOpts, IpcSystem, Sel4, Sel4Transfer};
+
+/// The two invocations whose ledgers are the table's columns.
+pub fn invocations() -> (Invocation, Invocation) {
+    let mut s = Sel4::new(Sel4Transfer::OneCopy);
+    (
+        s.oneway(0, &InvokeOpts::call()),
+        s.oneway(4096, &InvokeOpts::call()),
+    )
+}
 
 /// Phase breakdown rows for 0 B and 4 KB messages.
 pub fn phases() -> Vec<(&'static str, u64, u64)> {
-    let s = Sel4::new(Sel4Transfer::OneCopy);
-    let p0 = s.table1_phases(0);
-    let p4k = s.table1_phases(4096);
-    p0.iter()
-        .zip(p4k.iter())
-        .map(|(&(n, a), &(_, b))| (n, a, b))
+    let (i0, i4k) = invocations();
+    i0.ledger
+        .spans()
+        .iter()
+        .zip(i4k.ledger.spans())
+        .map(|(&(p, a), &(q, b))| {
+            assert_eq!(p, q, "fast path charges the same phases at any size");
+            (p.label(), a, b)
+        })
         .collect()
 }
 
 /// Regenerate Table 1.
 pub fn run() -> Report {
-    let mut rows: Vec<Vec<String>> = phases()
-        .into_iter()
-        .map(|(n, a, b)| vec![n.to_string(), a.to_string(), b.to_string()])
-        .collect();
-    let (sum0, sum4k) = totals();
-    rows.push(vec!["Sum".into(), sum0.to_string(), sum4k.to_string()]);
-    Report {
-        id: "Table 1",
-        caption: "One-way IPC latency of seL4 (fast path), cycles",
-        headers: vec![
-            "Phases (cycles)".into(),
-            "seL4(0B) fast path".into(),
-            "seL4(4KB) fast path".into(),
+    let (i0, i4k) = invocations();
+    ledger_table(
+        "Table 1",
+        "One-way IPC latency of seL4 (fast path), cycles",
+        &[
+            ("seL4(0B) fast path".into(), i0),
+            ("seL4(4KB) fast path".into(), i4k),
         ],
-        rows,
-    }
+    )
 }
 
 /// Column totals (paper: 664 and 4804).
 pub fn totals() -> (u64, u64) {
-    let sum = |bytes| {
-        Sel4::new(Sel4Transfer::OneCopy)
-            .table1_phases(bytes)
-            .iter()
-            .map(|(_, c)| c)
-            .sum()
-    };
-    (sum(0), sum(4096))
+    let (i0, i4k) = invocations();
+    (i0.total, i4k.total)
 }
 
 #[cfg(test)]
@@ -68,5 +73,13 @@ mod tests {
     #[test]
     fn report_has_five_phases_plus_sum() {
         assert_eq!(run().rows.len(), 6);
+    }
+
+    #[test]
+    fn rows_are_the_ledger_spans() {
+        let (i0, _) = invocations();
+        let names: Vec<&str> = phases().iter().map(|&(n, _, _)| n).collect();
+        let spans: Vec<&str> = i0.ledger.spans().iter().map(|&(p, _)| p.label()).collect();
+        assert_eq!(names, spans);
     }
 }

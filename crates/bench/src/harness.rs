@@ -3,6 +3,7 @@
 //! machine.
 
 use rv64::{reg, Assembler, MachineConfig};
+use simos::{CycleLedger, Invocation, InvokeOpts, IpcSystem, Phase};
 use xpc::kernel::{ThreadId, XEntryId, XpcKernel, XpcKernelConfig};
 use xpc::layout::USER_CODE_VA;
 use xpc::trampoline::{save_area_bytes, save_regs, ContextMode};
@@ -235,6 +236,47 @@ impl CallBench {
             xcall,
             xret,
         }
+    }
+}
+
+/// [`IpcSystem`] adapter over the emulator harness: every `oneway` runs
+/// one real measured wrapped call and attributes its cycles to ledger
+/// phases — [`Phase::Trampoline`] (the save/restore wrapper around the
+/// call), [`Phase::Xcall`] and [`Phase::Xret`]. The relay-seg makes the
+/// cost size-independent, so `msg_len` only sets `copied_bytes` (zero —
+/// nothing is copied).
+pub struct EmulatedXpc {
+    label: &'static str,
+    bench: CallBench,
+}
+
+impl EmulatedXpc {
+    /// Boot the scenario for one [`CallBenchConfig`] (e.g. a Figure 5
+    /// ablation rung) and warm it.
+    pub fn new(label: &'static str, cfg: &CallBenchConfig) -> Self {
+        EmulatedXpc {
+            label,
+            bench: CallBench::new(cfg),
+        }
+    }
+}
+
+impl IpcSystem for EmulatedXpc {
+    fn name(&self) -> String {
+        format!("emulated/{}", self.label)
+    }
+
+    fn oneway(&mut self, _msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let m = self.bench.measure(2);
+        let ledger = CycleLedger::new()
+            .with(Phase::Trampoline, m.roundtrip - m.xcall - m.xret)
+            .with(Phase::Xcall, m.xcall)
+            .with(Phase::Xret, m.xret);
+        Invocation::from_ledger(ledger, 0)
+    }
+
+    fn supports_handover(&self) -> bool {
+        true
     }
 }
 

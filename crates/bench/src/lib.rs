@@ -17,5 +17,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod sweep;
 
-pub use harness::{CallBench, CallBenchConfig};
+pub use harness::{CallBench, CallBenchConfig, EmulatedXpc};

@@ -1,0 +1,36 @@
+//! Snapshot test: the committed `figures/golden.txt` must match what the
+//! `figures` renderer produces in-process today, so any figure regression
+//! fails `cargo test` instead of silently rotting the checked-in output.
+//!
+//! To refresh after an intentional model change:
+//!
+//! ```text
+//! cargo run --release -p xpc-bench --bin figures -- all > figures/golden.txt
+//! ```
+
+use xpc_bench::experiments;
+
+fn render_all() -> String {
+    experiments::all()
+        .into_iter()
+        .map(|(_, run)| format!("{}\n", run().render()))
+        .collect()
+}
+
+#[test]
+fn figures_match_the_committed_golden() {
+    let golden = include_str!("../../../figures/golden.txt");
+    let fresh = render_all();
+    if golden != fresh {
+        // Report the first diverging line, not a 300-line dump.
+        for (i, (g, f)) in golden.lines().zip(fresh.lines()).enumerate() {
+            assert_eq!(g, f, "figures/golden.txt diverges at line {}", i + 1);
+        }
+        assert_eq!(
+            golden.lines().count(),
+            fresh.lines().count(),
+            "figures/golden.txt has a different number of lines"
+        );
+        panic!("golden mismatch not attributable to a single line");
+    }
+}

@@ -21,6 +21,8 @@
 //!   data by relay segment (Figure 9(b)'s third line).
 
 use simos::cost::CostModel;
+use simos::ipc::IpcSystem;
+use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 
 /// Which transport a Figure 9 measurement uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,33 +87,118 @@ impl BinderConfig {
         bytes * millis / 1000
     }
 
-    /// Transaction latency in cycles for the *buffer* path (Figure 9a).
-    pub fn buffer_cycles(&self, system: BinderSystem, bytes: u64, cost: &CostModel) -> u64 {
+    /// The XPC control path split into phases: the `xcall`/`xret` pair
+    /// plus the thin framework shim that replaces the driver ioctl.
+    fn xpc_control(&self, cost: &CostModel) -> CycleLedger {
+        CycleLedger::new()
+            .with(Phase::Xcall, cost.xcall)
+            .with(Phase::Xret, cost.xret)
+            .with(
+                Phase::Driver,
+                self.xpc_fixed.saturating_sub(cost.xcall + cost.xret),
+            )
+    }
+
+    /// Phase ledger for the *buffer* path (Figure 9a).
+    pub fn buffer_ledger(&self, system: BinderSystem, bytes: u64, cost: &CostModel) -> CycleLedger {
         let touches = 2 * self.per_byte(self.touch_millicycles_per_byte, bytes);
         match system {
             BinderSystem::Binder => {
-                // Twofold copy out + reply control traffic.
-                self.driver_fixed + 2 * cost.copy_cycles(bytes) + touches
+                // ioctl + dispatch, twofold Parcel copy, surface touches.
+                CycleLedger::new()
+                    .with(Phase::Driver, self.driver_fixed)
+                    .with(Phase::Transfer, 2 * cost.copy_cycles(bytes))
+                    .with(Phase::Compute, touches)
             }
-            BinderSystem::BinderXpc => self.xpc_fixed + touches,
+            BinderSystem::BinderXpc => self.xpc_control(cost).with(Phase::Compute, touches),
             BinderSystem::AshmemXpc => {
                 unimplemented!("Ashmem-XPC is an ashmem-path system (Figure 9b)")
             }
         }
     }
 
-    /// Transaction latency in cycles for the *ashmem* path (Figure 9b).
-    pub fn ashmem_cycles(&self, system: BinderSystem, bytes: u64, _cost: &CostModel) -> u64 {
+    /// Phase ledger for the *ashmem* path (Figure 9b).
+    pub fn ashmem_ledger(&self, system: BinderSystem, bytes: u64, cost: &CostModel) -> CycleLedger {
         let draw = self.per_byte(self.draw_millicycles_per_byte, bytes);
         match system {
-            BinderSystem::Binder => {
-                self.ashmem_fixed
-                    + self.per_byte(self.ashmem_copy_millicycles_per_byte, bytes)
-                    + draw
-            }
-            BinderSystem::AshmemXpc => self.ashmem_xpc_fixed + draw,
-            BinderSystem::BinderXpc => self.xpc_fixed + draw,
+            BinderSystem::Binder => CycleLedger::new()
+                .with(Phase::Driver, self.ashmem_fixed)
+                .with(
+                    Phase::Transfer,
+                    self.per_byte(self.ashmem_copy_millicycles_per_byte, bytes),
+                )
+                .with(Phase::Compute, draw),
+            BinderSystem::AshmemXpc => CycleLedger::new()
+                .with(Phase::Driver, self.ashmem_xpc_fixed)
+                .with(Phase::Compute, draw),
+            BinderSystem::BinderXpc => self.xpc_control(cost).with(Phase::Compute, draw),
         }
+    }
+
+    /// Transaction latency in cycles for the *buffer* path (Figure 9a).
+    pub fn buffer_cycles(&self, system: BinderSystem, bytes: u64, cost: &CostModel) -> u64 {
+        self.buffer_ledger(system, bytes, cost).total()
+    }
+
+    /// Transaction latency in cycles for the *ashmem* path (Figure 9b).
+    pub fn ashmem_cycles(&self, system: BinderSystem, bytes: u64, cost: &CostModel) -> u64 {
+        self.ashmem_ledger(system, bytes, cost).total()
+    }
+}
+
+/// The Binder stack as an [`IpcSystem`]: one surface transaction per
+/// `oneway`, priced by the Figure 9 model.
+#[derive(Debug, Clone)]
+pub struct BinderIpc {
+    system: BinderSystem,
+    /// Use the ashmem path (Figure 9b) instead of the transaction buffer.
+    pub ashmem: bool,
+    cfg: BinderConfig,
+    cost: CostModel,
+}
+
+impl BinderIpc {
+    /// A Figure 9 system on the default fitted constants.
+    pub fn new(system: BinderSystem, ashmem: bool) -> Self {
+        assert!(
+            ashmem || system != BinderSystem::AshmemXpc,
+            "Ashmem-XPC only exists on the ashmem path"
+        );
+        BinderIpc {
+            system,
+            ashmem,
+            cfg: BinderConfig::default(),
+            cost: CostModel::u500(),
+        }
+    }
+}
+
+impl IpcSystem for BinderIpc {
+    fn name(&self) -> String {
+        if self.ashmem {
+            format!("{}+ashmem", self.system.name())
+        } else {
+            self.system.name().to_string()
+        }
+    }
+
+    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let bytes = msg_len as u64;
+        let ledger = if self.ashmem {
+            self.cfg.ashmem_ledger(self.system, bytes, &self.cost)
+        } else {
+            self.cfg.buffer_ledger(self.system, bytes, &self.cost)
+        };
+        let copied = match (self.system, self.ashmem) {
+            (BinderSystem::Binder, false) => 2 * bytes,
+            (BinderSystem::Binder, true) => bytes,
+            _ => 0, // relay segment: handover, no copies
+        };
+        Invocation::from_ledger(ledger, copied)
+    }
+
+    fn supports_handover(&self) -> bool {
+        self.system != BinderSystem::Binder
     }
 }
 
@@ -175,6 +262,41 @@ mod tests {
             assert!(bx <= ax, "full port at least as fast at {bytes}");
             assert!(ax < b, "ashmem-xpc beats stock at {bytes}");
         }
+    }
+
+    #[test]
+    fn binder_ipc_matches_the_latency_model() {
+        for (system, ashmem) in [
+            (BinderSystem::Binder, false),
+            (BinderSystem::BinderXpc, false),
+            (BinderSystem::Binder, true),
+            (BinderSystem::AshmemXpc, true),
+            (BinderSystem::BinderXpc, true),
+        ] {
+            let mut sys = BinderIpc::new(system, ashmem);
+            for bytes in [0usize, 2048, 16384, 1 << 20] {
+                let inv = sys.oneway(bytes, &InvokeOpts::call());
+                assert_eq!(inv.total, inv.ledger.total());
+                let us = CostModel::u500().cycles_to_us(inv.total);
+                let reference = binder_latency_us(system, ashmem, bytes as u64);
+                assert!(
+                    (us - reference).abs() < 1e-9,
+                    "{}: {us} vs {reference}",
+                    sys.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xpc_variant_ledgers_show_the_instructions() {
+        let inv = BinderIpc::new(BinderSystem::BinderXpc, false).oneway(2048, &InvokeOpts::call());
+        assert_eq!(inv.ledger.get(Phase::Xcall), 18);
+        assert_eq!(inv.ledger.get(Phase::Xret), 23);
+        assert_eq!(inv.copied_bytes, 0);
+        let stock = BinderIpc::new(BinderSystem::Binder, false).oneway(2048, &InvokeOpts::call());
+        assert_eq!(stock.copied_bytes, 2 * 2048);
+        assert!(stock.ledger.get(Phase::Driver) > inv.ledger.get(Phase::Driver));
     }
 
     #[test]

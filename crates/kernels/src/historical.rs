@@ -5,10 +5,13 @@
 //!
 //! These make Table 7's comparison *runnable*: every row can be swept
 //! against message size and chain depth (the `table7` experiment and the
-//! `transport_ablation` bench), instead of existing only as prose.
+//! `transport_ablation` bench), instead of existing only as prose. Each
+//! design charges the same [`Phase`] vocabulary as the modern kernels,
+//! so its ledger lines up column-for-column with Table 1.
 
 use simos::cost::CostModel;
-use simos::ipc::{IpcCost, IpcMechanism};
+use simos::ipc::IpcSystem;
+use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 use simos::transport::Transport;
 
 /// Mach-3.0: kernel-scheduled IPC with twofold copy (Table 7's baseline
@@ -33,25 +36,24 @@ impl Default for Mach {
     }
 }
 
-impl IpcMechanism for Mach {
+impl IpcSystem for Mach {
     fn name(&self) -> String {
         "Mach-3.0".into()
     }
 
-    fn oneway(&self, bytes: u64) -> IpcCost {
+    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let bytes = msg_len as u64;
         let c = &self.cost;
         // Trap + port-rights checks (heavier than seL4's logic) +
         // full scheduler pass + restore, then kernel twofold copy.
-        let cycles = c.trap
-            + 2 * c.ipc_logic
-            + c.schedule
-            + c.process_switch
-            + c.restore
-            + Transport::TwofoldCopy.transfer_cycles(c, bytes, 1);
-        IpcCost {
-            cycles,
-            copied_bytes: 2 * bytes,
-        }
+        let mut ledger = CycleLedger::new()
+            .with(Phase::Trap, c.trap)
+            .with(Phase::IpcLogic, 2 * c.ipc_logic)
+            .with(Phase::Schedule, c.schedule)
+            .with(Phase::Switch, c.process_switch)
+            .with(Phase::Restore, c.restore);
+        let copied = Transport::TwofoldCopy.charge(&mut ledger, c, bytes, 1);
+        Invocation::from_ledger(ledger, copied)
     }
 }
 
@@ -78,24 +80,23 @@ impl Default for Lrpc {
     }
 }
 
-impl IpcMechanism for Lrpc {
+impl IpcSystem for Lrpc {
     fn name(&self) -> String {
         "LRPC".into()
     }
 
-    fn oneway(&self, bytes: u64) -> IpcCost {
+    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let bytes = msg_len as u64;
         let c = &self.cost;
         // Trap + binding-object validation + direct switch (no scheduler,
         // no run-queue work) + A-stack copy by the caller.
-        let cycles = c.trap
-            + c.ipc_logic / 2
-            + c.process_switch
-            + c.restore
-            + c.copy_cycles(bytes);
-        IpcCost {
-            cycles,
-            copied_bytes: bytes,
-        }
+        let ledger = CycleLedger::new()
+            .with(Phase::Trap, c.trap)
+            .with(Phase::IpcLogic, c.ipc_logic / 2)
+            .with(Phase::Switch, c.process_switch)
+            .with(Phase::Restore, c.restore)
+            .with(Phase::Transfer, c.copy_cycles(bytes));
+        Invocation::from_ledger(ledger, bytes)
     }
 }
 
@@ -128,24 +129,23 @@ impl Default for L4TempMap {
     }
 }
 
-impl IpcMechanism for L4TempMap {
+impl IpcSystem for L4TempMap {
     fn name(&self) -> String {
         "L4-tempmap".into()
     }
 
-    fn oneway(&self, bytes: u64) -> IpcCost {
+    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let bytes = msg_len as u64;
         let c = &self.cost;
         let mapping = if bytes > 0 { TEMP_MAP_CYCLES } else { 0 };
-        let cycles = c.trap
-            + c.ipc_logic / 2
-            + c.process_switch
-            + c.restore
-            + mapping
-            + c.copy_cycles(bytes);
-        IpcCost {
-            cycles,
-            copied_bytes: bytes,
-        }
+        let ledger = CycleLedger::new()
+            .with(Phase::Trap, c.trap)
+            .with(Phase::IpcLogic, c.ipc_logic / 2)
+            .with(Phase::Switch, c.process_switch)
+            .with(Phase::Restore, c.restore)
+            .with(Phase::Mapping, mapping)
+            .with(Phase::Transfer, c.copy_cycles(bytes));
+        Invocation::from_ledger(ledger, bytes)
     }
 }
 
@@ -171,22 +171,21 @@ impl Default for PpcRemap {
     }
 }
 
-impl IpcMechanism for PpcRemap {
+impl IpcSystem for PpcRemap {
     fn name(&self) -> String {
         "Tornado-PPC".into()
     }
 
-    fn oneway(&self, bytes: u64) -> IpcCost {
+    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let bytes = msg_len as u64;
         let c = &self.cost;
-        let cycles = c.trap
-            + c.ipc_logic / 2
-            + c.process_switch
-            + c.restore
-            + Transport::Remap.transfer_cycles(c, bytes, 1);
-        IpcCost {
-            cycles,
-            copied_bytes: 0,
-        }
+        let mut ledger = CycleLedger::new()
+            .with(Phase::Trap, c.trap)
+            .with(Phase::IpcLogic, c.ipc_logic / 2)
+            .with(Phase::Switch, c.process_switch)
+            .with(Phase::Restore, c.restore);
+        let copied = Transport::Remap.charge(&mut ledger, c, bytes, 1);
+        Invocation::from_ledger(ledger, copied)
     }
 }
 
@@ -212,8 +211,8 @@ pub struct Table7Row {
 /// Build the executable Table 7.
 pub fn table7() -> Vec<Table7Row> {
     use crate::{Sel4, Sel4Transfer, XpcIpc};
-    /// (mechanism, traps, schedules, tocttou_safe, handover, copies).
-    type RowSpec = (Box<dyn IpcMechanism>, bool, bool, bool, bool, &'static str);
+    /// (system, traps, schedules, tocttou_safe, handover, copies).
+    type RowSpec = (Box<dyn IpcSystem>, bool, bool, bool, bool, &'static str);
     let rows: Vec<RowSpec> = vec![
         (Box::new(Mach::new()), true, true, true, false, "2N"),
         (Box::new(Lrpc::new()), true, false, false, false, "N"),
@@ -230,14 +229,14 @@ pub fn table7() -> Vec<Table7Row> {
         (Box::new(XpcIpc::sel4_xpc()), false, false, true, true, "0"),
     ];
     rows.into_iter()
-        .map(|(m, traps, schedules, safe, handover, copies)| Table7Row {
+        .map(|(mut m, traps, schedules, safe, handover, copies)| Table7Row {
             name: m.name(),
             traps,
             schedules,
             tocttou_safe: safe,
             handover,
             copies,
-            cycles_4k: m.oneway(4096).cycles,
+            cycles_4k: m.oneway(4096, &InvokeOpts::call()).total,
         })
         .collect()
 }
@@ -247,13 +246,17 @@ mod tests {
     use super::*;
     use crate::{Sel4, Sel4Transfer, XpcIpc};
 
+    fn cycles(sys: &mut impl IpcSystem, bytes: usize) -> u64 {
+        sys.oneway(bytes, &InvokeOpts::call()).total
+    }
+
     #[test]
     fn mach_is_the_slowest_small_message_design() {
-        let m = Mach::new().oneway(0).cycles;
+        let m = cycles(&mut Mach::new(), 0);
         for other in [
-            Lrpc::new().oneway(0).cycles,
-            L4TempMap::new().oneway(0).cycles,
-            Sel4::new(Sel4Transfer::OneCopy).oneway(0).cycles,
+            cycles(&mut Lrpc::new(), 0),
+            cycles(&mut L4TempMap::new(), 0),
+            cycles(&mut Sel4::new(Sel4Transfer::OneCopy), 0),
         ] {
             assert!(m > other, "Mach {m} vs {other}");
         }
@@ -261,17 +264,18 @@ mod tests {
 
     #[test]
     fn lrpc_beats_mach_but_keeps_a_copy() {
-        let l = Lrpc::new().oneway(4096);
-        let m = Mach::new().oneway(4096);
-        assert!(l.cycles < m.cycles);
+        let l = Lrpc::new().oneway(4096, &InvokeOpts::call());
+        let m = Mach::new().oneway(4096, &InvokeOpts::call());
+        assert!(l.total < m.total);
         assert_eq!(l.copied_bytes, 4096, "one A-stack copy");
     }
 
     #[test]
     fn l4_pays_mapping_over_lrpc_but_is_safe() {
-        let l4 = L4TempMap::new().oneway(4096).cycles;
-        let lrpc = Lrpc::new().oneway(4096).cycles;
-        assert!(l4 > lrpc, "temporary mapping costs kernel work");
+        let l4inv = L4TempMap::new().oneway(4096, &InvokeOpts::call());
+        let lrpc = cycles(&mut Lrpc::new(), 4096);
+        assert!(l4inv.total > lrpc, "temporary mapping costs kernel work");
+        assert_eq!(l4inv.ledger.get(Phase::Mapping), TEMP_MAP_CYCLES);
         // Safety is encoded in Table 7:
         let t7 = table7();
         let row = |n: &str| t7.iter().find(|r| r.name == n).unwrap().clone();
@@ -281,9 +285,12 @@ mod tests {
 
     #[test]
     fn remap_is_flat_but_pays_per_hop() {
-        let r = PpcRemap::new();
-        assert_eq!(r.oneway(4096).cycles, r.oneway(1 << 20).cycles);
-        assert!(r.oneway(4096).cycles > XpcIpc::sel4_xpc().oneway(4096).cycles);
+        let mut r = PpcRemap::new();
+        assert_eq!(cycles(&mut r, 4096), cycles(&mut r, 1 << 20));
+        let inv = r.oneway(4096, &InvokeOpts::call());
+        assert!(inv.ledger.get(Phase::Mapping) > 0, "remap pays TLB work");
+        assert_eq!(inv.copied_bytes, 0);
+        assert!(inv.total > cycles(&mut XpcIpc::sel4_xpc(), 4096));
     }
 
     #[test]

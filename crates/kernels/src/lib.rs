@@ -1,10 +1,13 @@
-//! Kernel IPC models: seL4, Zircon, Android Binder, and their
-//! XPC-accelerated variants, calibrated against the paper's measurements
-//! (Table 1, §2.2, §5.2, §5.5).
+//! Kernel IPC models: seL4, Zircon, Android Binder, the historical
+//! designs of Table 7, and their XPC-accelerated variants, calibrated
+//! against the paper's measurements (Table 1, §2.2, §5.2, §5.5).
 //!
-//! Each model implements [`simos::IpcMechanism`], so the service stack
-//! (file system, network, database, web server) runs unmodified on any of
-//! them — exactly how the paper ports one workload across six systems.
+//! Each model implements [`IpcSystem`] — the unified invocation pipeline
+//! defined in `simos` — so the service stack (file system, network,
+//! database, web server) runs unmodified on any of them, and every
+//! invocation returns a phase-attributed [`Invocation`] ledger. That is
+//! exactly how the paper ports one workload across six systems and then
+//! reports per-phase breakdowns (Table 1, Figure 5).
 
 pub mod binder;
 pub mod historical;
@@ -13,15 +16,20 @@ pub mod sel4;
 pub mod xpc_ipc;
 pub mod zircon;
 
-pub use binder::{binder_latency_us, BinderConfig, BinderSystem};
+pub use binder::{binder_latency_us, BinderConfig, BinderIpc, BinderSystem};
 pub use historical::{table7, L4TempMap, Lrpc, Mach, PpcRemap, Table7Row};
 pub use parcel::{surface_transaction, Parcel, ParcelError, Value};
 pub use sel4::{Sel4, Sel4Transfer};
 pub use xpc_ipc::XpcIpc;
 pub use zircon::{Channel, ChannelError, Zircon};
 
-/// Convenience: the six systems of the evaluation, boxed.
-pub fn all_systems() -> Vec<Box<dyn simos::IpcMechanism>> {
+// The invocation pipeline itself, re-exported so downstream code can say
+// `kernels::IpcSystem` without also depending on `simos`.
+pub use simos::ipc::IpcSystem;
+pub use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
+
+/// Convenience: the systems of the core evaluation (Figures 6–8), boxed.
+pub fn all_systems() -> Vec<Box<dyn IpcSystem>> {
     vec![
         Box::new(Zircon::new()),
         Box::new(XpcIpc::zircon_xpc()),
@@ -31,14 +39,42 @@ pub fn all_systems() -> Vec<Box<dyn simos::IpcMechanism>> {
     ]
 }
 
+/// The full roster: the core evaluation systems plus the historical
+/// designs of Table 7 and the Binder stack of Figure 9 — every model in
+/// the repository, behind the one `IpcSystem` pipeline (the `figures
+/// --json` dump walks this list).
+pub fn full_roster() -> Vec<Box<dyn IpcSystem>> {
+    let mut v = all_systems();
+    v.push(Box::new(Mach::new()));
+    v.push(Box::new(Lrpc::new()));
+    v.push(Box::new(L4TempMap::new()));
+    v.push(Box::new(PpcRemap::new()));
+    v.push(Box::new(BinderIpc::new(BinderSystem::Binder, false)));
+    v.push(Box::new(BinderIpc::new(BinderSystem::BinderXpc, false)));
+    v.push(Box::new(BinderIpc::new(BinderSystem::AshmemXpc, true)));
+    v
+}
+
 #[cfg(test)]
 mod tests {
+    use simos::ledger::InvokeOpts;
+
     #[test]
     fn all_systems_have_distinct_names() {
-        let names: Vec<String> = super::all_systems().iter().map(|m| m.name()).collect();
+        let names: Vec<String> = super::full_roster().iter().map(|m| m.name()).collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn every_system_upholds_the_ledger_invariant() {
+        for mut sys in super::full_roster() {
+            for bytes in [0usize, 64, 4096] {
+                let inv = sys.oneway(bytes, &InvokeOpts::call());
+                assert_eq!(inv.total, inv.ledger.total(), "{}", sys.name());
+            }
+        }
     }
 }

@@ -7,9 +7,14 @@
 //! * > 120 B — user shared memory; the paper evaluates both the insecure
 //!   > one-copy and the TOCTTOU-safe two-copy configuration (Figure 7/8's
 //!   > `seL4-onecopy` / `seL4-twocopy`).
+//!
+//! `oneway` returns an [`Invocation`] whose ledger *is* Table 1: Trap /
+//! IPC Logic / Process Switch / Restore / Message Transfer, plus
+//! Schedule on the slow path and Cross-core for the remote variant.
 
 use simos::cost::CostModel;
-use simos::ipc::{IpcCost, IpcMechanism};
+use simos::ipc::IpcSystem;
+use simos::ledger::{Invocation, InvokeOpts, Phase};
 
 /// Long-message strategy (Figure 7/8 variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,19 +56,6 @@ impl Sel4 {
         }
     }
 
-    /// The Table 1 phase breakdown for a one-way IPC of `bytes`.
-    pub fn table1_phases(&self, bytes: u64) -> Vec<(&'static str, u64)> {
-        let c = &self.cost;
-        let transfer = self.transfer_cycles(bytes);
-        vec![
-            ("Trap", c.trap),
-            ("IPC Logic", c.ipc_logic),
-            ("Process Switch", c.process_switch),
-            ("Restore", c.restore),
-            ("Message Transfer", transfer),
-        ]
-    }
-
     fn transfer_cycles(&self, bytes: u64) -> u64 {
         if bytes <= REG_MSG_MAX {
             0 // carried in registers during the switch
@@ -93,7 +85,7 @@ impl Sel4 {
     }
 }
 
-impl IpcMechanism for Sel4 {
+impl IpcSystem for Sel4 {
     fn name(&self) -> String {
         let base = match self.transfer {
             Sel4Transfer::OneCopy => "seL4-onecopy",
@@ -106,20 +98,19 @@ impl IpcMechanism for Sel4 {
         }
     }
 
-    fn oneway(&self, bytes: u64) -> IpcCost {
+    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let bytes = msg_len as u64;
         let c = &self.cost;
-        let mut cycles = c.sel4_fastpath_base();
+        let mut ledger = c.sel4_fastpath_ledger();
         if bytes > REG_MSG_MAX && bytes <= BUF_MSG_MAX {
-            cycles += c.slowpath_extra;
+            // The slow path runs the full scheduler and endpoint logic.
+            ledger.charge(Phase::Schedule, c.slowpath_extra);
         }
-        cycles += self.transfer_cycles(bytes);
+        ledger.charge(Phase::Transfer, self.transfer_cycles(bytes));
         if self.cross_core {
-            cycles += c.cross_core_base;
+            ledger.charge(Phase::CrossCore, c.cross_core_base);
         }
-        IpcCost {
-            cycles,
-            copied_bytes: self.copies(bytes),
-        }
+        Invocation::from_ledger(ledger, self.copies(bytes))
     }
 }
 
@@ -129,42 +120,63 @@ mod tests {
 
     #[test]
     fn fastpath_0b_is_table1_sum() {
-        let s = Sel4::new(Sel4Transfer::OneCopy);
-        assert_eq!(s.oneway(0).cycles, 664);
-        assert_eq!(s.oneway(32).cycles, 664, "register messages are free");
+        let mut s = Sel4::new(Sel4Transfer::OneCopy);
+        assert_eq!(s.oneway(0, &InvokeOpts::call()).total, 664);
+        assert_eq!(
+            s.oneway(32, &InvokeOpts::call()).total,
+            664,
+            "register messages are free"
+        );
     }
 
     #[test]
     fn medium_messages_take_slow_path() {
-        let s = Sel4::new(Sel4Transfer::OneCopy);
-        let c = s.oneway(64).cycles;
+        let mut s = Sel4::new(Sel4Transfer::OneCopy);
+        let c = s.oneway(64, &InvokeOpts::call()).total;
         // §2.2 measured 2182 cycles for a 64 B IPC.
         assert!((2100..2350).contains(&c), "64B slow path: {c}");
     }
 
     #[test]
     fn large_messages_scale_with_copies() {
-        let one = Sel4::new(Sel4Transfer::OneCopy).oneway(4096);
-        let two = Sel4::new(Sel4Transfer::TwoCopy).oneway(4096);
-        assert_eq!(one.cycles, 664 + 4010);
-        assert_eq!(two.cycles, 664 + 2 * 4010);
+        let one = Sel4::new(Sel4Transfer::OneCopy).oneway(4096, &InvokeOpts::call());
+        let two = Sel4::new(Sel4Transfer::TwoCopy).oneway(4096, &InvokeOpts::call());
+        assert_eq!(one.total, 664 + 4010);
+        assert_eq!(two.total, 664 + 2 * 4010);
         assert_eq!(one.copied_bytes, 4096);
         assert_eq!(two.copied_bytes, 8192);
     }
 
     #[test]
-    fn table1_phases_sum_to_oneway() {
-        let s = Sel4::new(Sel4Transfer::OneCopy);
-        for bytes in [0u64, 4096] {
-            let sum: u64 = s.table1_phases(bytes).iter().map(|(_, c)| c).sum();
-            assert_eq!(sum, s.oneway(bytes).cycles);
+    fn ledger_is_table1() {
+        let mut s = Sel4::new(Sel4Transfer::OneCopy);
+        for bytes in [0usize, 4096] {
+            let inv = s.oneway(bytes, &InvokeOpts::call());
+            assert_eq!(inv.ledger.get(Phase::Trap), 107);
+            assert_eq!(inv.ledger.get(Phase::IpcLogic), 212);
+            assert_eq!(inv.ledger.get(Phase::Switch), 146);
+            assert_eq!(inv.ledger.get(Phase::Restore), 199);
+            assert_eq!(inv.total, inv.ledger.total());
+            // Transfer is present even at 0 B (Table 1 prints the row).
+            assert!(inv.ledger.spans().iter().any(|(p, _)| *p == Phase::Transfer));
         }
+        let inv4k = s.oneway(4096, &InvokeOpts::call());
+        assert_eq!(inv4k.ledger.get(Phase::Transfer), 4010);
     }
 
     #[test]
     fn cross_core_adds_constant() {
-        let same = Sel4::new(Sel4Transfer::OneCopy).oneway(0).cycles;
-        let cross = Sel4::cross_core(Sel4Transfer::OneCopy).oneway(0).cycles;
+        let same = Sel4::new(Sel4Transfer::OneCopy)
+            .oneway(0, &InvokeOpts::call())
+            .total;
+        let cross = Sel4::cross_core(Sel4Transfer::OneCopy)
+            .oneway(0, &InvokeOpts::call())
+            .total;
         assert_eq!(cross - same, CostModel::u500().cross_core_base);
+        let inv = Sel4::cross_core(Sel4Transfer::OneCopy).oneway(0, &InvokeOpts::call());
+        assert_eq!(
+            inv.ledger.get(Phase::CrossCore),
+            CostModel::u500().cross_core_base
+        );
     }
 }

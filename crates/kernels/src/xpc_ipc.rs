@@ -3,13 +3,15 @@
 //! kernel (seL4-XPC, Zircon-XPC).
 //!
 //! One-way cost is the Figure 5 decomposition: caller trampoline +
-//! `xcall` + post-switch TLB refills; the reply path pays `xret` + TLB.
-//! Messages ride the relay segment regardless of size — zero copies, so
-//! the cost is *flat* in message size, which is where the 5–37×
-//! (same-core) and 81–141× (cross-core) bands of §5.2 come from.
+//! `xcall` + post-switch TLB refills; the reply leg (selected via
+//! [`InvokeOpts::reply`]) pays `xret` + TLB. Messages ride the relay
+//! segment regardless of size — zero copies, so the cost is *flat* in
+//! message size, which is where the 5–37× (same-core) and 81–141×
+//! (cross-core) bands of §5.2 come from.
 
 use simos::cost::CostModel;
-use simos::ipc::{IpcCost, IpcMechanism};
+use simos::ipc::IpcSystem;
+use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 
 /// The XPC IPC model.
 #[derive(Debug, Clone)]
@@ -59,28 +61,24 @@ impl XpcIpc {
     }
 }
 
-impl IpcMechanism for XpcIpc {
+impl IpcSystem for XpcIpc {
     fn name(&self) -> String {
         self.label.to_string()
     }
 
-    fn oneway(&self, _bytes: u64) -> IpcCost {
-        IpcCost {
-            cycles: self.cost.xpc_oneway(self.full_ctx, self.tagged_tlb),
-            copied_bytes: 0,
-        }
-    }
-
-    fn reply(&self, _bytes: u64) -> IpcCost {
-        let tlb = if self.tagged_tlb {
-            0
+    fn oneway(&mut self, _msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        let ledger = if opts.reply {
+            // Return leg: xret restores the caller's context directly.
+            let mut l = CycleLedger::new().with(Phase::Xret, self.cost.xret);
+            if !self.tagged_tlb {
+                l.charge(Phase::TlbRefill, self.cost.tlb_refill);
+            }
+            l
         } else {
-            self.cost.tlb_refill
+            self.cost.xpc_oneway_ledger(self.full_ctx, self.tagged_tlb)
         };
-        IpcCost {
-            cycles: self.cost.xret + tlb,
-            copied_bytes: 0,
-        }
+        // Relay segment: the payload is handed over, never copied.
+        Invocation::from_ledger(ledger, 0)
     }
 
     fn supports_handover(&self) -> bool {
@@ -93,36 +91,53 @@ mod tests {
     use super::*;
     use crate::sel4::{Sel4, Sel4Transfer};
 
+    fn call(sys: &mut impl IpcSystem, bytes: usize) -> u64 {
+        sys.oneway(bytes, &InvokeOpts::call()).total
+    }
+
     #[test]
     fn flat_in_message_size() {
-        let x = XpcIpc::sel4_xpc();
-        assert_eq!(x.oneway(0).cycles, x.oneway(32 << 20).cycles);
-        assert_eq!(x.oneway(4096).copied_bytes, 0);
+        let mut x = XpcIpc::sel4_xpc();
+        assert_eq!(call(&mut x, 0), call(&mut x, 32 << 20));
+        assert_eq!(x.oneway(4096, &InvokeOpts::call()).copied_bytes, 0);
     }
 
     #[test]
     fn default_oneway_is_134() {
         // 76 trampoline + 18 xcall + 40 TLB (Figure 5, Full-Cxt +
         // non-blocking link stack).
-        assert_eq!(XpcIpc::sel4_xpc().oneway(0).cycles, 134);
+        let inv = XpcIpc::sel4_xpc().oneway(0, &InvokeOpts::call());
+        assert_eq!(inv.total, 134);
+        assert_eq!(inv.ledger.get(Phase::Trampoline), 76);
+        assert_eq!(inv.ledger.get(Phase::Xcall), 18);
+        assert_eq!(inv.ledger.get(Phase::TlbRefill), 40);
+    }
+
+    #[test]
+    fn reply_leg_pays_xret() {
+        let inv = XpcIpc::sel4_xpc().oneway(0, &InvokeOpts::reply_leg());
+        assert_eq!(inv.ledger.get(Phase::Xret), 23);
+        assert_eq!(inv.total, 23 + 40);
+        let tagged = XpcIpc::custom("t", true, true).oneway(0, &InvokeOpts::reply_leg());
+        assert_eq!(tagged.total, 23);
     }
 
     #[test]
     fn fig6_speedup_band_same_core() {
-        let x = XpcIpc::sel4_xpc();
-        let s = Sel4::new(Sel4Transfer::OneCopy);
-        let speedup_0 = s.oneway(0).cycles as f64 / x.oneway(0).cycles as f64;
-        let speedup_4k = s.oneway(4096).cycles as f64 / x.oneway(4096).cycles as f64;
+        let mut x = XpcIpc::sel4_xpc();
+        let mut s = Sel4::new(Sel4Transfer::OneCopy);
+        let speedup_0 = call(&mut s, 0) as f64 / call(&mut x, 0) as f64;
+        let speedup_4k = call(&mut s, 4096) as f64 / call(&mut x, 4096) as f64;
         assert!((4.5..6.0).contains(&speedup_0), "{speedup_0}");
         assert!((30.0..40.0).contains(&speedup_4k), "{speedup_4k}");
     }
 
     #[test]
     fn fig6_speedup_band_cross_core() {
-        let x = XpcIpc::sel4_xpc().cross_core();
-        let s = Sel4::cross_core(Sel4Transfer::TwoCopy);
-        let small = s.oneway(0).cycles as f64 / x.oneway(0).cycles as f64;
-        let large = s.oneway(4096).cycles as f64 / x.oneway(4096).cycles as f64;
+        let mut x = XpcIpc::sel4_xpc().cross_core();
+        let mut s = Sel4::cross_core(Sel4Transfer::TwoCopy);
+        let small = call(&mut s, 0) as f64 / call(&mut x, 0) as f64;
+        let large = call(&mut s, 4096) as f64 / call(&mut x, 4096) as f64;
         assert!((70.0..95.0).contains(&small), "≈81x small: {small}");
         assert!((130.0..155.0).contains(&large), "≈141x at 4KB: {large}");
     }
@@ -134,9 +149,9 @@ mod tests {
 
     #[test]
     fn tagged_tlb_and_partial_ctx_reduce_cost() {
-        let full = XpcIpc::custom("a", true, false).oneway(0).cycles;
-        let part = XpcIpc::custom("b", false, false).oneway(0).cycles;
-        let tagged = XpcIpc::custom("c", false, true).oneway(0).cycles;
+        let full = call(&mut XpcIpc::custom("a", true, false), 0);
+        let part = call(&mut XpcIpc::custom("b", false, false), 0);
+        let tagged = call(&mut XpcIpc::custom("c", false, true), 0);
         assert!(part < full);
         assert!(tagged < part);
     }

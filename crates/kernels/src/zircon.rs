@@ -7,7 +7,8 @@
 //! one-way base to ~8000 cycles on the U500 model.
 
 use simos::cost::CostModel;
-use simos::ipc::{IpcCost, IpcMechanism};
+use simos::ipc::IpcSystem;
+use simos::ledger::{Invocation, InvokeOpts, Phase};
 use std::collections::VecDeque;
 
 /// The Zircon model.
@@ -41,7 +42,7 @@ impl Default for Zircon {
     }
 }
 
-impl IpcMechanism for Zircon {
+impl IpcSystem for Zircon {
     fn name(&self) -> String {
         if self.cross_core {
             "Zircon+xcore".to_string()
@@ -50,18 +51,27 @@ impl IpcMechanism for Zircon {
         }
     }
 
-    fn oneway(&self, bytes: u64) -> IpcCost {
+    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        let bytes = msg_len as u64;
         let c = &self.cost;
         // Channel write syscall + wait + scheduler + channel read syscall,
         // with the kernel copying the message twice (user→kernel→user).
-        let mut cycles = c.zircon_oneway_base + 2 * c.copy_cycles(bytes);
+        // The one-way base splits into two syscall entries/exits plus the
+        // wait-queue/scheduler remainder.
+        let kernel_entries = 2 * (c.trap + c.ipc_logic + c.restore);
+        let mut ledger = simos::ledger::CycleLedger::new()
+            .with(Phase::Trap, 2 * c.trap)
+            .with(Phase::IpcLogic, 2 * c.ipc_logic)
+            .with(Phase::Restore, 2 * c.restore)
+            .with(
+                Phase::Schedule,
+                c.zircon_oneway_base.saturating_sub(kernel_entries),
+            )
+            .with(Phase::Transfer, 2 * c.copy_cycles(bytes));
         if self.cross_core {
-            cycles += c.cross_core_base;
+            ledger.charge(Phase::CrossCore, c.cross_core_base);
         }
-        IpcCost {
-            cycles,
-            copied_bytes: 2 * bytes,
-        }
+        Invocation::from_ledger(ledger, 2 * bytes)
     }
 }
 
@@ -73,25 +83,34 @@ mod tests {
     fn round_trip_is_tens_of_thousands() {
         // §1: "Zircon costs tens of thousands of cycles for one
         // round-trip IPC".
-        let z = Zircon::new();
-        let rt = z.roundtrip(64, 64).cycles;
+        let mut z = Zircon::new();
+        let rt = z.roundtrip(64, 64).total;
         assert!((10_000..100_000).contains(&rt), "round trip: {rt}");
     }
 
     #[test]
     fn twofold_copy_counted() {
-        let z = Zircon::new();
-        assert_eq!(z.oneway(1000).copied_bytes, 2000);
+        let mut z = Zircon::new();
+        assert_eq!(z.oneway(1000, &InvokeOpts::call()).copied_bytes, 2000);
     }
 
     #[test]
     fn slower_than_sel4() {
         // §5.2: Zircon "much slower than seL4".
-        let z = Zircon::new().oneway(0).cycles;
+        let z = Zircon::new().oneway(0, &InvokeOpts::call()).total;
         let s = crate::sel4::Sel4::new(crate::sel4::Sel4Transfer::OneCopy)
-            .oneway(0)
-            .cycles;
+            .oneway(0, &InvokeOpts::call())
+            .total;
         assert!(z > 5 * s);
+    }
+
+    #[test]
+    fn ledger_preserves_the_calibrated_base() {
+        let inv = Zircon::new().oneway(0, &InvokeOpts::call());
+        assert_eq!(inv.total, CostModel::u500().zircon_oneway_base);
+        assert_eq!(inv.total, inv.ledger.total());
+        // The scheduler/wait-queue remainder dominates Zircon's cost.
+        assert!(inv.ledger.get(Phase::Schedule) > inv.total / 2);
     }
 }
 
@@ -227,15 +246,14 @@ impl Channel {
 #[cfg(test)]
 mod channel_tests {
     use super::*;
-    use simos::ipc::IpcCost;
 
     struct Free;
-    impl IpcMechanism for Free {
+    impl IpcSystem for Free {
         fn name(&self) -> String {
             "free".into()
         }
-        fn oneway(&self, _b: u64) -> IpcCost {
-            IpcCost::default()
+        fn oneway(&mut self, _msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::default()
         }
     }
 

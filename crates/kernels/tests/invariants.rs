@@ -1,0 +1,104 @@
+//! Property-style invariants, exhaustively looped over plain `#[test]`
+//! grids (the former `proptest` suites are gated off by the offline
+//! build policy — these cover the same ground deterministically).
+
+use kernels::{full_roster, InvokeOpts, Phase};
+use simos::cost::CostModel;
+use simos::transport::Transport;
+
+/// Size axis: boundary values of every transfer regime (register path,
+/// slow path at 64 B, buffer edge at 120/121, pages, megabytes).
+const SIZES: [usize; 10] = [0, 1, 32, 64, 120, 121, 1024, 4096, 65536, 1 << 20];
+
+#[test]
+fn ledger_sums_equal_invocation_totals_everywhere() {
+    // The Invocation invariant, across the full 12-system roster, every
+    // size regime, and both legs of a call.
+    for opts in [InvokeOpts::call(), InvokeOpts::reply_leg()] {
+        for mut sys in full_roster() {
+            for bytes in SIZES {
+                let inv = sys.oneway(bytes, &opts);
+                assert_eq!(
+                    inv.total,
+                    inv.ledger.total(),
+                    "{} at {bytes}B (reply={})",
+                    sys.name(),
+                    opts.reply
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn phases_are_charged_at_most_in_first_charge_order() {
+    // A ledger never lists the same phase twice: repeated charges fold
+    // into the first span, so span order is a stable presentation key.
+    for mut sys in full_roster() {
+        let inv = sys.oneway(4096, &InvokeOpts::call());
+        let mut seen: Vec<Phase> = Vec::new();
+        for &(p, _) in inv.ledger.spans() {
+            assert!(!seen.contains(&p), "{}: {p:?} listed twice", sys.name());
+            seen.push(p);
+        }
+    }
+}
+
+#[test]
+fn relay_seg_never_exceeds_twofold_copy() {
+    // §4.1: handover via the relay segment must never cost more than the
+    // copying baseline — at any size, over any hop count.
+    let cost = CostModel::u500();
+    for bytes in SIZES {
+        for hops in 1..=8u64 {
+            let relay = Transport::RelaySeg.transfer_cycles(&cost, bytes as u64, hops);
+            let copy = Transport::TwofoldCopy.transfer_cycles(&cost, bytes as u64, hops);
+            assert!(
+                relay <= copy,
+                "relay-seg {relay} > twofold-copy {copy} at {bytes}B x {hops} hops"
+            );
+            assert_eq!(
+                Transport::RelaySeg.copies(hops),
+                0,
+                "relay-seg moves no bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn u500_calibration_bands_hold() {
+    // The calibration constants behind every figure, pinned to the
+    // paper's measurements (Table 1, Table 3, Figure 5, §5.2).
+    let c = CostModel::u500();
+    assert_eq!(c.sel4_fastpath_base(), 664, "Table 1 sum (0B)");
+    assert_eq!(c.sel4_fastpath_ledger().total(), 664);
+    assert_eq!(c.copy_cycles(4096), 4010, "Table 1: 4K transfer");
+    assert_eq!((c.xcall, c.xret, c.swapseg), (18, 23, 11), "Table 3");
+    assert_eq!(c.xpc_oneway(true, false), 76 + 18 + 40, "Figure 5 Full-Cxt");
+    assert_eq!(c.xpc_oneway(false, true), 15 + 18, "Figure 5 best one-way");
+    // §5.2 speedup bands at the model's own numbers: same-core 0B and
+    // 4KB speedups of seL4 over XPC.
+    let xpc = c.xpc_oneway(true, false) as f64;
+    let s0 = 664.0 / xpc;
+    let s4k = (664.0 + 4010.0) / xpc;
+    assert!((4.5..6.5).contains(&s0), "0B speedup {s0:.1} (paper: 5x)");
+    assert!((30.0..40.0).contains(&s4k), "4KB speedup {s4k:.1} (paper: 37x)");
+}
+
+#[test]
+fn roundtrip_is_the_sum_of_its_legs() {
+    for mut sys in full_roster() {
+        let name = sys.name();
+        let call = sys.oneway(256, &InvokeOpts::call());
+        let reply = sys.oneway(64, &InvokeOpts::reply_leg());
+        let rt = sys.roundtrip(256, 64);
+        assert_eq!(rt.total, call.total + reply.total, "{name}");
+        assert_eq!(rt.ledger.total(), rt.total, "{name}");
+        assert_eq!(
+            rt.copied_bytes,
+            call.copied_bytes + reply.copied_bytes,
+            "{name}"
+        );
+    }
+}

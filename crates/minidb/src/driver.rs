@@ -3,9 +3,8 @@
 //! 8 are built from.
 
 use crate::db::MiniDb;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use simos::World;
+use ycsb::rng::Rng;
 use ycsb::{Op, WorkloadSpec};
 
 /// Result of one YCSB run.
@@ -40,7 +39,7 @@ pub struct YcsbResult {
 /// Loading happens before measurement starts.
 pub fn run_workload(world: &mut World, spec: &WorkloadSpec) -> YcsbResult {
     let mut db = MiniDb::create(world, 1 << 15);
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x10ad);
+    let mut rng = Rng::seed_from_u64(spec.seed ^ 0x10ad);
     for n in 0..spec.records {
         let row = spec.row_bytes(&mut rng);
         db.insert(world, &spec.key(n), &row);

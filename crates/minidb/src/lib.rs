@@ -16,3 +16,4 @@ pub mod driver;
 
 pub use db::MiniDb;
 pub use driver::{run_workload, YcsbResult};
+pub use ycsb::rng;

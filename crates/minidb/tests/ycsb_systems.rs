@@ -6,7 +6,7 @@ use minidb::run_workload;
 use simos::World;
 use ycsb::{Workload, WorkloadSpec};
 
-fn ops_per_sec(mech: Box<dyn simos::IpcMechanism>, wl: Workload) -> f64 {
+fn ops_per_sec(mech: Box<dyn simos::IpcSystem>, wl: Workload) -> f64 {
     let mut world = World::new(mech);
     let spec = WorkloadSpec {
         ops: 300,

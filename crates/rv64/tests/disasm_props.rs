@@ -1,6 +1,11 @@
 //! Property test: every encoder the assembler offers produces a word the
 //! decoder accepts (no encoder/decoder drift), checked over random
 //! operands via execution-free decoding.
+//!
+//! Gated behind the off-by-default `proptest` feature: enabling it
+//! requires adding the external `proptest` crate back to this package's
+//! dev-dependencies (kept out of the graph by the offline build policy).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use rv64::inst::decode;

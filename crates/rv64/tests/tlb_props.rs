@@ -1,5 +1,10 @@
 //! Property tests of the TLB against a reference map, and machine-level
 //! timer-interrupt behaviour.
+//!
+//! Gated behind the off-by-default `proptest` feature: enabling it
+//! requires adding the external `proptest` crate back to this package's
+//! dev-dependencies (kept out of the graph by the offline build policy).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use rv64::csr::addr as csr;

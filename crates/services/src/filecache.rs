@@ -47,15 +47,15 @@ impl FileCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simos::ipc::{IpcCost, IpcMechanism};
+    use simos::{Invocation, InvokeOpts, IpcSystem};
 
     struct Free;
-    impl IpcMechanism for Free {
+    impl IpcSystem for Free {
         fn name(&self) -> String {
             "free".into()
         }
-        fn oneway(&self, _b: u64) -> IpcCost {
-            IpcCost::default()
+        fn oneway(&mut self, _msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::default()
         }
     }
 

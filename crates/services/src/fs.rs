@@ -649,18 +649,15 @@ impl FsClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simos::ipc::{IpcCost, IpcMechanism};
+    use simos::{Invocation, InvokeOpts, IpcSystem, Phase};
 
     struct Free;
-    impl IpcMechanism for Free {
+    impl IpcSystem for Free {
         fn name(&self) -> String {
             "free".into()
         }
-        fn oneway(&self, _b: u64) -> IpcCost {
-            IpcCost {
-                cycles: 1,
-                copied_bytes: 0,
-            }
+        fn oneway(&mut self, _msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::single(Phase::Trap, 1)
         }
     }
 

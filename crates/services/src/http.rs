@@ -81,7 +81,7 @@ impl HttpServer {
     /// With a handover-capable mechanism the *payload* rides one relay
     /// segment through the whole chain, so only the first hop carries it;
     /// copy mechanisms pay per hop (that is inherent in how their
-    /// [`simos::IpcMechanism::oneway`] prices payload bytes).
+    /// [`simos::IpcSystem::oneway`] prices payload bytes).
     pub fn handle(&mut self, w: &mut World, raw_request: &str) -> (Status, Vec<u8>) {
         // Client → HTTP server.
         w.ipc_oneway(raw_request.len() as u64);
@@ -199,18 +199,15 @@ impl ChainIpc for World {
 mod tests {
     use super::*;
     use crate::aes::Aes128;
-    use simos::ipc::{IpcCost, IpcMechanism};
+    use simos::{Invocation, InvokeOpts, IpcSystem, Phase};
 
     struct Free;
-    impl IpcMechanism for Free {
+    impl IpcSystem for Free {
         fn name(&self) -> String {
             "free".into()
         }
-        fn oneway(&self, _b: u64) -> IpcCost {
-            IpcCost {
-                cycles: 1,
-                copied_bytes: 0,
-            }
+        fn oneway(&mut self, _msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::single(Phase::Trap, 1)
         }
     }
 

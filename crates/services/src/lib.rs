@@ -16,7 +16,7 @@
 //!   handover showcase of Figure 8(c).
 //!
 //! All servers do *real* data work on real bytes; the cycle cost of every
-//! IPC hop comes from the active [`simos::IpcMechanism`], so the same
+//! IPC hop comes from the active [`simos::IpcSystem`], so the same
 //! service code reproduces all five systems of Figure 7/8.
 
 pub mod aes;

@@ -117,18 +117,18 @@ pub fn tcp_throughput_mb_s(w: &mut World, buf: usize, total: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simos::ipc::{IpcCost, IpcMechanism};
+    use simos::{CycleLedger, Invocation, InvokeOpts, IpcSystem, Phase};
 
     struct Fixed(u64);
-    impl IpcMechanism for Fixed {
+    impl IpcSystem for Fixed {
         fn name(&self) -> String {
             "fixed".into()
         }
-        fn oneway(&self, bytes: u64) -> IpcCost {
-            IpcCost {
-                cycles: self.0 + bytes,
-                copied_bytes: bytes,
-            }
+        fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            let ledger = CycleLedger::new()
+                .with(Phase::Trap, self.0)
+                .with(Phase::Transfer, msg_len as u64);
+            Invocation::from_ledger(ledger, msg_len as u64)
         }
     }
 

@@ -10,6 +10,8 @@
 //! memory, i.e. ~0.98 cycles/byte for one pass over the data. We charge
 //! `copy_num/copy_den` cycles per byte per copy.
 
+use crate::ledger::{CycleLedger, Phase};
+
 /// Cycle-cost constants for the OS models.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
@@ -88,17 +90,38 @@ impl CostModel {
         self.trap + self.ipc_logic + self.process_switch + self.restore
     }
 
+    /// Table 1's first four rows as a ledger (sums to
+    /// [`sel4_fastpath_base`](Self::sel4_fastpath_base)).
+    pub fn sel4_fastpath_ledger(&self) -> CycleLedger {
+        CycleLedger::new()
+            .with(Phase::Trap, self.trap)
+            .with(Phase::IpcLogic, self.ipc_logic)
+            .with(Phase::Switch, self.process_switch)
+            .with(Phase::Restore, self.restore)
+    }
+
     /// One-way XPC cost: trampoline + xcall + TLB refill (Figure 5's
     /// rightmost decomposition; `full_ctx` picks the trampoline flavour,
     /// `tagged_tlb` removes the refill penalty).
     pub fn xpc_oneway(&self, full_ctx: bool, tagged_tlb: bool) -> u64 {
+        self.xpc_oneway_ledger(full_ctx, tagged_tlb).total()
+    }
+
+    /// The Figure 5 decomposition behind [`xpc_oneway`](Self::xpc_oneway)
+    /// as a ledger: trampoline, `xcall`, and (untagged only) TLB refill.
+    pub fn xpc_oneway_ledger(&self, full_ctx: bool, tagged_tlb: bool) -> CycleLedger {
         let tramp = if full_ctx {
             self.trampoline_full
         } else {
             self.trampoline_partial
         };
-        let tlb = if tagged_tlb { 0 } else { self.tlb_refill };
-        tramp + self.xcall + tlb
+        let mut l = CycleLedger::new()
+            .with(Phase::Trampoline, tramp)
+            .with(Phase::Xcall, self.xcall);
+        if !tagged_tlb {
+            l.charge(Phase::TlbRefill, self.tlb_refill);
+        }
+        l
     }
 
     /// Convert cycles to microseconds at the model clock.
@@ -163,6 +186,20 @@ mod tests {
         // Zircon ≈60x at small messages.
         let z = c.zircon_oneway_base as f64 / xpc;
         assert!((55.0..65.0).contains(&z), "≈60x for Zircon, got {z:.1}");
+    }
+
+    #[test]
+    fn ledgers_sum_to_the_scalar_helpers() {
+        let c = CostModel::u500();
+        assert_eq!(c.sel4_fastpath_ledger().total(), c.sel4_fastpath_base());
+        assert_eq!(c.sel4_fastpath_ledger().get(Phase::IpcLogic), 212);
+        for full in [true, false] {
+            for tagged in [true, false] {
+                let l = c.xpc_oneway_ledger(full, tagged);
+                assert_eq!(l.total(), c.xpc_oneway(full, tagged));
+                assert_eq!(l.get(Phase::TlbRefill) == 0, tagged);
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,17 @@
-//! The IPC-mechanism interface every kernel model implements.
+//! The invocation interface every kernel model implements.
+//!
+//! [`IpcSystem`] is the single pipeline the whole evaluation goes
+//! through: a system prices one hop of `msg_len` bytes and returns an
+//! [`Invocation`] whose [`CycleLedger`](crate::ledger::CycleLedger)
+//! attributes every cycle to a named [`Phase`](crate::ledger::Phase).
+//! Table 1 is the printed ledger of the seL4 model, Figure 5's bars are
+//! ledger diffs between XPC ablations, and Figure 6's curves are ledger
+//! totals swept over message sizes — no experiment does bespoke cycle
+//! math anymore.
 
-/// Cost of one IPC hop.
+use crate::ledger::{Invocation, InvokeOpts};
+
+/// Flat summary of one IPC hop (legacy shape; derived from a ledger).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IpcCost {
     /// Cycles charged.
@@ -19,25 +30,36 @@ impl IpcCost {
     }
 }
 
-/// A synchronous IPC mechanism: what one hop costs.
+impl Invocation {
+    /// Collapse to the flat `{cycles, copied_bytes}` summary.
+    pub fn cost(&self) -> IpcCost {
+        IpcCost {
+            cycles: self.total,
+            copied_bytes: self.copied_bytes,
+        }
+    }
+}
+
+/// A synchronous cross-process call system: what one hop costs, phase by
+/// phase.
 ///
 /// Implementations live in the `kernels` crate (seL4 fast/slow path,
-/// Zircon channels, Binder, and the XPC-accelerated variants).
-pub trait IpcMechanism {
-    /// Mechanism name (used in experiment output).
+/// Zircon channels, Binder, the historical designs of Table 7, and the
+/// XPC-accelerated variants). `oneway` takes `&mut self` so systems may
+/// keep warm state (engine caches, link stacks).
+pub trait IpcSystem {
+    /// System name (used in experiment output and JSON dumps).
     fn name(&self) -> String;
 
-    /// One-way cost: deliver `bytes` from caller to callee.
-    fn oneway(&self, bytes: u64) -> IpcCost;
+    /// Price one hop delivering `msg_len` bytes under `opts`.
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation;
 
-    /// Reply cost (defaults to the one-way cost of the reply size).
-    fn reply(&self, bytes: u64) -> IpcCost {
-        self.oneway(bytes)
-    }
-
-    /// Full round trip.
-    fn roundtrip(&self, request: u64, response: u64) -> IpcCost {
-        self.oneway(request).plus(self.reply(response))
+    /// Full round trip: a call leg carrying `request` bytes plus a reply
+    /// leg carrying `response` bytes.
+    fn roundtrip(&mut self, request: usize, response: usize) -> Invocation {
+        let call = self.oneway(request, &InvokeOpts::call());
+        let reply = self.oneway(response, &InvokeOpts::reply_leg());
+        call.plus(reply)
     }
 
     /// Whether a message can be *handed over* along a chain without
@@ -47,33 +69,67 @@ pub trait IpcMechanism {
     }
 }
 
+impl IpcSystem for Box<dyn IpcSystem> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        (**self).oneway(msg_len, opts)
+    }
+    fn supports_handover(&self) -> bool {
+        (**self).supports_handover()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ledger::{CycleLedger, Phase};
 
     struct Fixed(u64);
-    impl IpcMechanism for Fixed {
+    impl IpcSystem for Fixed {
         fn name(&self) -> String {
             "fixed".into()
         }
-        fn oneway(&self, bytes: u64) -> IpcCost {
-            IpcCost {
-                cycles: self.0 + bytes,
-                copied_bytes: bytes,
-            }
+        fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::from_ledger(
+                CycleLedger::new()
+                    .with(Phase::Trap, self.0)
+                    .with(Phase::Transfer, msg_len as u64),
+                msg_len as u64,
+            )
         }
     }
 
     #[test]
     fn roundtrip_sums_both_ways() {
-        let m = Fixed(100);
+        let mut m = Fixed(100);
         let rt = m.roundtrip(10, 20);
-        assert_eq!(rt.cycles, 100 + 10 + 100 + 20);
+        assert_eq!(rt.total, 100 + 10 + 100 + 20);
         assert_eq!(rt.copied_bytes, 30);
+        assert_eq!(rt.ledger.get(Phase::Trap), 200);
+        assert_eq!(rt.ledger.get(Phase::Transfer), 30);
+        assert_eq!(rt.total, rt.ledger.total());
     }
 
     #[test]
     fn default_handover_is_false() {
         assert!(!Fixed(1).supports_handover());
+    }
+
+    #[test]
+    fn cost_summarises_the_invocation() {
+        let mut m = Fixed(7);
+        let inv = m.oneway(5, &InvokeOpts::call());
+        let c = inv.cost();
+        assert_eq!(c.cycles, 12);
+        assert_eq!(c.copied_bytes, 5);
+    }
+
+    #[test]
+    fn boxed_system_forwards() {
+        let mut b: Box<dyn IpcSystem> = Box::new(Fixed(3));
+        assert_eq!(b.name(), "fixed");
+        assert_eq!(b.oneway(1, &InvokeOpts::call()).total, 4);
     }
 }

@@ -1,0 +1,324 @@
+//! The phase-attributed cycle ledger behind every IPC invocation.
+//!
+//! The paper's whole evaluation is phase-level cycle attribution: Table 1
+//! splits a seL4 one-way call into trap / IPC logic / process switch /
+//! restore / message transfer, Figure 5 splits an XPC call into
+//! trampoline / `xcall` / TLB refill, Table 5 breaks out the 58-cycle
+//! translation-base barrier, and §5.2 prices cross-core hops separately.
+//! A [`CycleLedger`] is that attribution made first-class: every kernel
+//! model charges named [`Phase`] spans instead of summing bare `u64`s,
+//! and an [`Invocation`] carries the ledger (plus the total and the bytes
+//! copied) back to the harness, which renders tables and figures straight
+//! from it.
+
+/// A named cost phase of a cross-process call.
+///
+/// The first five are Table 1's rows; the next four are the XPC
+/// instruction path (Table 3 / Figure 5); the rest cover the slow paths,
+/// historical designs and the Binder stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Trap into the kernel (Table 1: 107 cycles).
+    Trap,
+    /// Kernel IPC logic: capability checks, endpoint state (Table 1: 212).
+    IpcLogic,
+    /// Process switch: queues, reply cap, `satp` (Table 1: 146).
+    Switch,
+    /// Context restore and return to user (Table 1: 199).
+    Restore,
+    /// Message payload movement (copies; Table 1: 4010 for 4 KiB).
+    Transfer,
+    /// Caller-side save/restore trampoline (Figure 5: 76 full / 15 partial).
+    Trampoline,
+    /// The `xcall` instruction (Table 3: 18).
+    Xcall,
+    /// The `xret` instruction (Table 3: 23).
+    Xret,
+    /// The `swapseg` instruction (Table 3: 11).
+    Swapseg,
+    /// Post-switch TLB refill penalty without tagged TLB (Figure 5: ~40).
+    TlbRefill,
+    /// Scheduler / wait-queue work (slow paths, async kernels).
+    Schedule,
+    /// Cross-core IPI + remote wakeup + cache transfer (§5.2).
+    CrossCore,
+    /// Kernel mapping work: remap, TLB shootdown, temporary mapping.
+    Mapping,
+    /// Driver / framework control path (Binder ioctl, dispatch).
+    Driver,
+    /// Application compute attributed to the call (surface touches, draw).
+    Compute,
+}
+
+impl Phase {
+    /// Every phase, in canonical (paper) order.
+    pub const ALL: [Phase; 15] = [
+        Phase::Trap,
+        Phase::IpcLogic,
+        Phase::Switch,
+        Phase::Restore,
+        Phase::Transfer,
+        Phase::Trampoline,
+        Phase::Xcall,
+        Phase::Xret,
+        Phase::Swapseg,
+        Phase::TlbRefill,
+        Phase::Schedule,
+        Phase::CrossCore,
+        Phase::Mapping,
+        Phase::Driver,
+        Phase::Compute,
+    ];
+
+    /// Stable kebab-case key (JSON dumps, machine-readable output).
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::Trap => "trap",
+            Phase::IpcLogic => "ipc-logic",
+            Phase::Switch => "switch",
+            Phase::Restore => "restore",
+            Phase::Transfer => "transfer",
+            Phase::Trampoline => "trampoline",
+            Phase::Xcall => "xcall",
+            Phase::Xret => "xret",
+            Phase::Swapseg => "swapseg",
+            Phase::TlbRefill => "tlb-refill",
+            Phase::Schedule => "schedule",
+            Phase::CrossCore => "cross-core",
+            Phase::Mapping => "mapping",
+            Phase::Driver => "driver",
+            Phase::Compute => "compute",
+        }
+    }
+
+    /// Human-readable label as the paper's tables print it.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Trap => "Trap",
+            Phase::IpcLogic => "IPC Logic",
+            Phase::Switch => "Process Switch",
+            Phase::Restore => "Restore",
+            Phase::Transfer => "Message Transfer",
+            Phase::Trampoline => "Trampoline",
+            Phase::Xcall => "xcall",
+            Phase::Xret => "xret",
+            Phase::Swapseg => "swapseg",
+            Phase::TlbRefill => "TLB Refill",
+            Phase::Schedule => "Schedule",
+            Phase::CrossCore => "Cross-core",
+            Phase::Mapping => "Mapping",
+            Phase::Driver => "Driver",
+            Phase::Compute => "Compute",
+        }
+    }
+}
+
+/// An ordered, phase-attributed cycle account of one (or more) calls.
+///
+/// Spans keep first-charge order, so a ledger prints in the order the
+/// phases occur; charging the same phase twice accumulates. Zero-cycle
+/// charges are recorded (Table 1 prints "Message Transfer 0" for a 0 B
+/// message), so a phase's *presence* is part of the model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleLedger {
+    spans: Vec<(Phase, u64)>,
+}
+
+impl CycleLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `cycles` to `phase` (accumulates; records zero charges).
+    pub fn charge(&mut self, phase: Phase, cycles: u64) {
+        if let Some(span) = self.spans.iter_mut().find(|(p, _)| *p == phase) {
+            span.1 += cycles;
+        } else {
+            self.spans.push((phase, cycles));
+        }
+    }
+
+    /// Builder-style [`charge`](Self::charge).
+    #[must_use]
+    pub fn with(mut self, phase: Phase, cycles: u64) -> Self {
+        self.charge(phase, cycles);
+        self
+    }
+
+    /// Cycles attributed to `phase` (0 when absent).
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.spans
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> u64 {
+        self.spans.iter().map(|(_, c)| c).sum()
+    }
+
+    /// The spans in first-charge order.
+    pub fn spans(&self) -> &[(Phase, u64)] {
+        &self.spans
+    }
+
+    /// Fold another ledger in, phase by phase.
+    pub fn merge(&mut self, other: &CycleLedger) {
+        for &(p, c) in &other.spans {
+            self.charge(p, c);
+        }
+    }
+
+    /// Per-phase delta `self - baseline` over the union of phases (this
+    /// ledger's order first, then baseline-only phases). The Figure 5
+    /// bars are exactly these diffs between ablation configurations.
+    pub fn diff(&self, baseline: &CycleLedger) -> Vec<(Phase, i64)> {
+        let mut out: Vec<(Phase, i64)> = self
+            .spans
+            .iter()
+            .map(|&(p, c)| (p, c as i64 - baseline.get(p) as i64))
+            .collect();
+        for &(p, c) in &baseline.spans {
+            if self.spans.iter().all(|(q, _)| *q != p) {
+                out.push((p, -(c as i64)));
+            }
+        }
+        out
+    }
+}
+
+/// Options for one [`IpcSystem`](crate::ipc::IpcSystem) hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvokeOpts {
+    /// Price the *reply* leg of a round trip instead of the call leg
+    /// (XPC replies pay `xret` instead of trampoline + `xcall`).
+    pub reply: bool,
+    /// Chain hops the payload crosses (handover chains; >= 1).
+    pub hops: u32,
+}
+
+impl Default for InvokeOpts {
+    fn default() -> Self {
+        InvokeOpts {
+            reply: false,
+            hops: 1,
+        }
+    }
+}
+
+impl InvokeOpts {
+    /// The call leg of a round trip (the default).
+    pub fn call() -> Self {
+        Self::default()
+    }
+
+    /// The reply leg of a round trip.
+    pub fn reply_leg() -> Self {
+        InvokeOpts {
+            reply: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The priced outcome of one IPC invocation: the phase ledger, its total,
+/// and the payload bytes the mechanism copied (0 for handover).
+///
+/// Invariant: `total == ledger.total()` — constructors enforce it and the
+/// cross-crate invariant tests sweep it over every system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Invocation {
+    /// Phase-attributed cycle account.
+    pub ledger: CycleLedger,
+    /// Total cycles (always the ledger sum).
+    pub total: u64,
+    /// Bytes copied moving the payload (0 for relay-segment handover).
+    pub copied_bytes: u64,
+}
+
+impl Invocation {
+    /// Build from a ledger; the total is the ledger sum.
+    pub fn from_ledger(ledger: CycleLedger, copied_bytes: u64) -> Self {
+        let total = ledger.total();
+        Invocation {
+            ledger,
+            total,
+            copied_bytes,
+        }
+    }
+
+    /// A single-phase invocation (handy for fixtures and stubs).
+    pub fn single(phase: Phase, cycles: u64) -> Self {
+        Self::from_ledger(CycleLedger::new().with(phase, cycles), 0)
+    }
+
+    /// Concatenate two invocations (round trips, chains).
+    #[must_use]
+    pub fn plus(mut self, other: Invocation) -> Self {
+        self.ledger.merge(&other.ledger);
+        self.total += other.total;
+        self.copied_bytes += other.copied_bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_and_keeps_order() {
+        let mut l = CycleLedger::new();
+        l.charge(Phase::Trap, 100);
+        l.charge(Phase::Transfer, 0);
+        l.charge(Phase::Trap, 7);
+        assert_eq!(l.get(Phase::Trap), 107);
+        assert_eq!(l.spans().len(), 2, "zero charge is recorded once");
+        assert_eq!(l.spans()[0].0, Phase::Trap);
+        assert_eq!(l.total(), 107);
+    }
+
+    #[test]
+    fn merge_and_plus_preserve_totals() {
+        let a = Invocation::from_ledger(
+            CycleLedger::new().with(Phase::Trap, 10).with(Phase::Transfer, 5),
+            5,
+        );
+        let b = Invocation::single(Phase::Xret, 23);
+        let sum = a.clone().plus(b);
+        assert_eq!(sum.total, 38);
+        assert_eq!(sum.total, sum.ledger.total());
+        assert_eq!(sum.copied_bytes, 5);
+    }
+
+    #[test]
+    fn diff_covers_union_of_phases() {
+        let a = CycleLedger::new().with(Phase::Xcall, 18).with(Phase::TlbRefill, 40);
+        let b = CycleLedger::new().with(Phase::Xcall, 6).with(Phase::Trampoline, 15);
+        let d = a.diff(&b);
+        assert!(d.contains(&(Phase::Xcall, 12)));
+        assert!(d.contains(&(Phase::TlbRefill, 40)));
+        assert!(d.contains(&(Phase::Trampoline, -15)));
+        let total: i64 = d.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, a.total() as i64 - b.total() as i64);
+    }
+
+    #[test]
+    fn phase_keys_are_distinct() {
+        let mut keys: Vec<_> = Phase::ALL.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn invocation_invariant_total_is_ledger_sum() {
+        let inv = Invocation::from_ledger(
+            CycleLedger::new().with(Phase::Trap, 107).with(Phase::Restore, 199),
+            0,
+        );
+        assert_eq!(inv.total, inv.ledger.total());
+    }
+}

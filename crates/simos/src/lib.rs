@@ -9,8 +9,11 @@
 //! * [`cost::CostModel`] — the calibrated phase constants (Table 1's
 //!   trap / IPC-logic / switch / restore, copy cycles per byte, the XPC
 //!   instruction costs measured on the emulator);
-//! * [`ipc::IpcMechanism`] — the interface every kernel model implements
-//!   (one-way cost as a function of message size, handover capability);
+//! * [`ledger`] — the [`CycleLedger`]/[`Phase`] attribution every system
+//!   charges against, and the [`Invocation`] it returns;
+//! * [`ipc::IpcSystem`] — the invocation pipeline every kernel model
+//!   implements (one ledger-carrying hop as a function of message size
+//!   and [`InvokeOpts`]);
 //! * [`transport`] — the four long-message mechanisms of Figure 10
 //!   (twofold copy, user shared memory, remap, relay segment) with their
 //!   security properties from Table 7;
@@ -20,9 +23,11 @@
 
 pub mod cost;
 pub mod ipc;
+pub mod ledger;
 pub mod transport;
 pub mod world;
 
 pub use cost::CostModel;
-pub use ipc::{IpcCost, IpcMechanism};
+pub use ipc::{IpcCost, IpcSystem};
+pub use ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 pub use world::{World, WorldStats};

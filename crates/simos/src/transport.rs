@@ -13,6 +13,7 @@
 //!   TOCTTOU-safe via ownership transfer.
 
 use crate::cost::CostModel;
+use crate::ledger::{CycleLedger, Phase};
 
 /// The transfer mechanisms of Figure 10 / Table 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +79,21 @@ impl Transport {
         }
     }
 
+    /// Charge this transport's data movement into `ledger`: copies go to
+    /// [`Phase::Transfer`], remap's kernel work to [`Phase::Mapping`].
+    /// Returns the bytes actually copied (the `copied_bytes` an
+    /// [`Invocation`](crate::ledger::Invocation) reports).
+    pub fn charge(&self, ledger: &mut CycleLedger, cost: &CostModel, bytes: u64, hops: u64) -> u64 {
+        match self {
+            Transport::Remap => {
+                ledger.charge(Phase::Mapping, hops * REMAP_HOP_CYCLES);
+                ledger.charge(Phase::Transfer, 0);
+            }
+            _ => ledger.charge(Phase::Transfer, self.transfer_cycles(cost, bytes, hops)),
+        }
+        self.copies(hops) * bytes
+    }
+
     /// Whether the receiver is safe from sender mutation after the check
     /// (Table 7 "w/o TOCTTOU").
     pub fn tocttou_safe(self) -> bool {
@@ -138,6 +154,21 @@ mod tests {
         let cost = CostModel::u500();
         assert_eq!(Transport::RelaySeg.transfer_cycles(&cost, 1, 1), 0);
         assert_eq!(Transport::RelaySeg.transfer_cycles(&cost, 32 << 20, 5), 0);
+    }
+
+    #[test]
+    fn charge_splits_mapping_from_transfer() {
+        let cost = CostModel::u500();
+        let mut l = CycleLedger::new();
+        let copied = Transport::Remap.charge(&mut l, &cost, 4096, 2);
+        assert_eq!(copied, 0);
+        assert_eq!(l.get(Phase::Mapping), 2 * 480);
+        assert_eq!(l.get(Phase::Transfer), 0);
+        let mut l2 = CycleLedger::new();
+        let copied2 = Transport::TwofoldCopy.charge(&mut l2, &cost, 4096, 1);
+        assert_eq!(copied2, 2 * 4096);
+        assert_eq!(l2.get(Phase::Transfer), 2 * 4010);
+        assert_eq!(l2.get(Phase::Mapping), 0);
     }
 
     #[test]

@@ -1,16 +1,20 @@
 //! The charging context service code runs against.
 //!
-//! A [`World`] owns a cycle clock, the active IPC mechanism, and the
+//! A [`World`] owns a cycle clock, the active IPC system, and the
 //! accounting that Figure 1 is made of: how many cycles went to IPC vs
 //! everything else, and the per-message-size distribution of IPC time.
+//! Every charge flows through an [`Invocation`], so the world's stats
+//! also carry a merged [`CycleLedger`] attributing all IPC time to
+//! phases.
 
 use crate::cost::CostModel;
-use crate::ipc::{IpcCost, IpcMechanism};
+use crate::ipc::IpcSystem;
+use crate::ledger::{CycleLedger, Invocation, Phase};
 
 /// Accumulated accounting.
 #[derive(Debug, Clone, Default)]
 pub struct WorldStats {
-    /// Cycles spent inside the IPC mechanism.
+    /// Cycles spent inside the IPC system.
     pub ipc_cycles: u64,
     /// Cycles spent on everything else (compute, data passes).
     pub other_cycles: u64,
@@ -23,6 +27,8 @@ pub struct WorldStats {
     pub ipc_count: u64,
     /// Total bytes moved through IPC payloads.
     pub payload_bytes: u64,
+    /// Phase attribution merged over every invocation charged so far.
+    pub ledger: CycleLedger,
 }
 
 impl WorldStats {
@@ -67,13 +73,13 @@ impl WorldStats {
     }
 }
 
-/// The execution context: clock + mechanism + stats.
+/// The execution context: clock + system + stats.
 pub struct World {
     /// Cycle clock.
     pub cycles: u64,
     /// Cost constants.
     pub cost: CostModel,
-    ipc: Box<dyn IpcMechanism>,
+    ipc: Box<dyn IpcSystem>,
     /// Accounting.
     pub stats: WorldStats,
 }
@@ -88,8 +94,8 @@ impl std::fmt::Debug for World {
 }
 
 impl World {
-    /// A world using mechanism `ipc`.
-    pub fn new(ipc: Box<dyn IpcMechanism>) -> Self {
+    /// A world using IPC system `ipc`.
+    pub fn new(ipc: Box<dyn IpcSystem>) -> Self {
         World {
             cycles: 0,
             cost: CostModel::u500(),
@@ -98,12 +104,12 @@ impl World {
         }
     }
 
-    /// Name of the active mechanism.
+    /// Name of the active system.
     pub fn ipc_name(&self) -> String {
         self.ipc.name()
     }
 
-    /// Whether the active mechanism hands messages over without copies.
+    /// Whether the active system hands messages over without copies.
     pub fn handover(&self) -> bool {
         self.ipc.supports_handover()
     }
@@ -111,24 +117,26 @@ impl World {
     /// Charge one IPC round trip carrying `request` bytes out and
     /// `response` bytes back.
     pub fn ipc_roundtrip(&mut self, request: u64, response: u64) {
-        let c = self.ipc.roundtrip(request, response);
-        self.charge_ipc(request + response, c);
+        let inv = self.ipc.roundtrip(request as usize, response as usize);
+        self.charge_ipc(request + response, inv);
     }
 
     /// Charge a one-way IPC (calls into a chain that will not reply yet).
     pub fn ipc_oneway(&mut self, bytes: u64) {
-        let c = self.ipc.oneway(bytes);
-        self.charge_ipc(bytes, c);
+        let inv = self
+            .ipc
+            .oneway(bytes as usize, &crate::ledger::InvokeOpts::call());
+        self.charge_ipc(bytes, inv);
     }
 
-    fn charge_ipc(&mut self, payload: u64, c: IpcCost) {
-        self.cycles += c.cycles;
-        self.stats.ipc_cycles += c.cycles;
-        let transfer = self.cost.copy_cycles(c.copied_bytes);
-        self.stats.ipc_transfer_cycles += transfer.min(c.cycles);
-        self.stats.events.push((payload, c.cycles));
+    fn charge_ipc(&mut self, payload: u64, inv: Invocation) {
+        self.cycles += inv.total;
+        self.stats.ipc_cycles += inv.total;
+        self.stats.ipc_transfer_cycles += inv.ledger.get(Phase::Transfer);
+        self.stats.events.push((payload, inv.total));
         self.stats.ipc_count += 1;
         self.stats.payload_bytes += payload;
+        self.stats.ledger.merge(&inv.ledger);
     }
 
     /// Charge non-IPC compute cycles.
@@ -172,18 +180,20 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ipc::IpcCost;
+    use crate::ledger::{CycleLedger, InvokeOpts};
 
     struct Fixed;
-    impl IpcMechanism for Fixed {
+    impl IpcSystem for Fixed {
         fn name(&self) -> String {
             "fixed".into()
         }
-        fn oneway(&self, bytes: u64) -> IpcCost {
-            IpcCost {
-                cycles: 100 + bytes,
-                copied_bytes: bytes,
-            }
+        fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::from_ledger(
+                CycleLedger::new()
+                    .with(Phase::Trap, 100)
+                    .with(Phase::Transfer, msg_len as u64),
+                msg_len as u64,
+            )
         }
     }
 
@@ -212,6 +222,16 @@ mod tests {
         assert!((cdf[0].1 - 110.0 / total).abs() < 1e-9);
         assert!((cdf[1].1 - 110.0 / total).abs() < 1e-9);
         assert!((cdf[2].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_attribution_comes_from_the_ledger() {
+        let mut w = world();
+        w.ipc_oneway(40);
+        assert_eq!(w.stats.ipc_transfer_cycles, 40);
+        assert_eq!(w.stats.ledger.get(Phase::Trap), 100);
+        assert_eq!(w.stats.ledger.get(Phase::Transfer), 40);
+        assert_eq!(w.stats.ledger.total(), w.stats.ipc_cycles);
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Request-distribution generators: zipfian (with YCSB's scrambling),
 //! latest, and uniform.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::Rng;
 
 /// The YCSB zipfian constant.
 pub const ZIPFIAN_CONSTANT: f64 = 0.99;
@@ -37,8 +36,8 @@ impl ZipfianGen {
     }
 
     /// Draw the next item (0 is the hottest).
-    pub fn next(&self, rng: &mut StdRng) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn next(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -81,7 +80,7 @@ impl ScrambledZipfian {
     }
 
     /// Draw the next (scrambled) item.
-    pub fn next(&self, rng: &mut StdRng) -> u64 {
+    pub fn next(&self, rng: &mut Rng) -> u64 {
         fnv_hash64(self.inner.next(rng)) % self.items
     }
 }
@@ -99,8 +98,8 @@ impl UniformGen {
     }
 
     /// Draw the next item.
-    pub fn next(&self, rng: &mut StdRng) -> u64 {
-        rng.gen_range(0..self.items)
+    pub fn next(&self, rng: &mut Rng) -> u64 {
+        rng.below(self.items)
     }
 }
 
@@ -121,7 +120,7 @@ impl LatestGen {
     }
 
     /// Draw, favouring keys close to `max_item`.
-    pub fn next(&self, rng: &mut StdRng, max_item: u64) -> u64 {
+    pub fn next(&self, rng: &mut Rng, max_item: u64) -> u64 {
         let back = self.zipf.next(rng);
         max_item.saturating_sub(back)
     }
@@ -130,10 +129,9 @@ impl LatestGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! Deterministic given a seed, so every figure regenerates bit-for-bit.
 
 pub mod generator;
+pub mod rng;
 pub mod workload;
 
 pub use generator::{LatestGen, ScrambledZipfian, UniformGen, ZipfianGen};
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use workload::{Op, Workload, WorkloadSpec};

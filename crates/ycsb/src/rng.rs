@@ -1,0 +1,147 @@
+//! In-tree pseudo-random number generation: SplitMix64 seeding and
+//! xoshiro256** generation.
+//!
+//! The workload generators need a small, fast, seedable PRNG with good
+//! statistical quality — nothing cryptographic. Keeping it in-tree keeps
+//! the whole workspace buildable with zero external crates (the offline
+//! build policy; see DESIGN.md). Algorithms: Vigna's SplitMix64 (used to
+//! expand a 64-bit seed into the 256-bit xoshiro state, as its authors
+//! recommend) and xoshiro256** 1.0.
+
+/// SplitMix64: a tiny 64-bit PRNG, mainly used here as a seed expander.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed directly from a 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workloads' generator. 256 bits of state, period
+/// 2^256 − 1, passes BigCrush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+/// The default generator type used throughout the workloads.
+pub type Rng = Xoshiro256StarStar;
+
+impl Xoshiro256StarStar {
+    /// Seed via SplitMix64 expansion of `seed` (never yields the
+    /// all-zero state, which xoshiro cannot escape).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 high bits of the next output).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)` via 128-bit widening multiply
+    /// (Lemire's method without the rejection step — the bias is
+    /// ≤ n/2^64, irrelevant for workload generation).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// One uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // First outputs for seed 0, from Vigna's reference C code.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(sm.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(sm.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_looks_uniform() {
+        let mut r = Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((0.47..0.53).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_flat() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            counts[v as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn bytes_cover_the_range() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[r.byte() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all byte values reachable");
+    }
+}

@@ -1,8 +1,7 @@
 //! The six core workload mixes and the operation stream generator.
 
 use crate::generator::{LatestGen, ScrambledZipfian, UniformGen};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// One database operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,29 +90,29 @@ impl WorkloadSpec {
     }
 
     /// A full row payload (fields concatenated, deterministic content).
-    pub fn row_bytes(&self, rng: &mut StdRng) -> Vec<u8> {
+    pub fn row_bytes(&self, rng: &mut Rng) -> Vec<u8> {
         let mut row = Vec::with_capacity(self.fields * self.field_len);
         for _ in 0..self.fields * self.field_len {
-            row.push(rng.gen());
+            row.push(rng.byte());
         }
         row
     }
 
     /// One field's worth of fresh bytes (update payload).
-    pub fn field_bytes(&self, rng: &mut StdRng) -> Vec<u8> {
-        (0..self.field_len).map(|_| rng.gen()).collect()
+    pub fn field_bytes(&self, rng: &mut Rng) -> Vec<u8> {
+        (0..self.field_len).map(|_| rng.byte()).collect()
     }
 
     /// Generate the operation stream.
     pub fn generate(&self) -> Vec<Op> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let zipf = ScrambledZipfian::new(self.records);
         let latest = LatestGen::new(self.records);
         let scan_len = UniformGen::new(100);
         let mut max_insert = self.records - 1;
         let mut ops = Vec::with_capacity(self.ops as usize);
         for _ in 0..self.ops {
-            let p: f64 = rng.gen();
+            let p = rng.next_f64();
             let op = match self.workload {
                 Workload::A => {
                     if p < 0.5 {
@@ -234,7 +233,7 @@ mod tests {
     #[test]
     fn rows_have_spec_size() {
         let spec = WorkloadSpec::paper(Workload::A);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(spec.row_bytes(&mut rng).len(), 1000);
         assert_eq!(spec.field_bytes(&mut rng).len(), 100);
     }

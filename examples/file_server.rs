@@ -8,9 +8,9 @@
 
 use xpc_repro::kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
 use xpc_repro::services::fs::{FsClient, Xv6Fs};
-use xpc_repro::simos::{IpcMechanism, World};
+use xpc_repro::simos::{IpcSystem, World};
 
-fn run_one(mech: Box<dyn IpcMechanism>, buf: u64) -> (String, f64, f64) {
+fn run_one(mech: Box<dyn IpcSystem>, buf: u64) -> (String, f64, f64) {
     let name = mech.name();
     let mut w = World::new(mech);
     let mut fs = Xv6Fs::mkfs(&mut w, 1 << 14);
@@ -43,7 +43,7 @@ fn main() {
     let buf = 16384;
     println!("xv6fs over ramdisk, {}KB buffers, journaling on:\n", buf / 1024);
     println!("{:<16} {:>12} {:>12}", "system", "read MB/s", "write MB/s");
-    let systems: Vec<Box<dyn IpcMechanism>> = vec![
+    let systems: Vec<Box<dyn IpcSystem>> = vec![
         Box::new(Zircon::new()),
         Box::new(XpcIpc::zircon_xpc()),
         Box::new(Sel4::new(Sel4Transfer::OneCopy)),

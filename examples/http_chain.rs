@@ -10,7 +10,7 @@ use xpc_repro::kernels::{XpcIpc, Zircon};
 use xpc_repro::services::aes::{Aes128, AesServer};
 use xpc_repro::services::filecache::FileCache;
 use xpc_repro::services::http::{http_throughput_ops, HttpServer, Status};
-use xpc_repro::simos::{IpcMechanism, World};
+use xpc_repro::simos::{IpcSystem, World};
 
 fn build_server(encrypt: bool) -> HttpServer {
     let mut cache = FileCache::new();
@@ -42,7 +42,7 @@ fn main() {
         "configuration", "Zircon ops/s", "XPC ops/s", "speedup"
     );
     for encrypt in [false, true] {
-        let mechs: [(&str, Box<dyn IpcMechanism>); 2] = [
+        let mechs: [(&str, Box<dyn IpcSystem>); 2] = [
             ("Zircon", Box::new(Zircon::new())),
             ("Zircon-XPC", Box::new(XpcIpc::zircon_xpc())),
         ];

@@ -1,9 +1,15 @@
 //! Property-based tests on the core data structures and invariants.
+//!
+//! Gated behind the off-by-default `proptest` feature: enabling it
+//! requires adding the external `proptest` crate back to this package's
+//! dev-dependencies (kept out of the graph by the offline build policy).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use xpc_repro::services::aes::Aes128;
 use xpc_repro::services::fs::Xv6Fs;
-use xpc_repro::simos::ipc::{IpcCost, IpcMechanism};
+use xpc_repro::simos::ipc::IpcSystem;
+use xpc_repro::simos::ledger::{Invocation, InvokeOpts, Phase};
 use xpc_repro::xpc::handover::shrink_windows;
 use xpc_repro::xpc::layout::{RELAY_REGION_LEN, RELAY_REGION_VA};
 use xpc_repro::xpc::palloc::FrameAlloc;
@@ -11,15 +17,12 @@ use xpc_repro::xpc::seg::{SegOwner, SegRegistry};
 use xpc_repro::xpc_engine::{SegMask, SegReg};
 
 struct FreeIpc;
-impl IpcMechanism for FreeIpc {
+impl IpcSystem for FreeIpc {
     fn name(&self) -> String {
         "free".into()
     }
-    fn oneway(&self, _b: u64) -> IpcCost {
-        IpcCost {
-            cycles: 1,
-            copied_bytes: 0,
-        }
+    fn oneway(&mut self, _msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+        Invocation::single(Phase::Trap, 1)
     }
 }
 
