@@ -9,6 +9,9 @@ export RUSTFLAGS="-D warnings"
 echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
 
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests =="
 cargo test -q --workspace
 

@@ -49,7 +49,8 @@ fn main() {
             .into_iter()
             .map(|(name, inv)| (name.to_string(), inv))
             .collect();
-        let doc = sweep::json_dump(&rows, &[("fig5", fig5)]);
+        let scale = experiments::scale::json_section();
+        let doc = sweep::json_dump(&rows, &[("fig5", fig5)], &[("scale", scale)]);
         let path = "BENCH_figures.json";
         std::fs::write(path, &doc).expect("write BENCH_figures.json");
         eprintln!(

@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scale;
 pub mod table1;
 pub mod table3;
 pub mod table4;
@@ -85,6 +86,7 @@ pub fn all() -> Vec<Experiment> {
         ("table6", table6::run),
         ("table7", table7::run),
         ("ablations", ablations::run),
+        ("scale", scale::run),
     ]
 }
 
@@ -106,7 +108,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_17_experiments() {
-        assert_eq!(all().len(), 17);
+    fn registry_has_all_18_experiments() {
+        assert_eq!(all().len(), 18);
     }
 }

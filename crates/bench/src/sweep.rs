@@ -136,8 +136,14 @@ fn json_invocation(msg_len: usize, inv: &Invocation) -> String {
 
 /// Serialize sweep rows plus extra labelled invocations (e.g. the Figure 5
 /// ablation ladder) as the `BENCH_figures.json` document: per-system,
-/// per-size, per-phase cycle attributions.
-pub fn json_dump(rows: &[SweepRow], extra: &[(&str, Vec<(String, Invocation)>)]) -> String {
+/// per-size, per-phase cycle attributions. `raw` appends pre-rendered
+/// JSON values as further top-level sections (e.g. the scale-out grid,
+/// whose rows are load reports rather than invocations).
+pub fn json_dump(
+    rows: &[SweepRow],
+    extra: &[(&str, Vec<(String, Invocation)>)],
+    raw: &[(&str, String)],
+) -> String {
     let mut out = String::from("{\n  \"systems\": [\n");
     let systems = rows
         .iter()
@@ -172,6 +178,9 @@ pub fn json_dump(rows: &[SweepRow], extra: &[(&str, Vec<(String, Invocation)>)])
             .join(",\n");
         out.push_str(&items);
         out.push_str("\n  ]");
+    }
+    for (key, value) in raw {
+        out.push_str(&format!(",\n  \"{}\": {value}", json_escape(key)));
     }
     out.push_str("\n}\n");
     out
@@ -220,12 +229,14 @@ mod tests {
         let mut s = Sel4::new(Sel4Transfer::OneCopy);
         let rows = sweep(vec![Box::new(Sel4::new(Sel4Transfer::OneCopy))], &[0, 64], &InvokeOpts::call());
         let extra = vec![("fig5", vec![("bar".to_string(), s.oneway(0, &InvokeOpts::call()))])];
-        let j = json_dump(&rows, &extra);
+        let raw = vec![("scale", "[{\"x\": 1}]".to_string())];
+        let j = json_dump(&rows, &extra, &raw);
         assert!(j.starts_with("{\n"));
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\"seL4-onecopy\""), "{j}");
         assert!(j.contains(&format!("\"{}\"", Phase::Trap.key())));
         assert!(j.contains("\"fig5\""));
+        assert!(j.contains("\"scale\": [{\"x\": 1}]"));
         // Balanced braces/brackets — a cheap well-formedness proxy.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

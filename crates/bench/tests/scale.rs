@@ -1,0 +1,48 @@
+//! The scale-out experiment end to end: determinism of the seeded load
+//! generator, the §5.2 scale-out story in the numbers, and the JSON
+//! section's shape.
+
+use xpc_bench::experiments::scale;
+
+#[test]
+fn same_seed_reproduces_the_whole_grid() {
+    // Everything — virtual clocks, placement, percentiles — is seeded
+    // and deterministic, so two full grid runs are bit-identical.
+    assert_eq!(scale::results(), scale::results());
+}
+
+#[test]
+fn xpc_round_robin_beats_its_same_core_placement() {
+    let rows = scale::results();
+    let cell = |sys: &str, pol: &str| {
+        rows.iter()
+            .find(|r| r.system == sys && r.policy == pol)
+            .unwrap_or_else(|| panic!("missing cell {sys}/{pol}"))
+            .throughput_rps
+    };
+    assert!(cell("seL4-XPC", "round-robin") > cell("seL4-XPC", "same-core"));
+    assert!(cell("Zircon-XPC", "round-robin") > cell("Zircon-XPC", "same-core"));
+}
+
+#[test]
+fn json_section_has_the_grid_and_the_metrics() {
+    let s = scale::json_section();
+    assert!(s.trim_start().starts_with('['));
+    assert!(s.trim_end().ends_with(']'));
+    assert_eq!(s.matches("\"system\"").count(), 16, "4 mechanisms x 4 policies");
+    for key in [
+        "\"policy\"",
+        "\"cores\": 4",
+        "\"throughput_rps\"",
+        "\"p50_us\"",
+        "\"p95_us\"",
+        "\"p99_us\"",
+        "\"cross_core_fraction\"",
+    ] {
+        assert!(s.contains(key), "missing {key} in {s}");
+    }
+    for policy in ["same-core", "pinned", "round-robin", "least-loaded"] {
+        assert!(s.contains(policy), "missing policy {policy}");
+    }
+    assert_eq!(s.matches('{').count(), s.matches('}').count());
+}

@@ -27,6 +27,7 @@ pub use zircon::{Channel, ChannelError, Zircon};
 // `kernels::IpcSystem` without also depending on `simos`.
 pub use simos::ipc::IpcSystem;
 pub use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
+pub use simos::multicore::{CrossCore, XCoreCost};
 
 /// Convenience: the systems of the core evaluation (Figures 6–8), boxed.
 pub fn all_systems() -> Vec<Box<dyn IpcSystem>> {
@@ -53,6 +54,18 @@ pub fn full_roster() -> Vec<Box<dyn IpcSystem>> {
     v.push(Box::new(BinderIpc::new(BinderSystem::BinderXpc, false)));
     v.push(Box::new(BinderIpc::new(BinderSystem::AshmemXpc, true)));
     v
+}
+
+/// The full roster priced as *cross-core* calls: every system wrapped in
+/// the §5.2 [`CrossCore`] adapter (IPI + remote wakeup + cache-line
+/// transfer; zero for thread-migrating designs). This is what makes the
+/// 81–141× / ~60× ratio bands testable over all 12 systems instead of
+/// two hand-rolled variants.
+pub fn full_roster_cross_core() -> Vec<Box<dyn IpcSystem>> {
+    full_roster()
+        .into_iter()
+        .map(|s| Box::new(CrossCore::new(s)) as Box<dyn IpcSystem>)
+        .collect()
 }
 
 #[cfg(test)]

@@ -84,6 +84,13 @@ impl IpcSystem for XpcIpc {
     fn supports_handover(&self) -> bool {
         true
     }
+
+    /// §5.2 "Multi-core IPC": `xcall` migrates the calling thread into
+    /// the server's address space on the *caller's* core — no IPI, no
+    /// remote wakeup — so the `CrossCore` adapter surcharges it zero.
+    fn migrating_threads(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

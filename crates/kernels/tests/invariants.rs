@@ -2,8 +2,12 @@
 //! grids (the former `proptest` suites are gated off by the offline
 //! build policy — these cover the same ground deterministically).
 
-use kernels::{full_roster, InvokeOpts, Phase};
+use kernels::{
+    full_roster, full_roster_cross_core, CrossCore, InvokeOpts, Phase, Sel4, Sel4Transfer,
+    XCoreCost, XpcIpc, Zircon,
+};
 use simos::cost::CostModel;
+use simos::ipc::IpcSystem;
 use simos::transport::Transport;
 
 /// Size axis: boundary values of every transfer regime (register path,
@@ -84,6 +88,86 @@ fn u500_calibration_bands_hold() {
     let s4k = (664.0 + 4010.0) / xpc;
     assert!((4.5..6.5).contains(&s0), "0B speedup {s0:.1} (paper: 5x)");
     assert!((30.0..40.0).contains(&s4k), "4KB speedup {s4k:.1} (paper: 37x)");
+}
+
+#[test]
+fn cross_core_adapter_grid_over_the_full_roster() {
+    // Every roster system, wrapped by the §5.2 CrossCore adapter, over
+    // every size regime: the wrapped call costs exactly the inner call
+    // plus the surcharge (zero for thread-migrating designs), the ledger
+    // invariant holds, and the CrossCore span is always present.
+    let xc = XCoreCost::u500();
+    for (mut plain, mut cross) in full_roster().into_iter().zip(full_roster_cross_core()) {
+        assert_eq!(cross.name(), format!("{}+xcore", plain.name()));
+        assert_eq!(cross.supports_handover(), plain.supports_handover());
+        for bytes in SIZES {
+            let inner = plain.oneway(bytes, &InvokeOpts::call());
+            let wrapped = cross.oneway(bytes, &InvokeOpts::call());
+            let extra = if plain.migrating_threads() {
+                0
+            } else {
+                xc.hop_extra(bytes as u64)
+            };
+            assert_eq!(
+                wrapped.total,
+                inner.total + extra,
+                "{} at {bytes}B",
+                cross.name()
+            );
+            assert_eq!(wrapped.ledger.total(), wrapped.total, "{}", cross.name());
+            assert_eq!(wrapped.ledger.get(Phase::CrossCore), extra);
+            assert!(
+                wrapped.ledger.spans().iter().any(|(p, _)| *p == Phase::CrossCore),
+                "{}: CrossCore span must be recorded even at zero cost",
+                cross.name()
+            );
+            assert_eq!(wrapped.copied_bytes, inner.copied_bytes);
+        }
+    }
+}
+
+#[test]
+fn section_5_2_cross_core_ratio_bands() {
+    // §5.2: cross-core seL4 is 81–141× an XPC call; Zircon is ~60× —
+    // priced through the generic adapter, not hand-rolled variants.
+    let xpc0 = XpcIpc::sel4_xpc().oneway(0, &InvokeOpts::call()).total as f64;
+    let mut sel4_xc = CrossCore::new(Box::new(Sel4::new(Sel4Transfer::OneCopy)));
+    for bytes in [0usize, 4096] {
+        let ratio = sel4_xc.oneway(bytes, &InvokeOpts::call()).total as f64 / xpc0;
+        assert!(
+            (81.0..=141.0).contains(&ratio),
+            "seL4 cross-core at {bytes}B: {ratio:.1}x (paper: 81-141x)"
+        );
+    }
+    let zircon = Zircon::new().oneway(0, &InvokeOpts::call()).total as f64;
+    let z_ratio = zircon / xpc0;
+    assert!((55.0..=65.0).contains(&z_ratio), "Zircon: {z_ratio:.1}x (~60x)");
+    // XPC itself crosses cores for free: the adapter must not change it.
+    let mut xpc_xc = CrossCore::new(Box::new(XpcIpc::sel4_xpc()));
+    assert_eq!(xpc_xc.oneway(4096, &InvokeOpts::call()).total as f64, xpc0);
+}
+
+#[test]
+fn adapter_reproduces_the_hand_rolled_variants() {
+    // The generic adapter and the legacy `Sel4::cross_core` /
+    // `Zircon::cross_core` constructors must agree where both exist
+    // (0 B: the hand-rolled variants charge only the constant part).
+    let mut a = CrossCore::new(Box::new(Sel4::new(Sel4Transfer::TwoCopy)));
+    let mut b = Sel4::cross_core(Sel4Transfer::TwoCopy);
+    let ia = a.oneway(0, &InvokeOpts::call());
+    let ib = b.oneway(0, &InvokeOpts::call());
+    assert_eq!(ia.total, ib.total);
+    assert_eq!(
+        ia.ledger.get(Phase::CrossCore),
+        ib.ledger.get(Phase::CrossCore)
+    );
+
+    let mut a = CrossCore::new(Box::new(Zircon::new()));
+    let mut b = Zircon::cross_core();
+    assert_eq!(
+        a.oneway(0, &InvokeOpts::call()).total,
+        b.oneway(0, &InvokeOpts::call()).total
+    );
 }
 
 #[test]

@@ -8,7 +8,18 @@
 
 use crate::aes::AesServer;
 use crate::filecache::FileCache;
-use simos::World;
+use simos::{Step, World};
+
+/// Service index of the client in the [`chain_steps`] recipe.
+pub const SVC_CLIENT: usize = 0;
+/// Service index of the HTTP server.
+pub const SVC_HTTP: usize = 1;
+/// Service index of the file-cache server.
+pub const SVC_CACHE: usize = 2;
+/// Service index of the AES server.
+pub const SVC_AES: usize = 3;
+/// Number of services in the chain recipe (client included).
+pub const CHAIN_SERVICES: usize = 4;
 
 /// A parsed HTTP request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,6 +178,81 @@ pub fn http_mixed_workload(
     (total as f64 / secs, ok, not_found)
 }
 
+/// The [`HttpServer::handle`] chain as a placement-agnostic recipe: the
+/// exact sequence of hops and compute a successful `GET path` charges,
+/// attributed to [`SVC_CLIENT`]/[`SVC_HTTP`]/[`SVC_CACHE`]/[`SVC_AES`],
+/// for replay on a [`simos::MultiWorld`] under any placement policy.
+///
+/// `handover` must match `supports_handover()` of the system the steps
+/// will run on — the chain's control-reply shortcuts depend on it (see
+/// `ipc_reply_payload` below). The anchoring test below pins this
+/// recipe to `handle()` cycle-for-cycle on a single core.
+pub fn chain_steps(path: &str, file_len: u64, encrypt: bool, handover: bool) -> Vec<Step> {
+    let raw_len = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").len() as u64;
+    let header_len = format!(
+        "{}\r\nContent-Length: {}\r\n\r\n",
+        Status::Ok.line(),
+        file_len
+    )
+    .len() as u64;
+    let reply = if handover { 16 } else { file_len };
+    let mut steps = vec![
+        Step::Oneway {
+            from: SVC_CLIENT,
+            to: SVC_HTTP,
+            bytes: raw_len,
+        },
+        Step::Compute {
+            at: SVC_HTTP,
+            cycles: 200,
+        },
+        Step::Roundtrip {
+            from: SVC_HTTP,
+            to: SVC_CACHE,
+            request: path.len() as u64,
+            response: 0,
+        },
+        Step::Compute {
+            at: SVC_CACHE,
+            cycles: 120,
+        },
+        Step::DataPass {
+            at: SVC_CACHE,
+            bytes: file_len,
+            intensity_x10: 10,
+        },
+        Step::Oneway {
+            from: SVC_CACHE,
+            to: SVC_HTTP,
+            bytes: reply,
+        },
+    ];
+    if encrypt {
+        let leg = if handover { 16 } else { file_len };
+        steps.push(Step::Roundtrip {
+            from: SVC_HTTP,
+            to: SVC_AES,
+            request: leg,
+            response: leg,
+        });
+        steps.push(Step::DataPass {
+            at: SVC_AES,
+            bytes: file_len,
+            intensity_x10: 25,
+        });
+    }
+    steps.push(Step::Compute {
+        at: SVC_HTTP,
+        cycles: 150,
+    });
+    steps.push(Step::Oneway {
+        from: SVC_HTTP,
+        to: SVC_CLIENT,
+        bytes: header_len + file_len,
+    });
+    steps
+}
+
 /// World extensions used by the chain: payload-bearing replies and
 /// chain hops that a handover mechanism carries for free.
 trait ChainIpc {
@@ -264,6 +350,52 @@ mod tests {
         assert!(ops > 0.0);
         assert_eq!(ok, 5);
         assert_eq!(nf, 2);
+    }
+
+    #[test]
+    fn chain_steps_is_anchored_to_handle() {
+        // The recipe must price exactly what `handle()` charges — for a
+        // copying system and a handover system, with and without AES.
+        // Replay on a 1-core MultiWorld (no cross-core surcharge) must
+        // land on the same cycle count as the real server.
+        use kernels::{Sel4, Sel4Transfer, XpcIpc};
+        use simos::load::run_request;
+        use simos::MultiWorld;
+
+        let path = "/index.html";
+        let file = b"<html><body>42</body></html>".to_vec();
+        let raw = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
+
+        type Mk = fn() -> Box<dyn IpcSystem>;
+        let mks: [Mk; 2] = [
+            || Box::new(Sel4::new(Sel4Transfer::OneCopy)),
+            || Box::new(XpcIpc::sel4_xpc()),
+        ];
+        for mk in mks {
+            for encrypt in [false, true] {
+                let mut w = simos::World::new(mk());
+                let mut cache = FileCache::new();
+                cache.put(path, file.clone());
+                let aes = encrypt.then(|| AesServer::new(b"0123456789abcdef"));
+                let mut s = HttpServer::new(cache, aes);
+                let (st, _) = s.handle(&mut w, &raw);
+                assert_eq!(st, Status::Ok);
+
+                let handover = mk().supports_handover();
+                let steps = chain_steps(path, file.len() as u64, encrypt, handover);
+                let mut mw = MultiWorld::new(1, mk);
+                let (done, ledger) =
+                    run_request(&mut mw, &[0; CHAIN_SERVICES], &steps, 0);
+                assert_eq!(
+                    done,
+                    w.cycles,
+                    "recipe diverged from handle() (handover={handover}, aes={encrypt})"
+                );
+                // The request ledger carries the IPC phases only —
+                // compute lands in the clock, exactly as in `World`.
+                assert_eq!(ledger.total(), w.stats.ipc_cycles);
+            }
+        }
     }
 
     #[test]

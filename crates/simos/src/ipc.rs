@@ -67,6 +67,15 @@ pub trait IpcSystem {
     fn supports_handover(&self) -> bool {
         false
     }
+
+    /// Whether a call migrates the calling thread onto the callee's
+    /// address space on the *caller's* core, so crossing cores costs the
+    /// same as staying (§5.2 "Multi-core IPC": `xcall` needs no IPI or
+    /// remote wakeup). Message-passing kernels return `false` and pay the
+    /// [`CrossCore`](crate::multicore::CrossCore) surcharge.
+    fn migrating_threads(&self) -> bool {
+        false
+    }
 }
 
 impl IpcSystem for Box<dyn IpcSystem> {
@@ -78,6 +87,9 @@ impl IpcSystem for Box<dyn IpcSystem> {
     }
     fn supports_handover(&self) -> bool {
         (**self).supports_handover()
+    }
+    fn migrating_threads(&self) -> bool {
+        (**self).migrating_threads()
     }
 }
 

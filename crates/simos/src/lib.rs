@@ -19,15 +19,24 @@
 //!   security properties from Table 7;
 //! * [`world::World`] — a charging context that services run against,
 //!   splitting time into IPC vs non-IPC (exactly the Figure 1(a)
-//!   measurement) and recording a message-size histogram (Figure 1(b)).
+//!   measurement) and recording a message-size histogram (Figure 1(b));
+//! * [`multicore`] — N per-core worlds with §5.2 cross-core call pricing
+//!   (the [`multicore::CrossCore`] adapter works over *any* system) and
+//!   placement policies;
+//! * [`load`] — a deterministic closed-loop traffic generator reporting
+//!   throughput and p50/p95/p99 latency from per-request ledgers.
 
 pub mod cost;
 pub mod ipc;
 pub mod ledger;
+pub mod load;
+pub mod multicore;
 pub mod transport;
 pub mod world;
 
 pub use cost::CostModel;
 pub use ipc::{IpcCost, IpcSystem};
 pub use ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
+pub use load::{LoadGen, LoadReport, Step};
+pub use multicore::{CoreId, CrossCore, MultiWorld, Placement, XCoreCost};
 pub use world::{World, WorldStats};

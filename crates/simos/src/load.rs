@@ -1,0 +1,383 @@
+//! Deterministic closed-loop load generation over a [`MultiWorld`].
+//!
+//! The §5.4 evaluation serves one request at a time; the ROADMAP's
+//! north star is a system under *concurrent* load. This module drives
+//! request recipes (sequences of [`Step`]s in service-id space) through
+//! N cores in virtual time:
+//!
+//! * **closed loop** — a fixed population of clients; each client issues
+//!   its next request only after the previous one completes (plus think
+//!   time), the standard closed queueing model;
+//! * **deterministic** — request ordering is "lowest ready-time first,
+//!   ties to the lowest client index", and the only randomness is the
+//!   in-tree seeded [`ycsb::rng`], so the same seed reproduces the same
+//!   percentile report bit for bit;
+//! * **ledger-derived** — every hop returns an [`Invocation`]; a
+//!   request's latency is the virtual-time span from issue to last step
+//!   (queueing included), and the report's phase breakdown (how much of
+//!   the fleet's IPC time was cross-core, transfer, …) is the merged
+//!   per-request ledger.
+
+use crate::ledger::{CycleLedger, InvokeOpts, Phase};
+use crate::multicore::{CoreId, MultiWorld, Placement};
+use ycsb::rng::Rng;
+
+/// One step of a request recipe. Services are abstract indices; the
+/// [`Placement`] maps them to cores per request (service 0 is the
+/// client by convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// A one-way IPC from `from` to `to` carrying `bytes`.
+    Oneway {
+        /// Sending service.
+        from: usize,
+        /// Receiving (and serving) service.
+        to: usize,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A synchronous round trip from `from` into `to`.
+    Roundtrip {
+        /// Calling service.
+        from: usize,
+        /// Serving service.
+        to: usize,
+        /// Request payload bytes.
+        request: u64,
+        /// Response payload bytes.
+        response: u64,
+    },
+    /// Fixed compute at a service.
+    Compute {
+        /// Computing service.
+        at: usize,
+        /// Cycles.
+        cycles: u64,
+    },
+    /// One pass over data at a service (`intensity_x10 / 10` ×
+    /// memcpy-grade cycles per byte).
+    DataPass {
+        /// Computing service.
+        at: usize,
+        /// Bytes touched.
+        bytes: u64,
+        /// Cost multiplier ×10.
+        intensity_x10: u64,
+    },
+}
+
+/// Closed-loop generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadGen {
+    /// Concurrent clients (closed population).
+    pub clients: usize,
+    /// Total requests to issue across all clients.
+    pub requests: u64,
+    /// Seed for recipe selection (and nothing else).
+    pub seed: u64,
+    /// Client think time between a completion and the next issue.
+    pub think_cycles: u64,
+}
+
+impl Default for LoadGen {
+    fn default() -> Self {
+        LoadGen {
+            clients: 16,
+            requests: 400,
+            seed: 0x59c5_bdad,
+            think_cycles: 0,
+        }
+    }
+}
+
+/// The percentile report of one load run. All quantities derive from
+/// per-request virtual-time spans and merged invocation ledgers; two
+/// runs with the same seed produce identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// IPC system under test.
+    pub system: String,
+    /// Placement policy label.
+    pub policy: &'static str,
+    /// Cores in the world.
+    pub cores: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Virtual time of the last completion.
+    pub makespan_cycles: u64,
+    /// Busy cycles summed over cores (utilization numerator).
+    pub busy_cycles: u64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Mean request latency (µs).
+    pub mean_us: f64,
+    /// Median request latency (µs).
+    pub p50_us: f64,
+    /// 95th-percentile request latency (µs).
+    pub p95_us: f64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: f64,
+    /// Phase ledger merged over every request's IPC invocations.
+    pub ledger: CycleLedger,
+}
+
+impl LoadReport {
+    /// Fraction of all IPC cycles that were cross-core surcharge.
+    pub fn cross_core_fraction(&self) -> f64 {
+        let total = self.ledger.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.ledger.get(Phase::CrossCore) as f64 / total as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Run one request's steps starting at virtual time `t0` with services
+/// mapped to cores by `map`. Returns the completion time and the merged
+/// IPC ledger of the request.
+pub fn run_request(
+    mw: &mut MultiWorld,
+    map: &[CoreId],
+    steps: &[Step],
+    t0: u64,
+) -> (u64, CycleLedger) {
+    let mut t = t0;
+    let mut ledger = CycleLedger::new();
+    for step in steps {
+        match *step {
+            Step::Oneway { from, to, bytes } => {
+                let (done, inv) =
+                    mw.exec_oneway(map[from], map[to], bytes, &InvokeOpts::call(), t);
+                ledger.merge(&inv.ledger);
+                t = done;
+            }
+            Step::Roundtrip {
+                from,
+                to,
+                request,
+                response,
+            } => {
+                let (done, inv) = mw.exec_roundtrip(map[from], map[to], request, response, t);
+                ledger.merge(&inv.ledger);
+                t = done;
+            }
+            Step::Compute { at, cycles } => {
+                t = mw.exec_compute(map[at], cycles, t);
+            }
+            Step::DataPass {
+                at,
+                bytes,
+                intensity_x10,
+            } => {
+                t = mw.exec_data_pass(map[at], bytes, intensity_x10, t);
+            }
+        }
+    }
+    (t, ledger)
+}
+
+/// Drive `spec.requests` requests from `spec.clients` closed-loop
+/// clients through `mw` under `policy`. Each request uses a recipe drawn
+/// from `recipes` by the seeded RNG; `n_services` is the recipe
+/// service-id space (service 0 is the client).
+pub fn run(
+    mw: &mut MultiWorld,
+    policy: &Placement,
+    n_services: usize,
+    recipes: &[Vec<Step>],
+    spec: &LoadGen,
+) -> LoadReport {
+    assert!(!recipes.is_empty(), "need at least one recipe");
+    assert!(spec.clients > 0, "need at least one client");
+    let mut rng = Rng::seed_from_u64(spec.seed);
+    let mut ready = vec![0u64; spec.clients];
+    let mut latencies = Vec::with_capacity(spec.requests as usize);
+    let mut ledger = CycleLedger::new();
+    let mut makespan = 0u64;
+    for r in 0..spec.requests {
+        // Next issuer: earliest-ready client, ties to the lowest index.
+        let mut c = 0;
+        for i in 1..ready.len() {
+            if ready[i] < ready[c] {
+                c = i;
+            }
+        }
+        let t0 = ready[c];
+        let recipe = &recipes[rng.below(recipes.len() as u64) as usize];
+        let map = policy.assign(r, n_services, mw);
+        let (done, req_ledger) = run_request(mw, &map, recipe, t0);
+        ledger.merge(&req_ledger);
+        latencies.push(done - t0);
+        makespan = makespan.max(done);
+        ready[c] = done + spec.think_cycles;
+    }
+    latencies.sort_unstable();
+    let clock_hz = mw.core(0).cost.clock_hz;
+    let to_us = |cycles: u64| cycles as f64 / clock_hz as f64 * 1e6;
+    let mean = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
+    LoadReport {
+        system: mw.core(0).ipc_name(),
+        policy: policy.label(),
+        cores: mw.n_cores(),
+        clients: spec.clients,
+        requests: spec.requests,
+        makespan_cycles: makespan,
+        busy_cycles: mw.busy_cycles(),
+        throughput_rps: if makespan == 0 {
+            0.0
+        } else {
+            spec.requests as f64 * clock_hz as f64 / makespan as f64
+        },
+        mean_us: mean / clock_hz as f64 * 1e6,
+        p50_us: to_us(percentile(&latencies, 0.50)),
+        p95_us: to_us(percentile(&latencies, 0.95)),
+        p99_us: to_us(percentile(&latencies, 0.99)),
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipc::IpcSystem;
+    use crate::ledger::Invocation;
+
+    struct Fixed;
+    impl IpcSystem for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::from_ledger(
+                CycleLedger::new()
+                    .with(Phase::Trap, 100)
+                    .with(Phase::Transfer, msg_len as u64),
+                msg_len as u64,
+            )
+        }
+    }
+
+    fn recipe() -> Vec<Step> {
+        vec![
+            Step::Oneway {
+                from: 0,
+                to: 1,
+                bytes: 64,
+            },
+            Step::Compute { at: 1, cycles: 500 },
+            Step::Roundtrip {
+                from: 1,
+                to: 2,
+                request: 16,
+                response: 1024,
+            },
+            Step::Oneway {
+                from: 1,
+                to: 0,
+                bytes: 1024,
+            },
+        ]
+    }
+
+    fn spec() -> LoadGen {
+        LoadGen {
+            clients: 4,
+            requests: 100,
+            seed: 7,
+            think_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let run_once = || {
+            let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+            run(&mut mw, &Placement::RoundRobin, 3, &[recipe()], &spec())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_consistent() {
+        let mut mw = MultiWorld::new(2, || Box::new(Fixed));
+        let r = run(&mut mw, &Placement::SameCore, 3, &[recipe()], &spec());
+        assert_eq!(r.requests, 100);
+        assert!(r.makespan_cycles > 0);
+        assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+        assert!(r.throughput_rps > 0.0);
+        // Same-core runs never pay cross-core.
+        assert_eq!(r.ledger.get(Phase::CrossCore), 0);
+    }
+
+    #[test]
+    fn scale_out_wins_once_work_dominates_the_surcharge() {
+        // With heavy per-request compute the cross-core tax is amortized
+        // and 4 cores beat 1; with a tiny request it is not (the §5.2
+        // point: cross-core IPC costs ~10k cycles, so spreading cheap
+        // calls across cores is a loss for message-passing kernels).
+        let mk = || -> Box<dyn IpcSystem> { Box::new(Fixed) };
+        let heavy = {
+            let mut r = recipe();
+            r.push(Step::Compute {
+                at: 1,
+                cycles: 50_000,
+            });
+            r
+        };
+        let mut one = MultiWorld::new(1, mk);
+        let base = run(
+            &mut one,
+            &Placement::SameCore,
+            3,
+            std::slice::from_ref(&heavy),
+            &spec(),
+        );
+        let mut four = MultiWorld::new(4, mk);
+        let scaled = run(&mut four, &Placement::RoundRobin, 3, &[heavy], &spec());
+        assert!(
+            scaled.throughput_rps > base.throughput_rps,
+            "round-robin over 4 cores ({:.0} rps) should beat 1 core ({:.0} rps)",
+            scaled.throughput_rps,
+            base.throughput_rps
+        );
+        // Cross-core hops were actually priced.
+        assert!(scaled.ledger.get(Phase::CrossCore) > 0);
+        assert!(scaled.cross_core_fraction() > 0.0);
+
+        // Tiny requests: the surcharge dominates and scale-out loses.
+        let mut one = MultiWorld::new(1, mk);
+        let base = run(&mut one, &Placement::SameCore, 3, &[recipe()], &spec());
+        let mut four = MultiWorld::new(4, mk);
+        let scaled = run(&mut four, &Placement::RoundRobin, 3, &[recipe()], &spec());
+        assert!(scaled.throughput_rps < base.throughput_rps);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn busy_cycles_bounded_by_cores_times_makespan() {
+        let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+        let r = run(&mut mw, &Placement::LeastLoaded, 3, &[recipe()], &spec());
+        assert!(r.busy_cycles <= r.cores as u64 * r.makespan_cycles);
+    }
+}

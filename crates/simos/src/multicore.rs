@@ -1,0 +1,479 @@
+//! Multi-core scale-out: per-core [`World`]s, cross-core call pricing,
+//! and placement policies.
+//!
+//! §5.2 prices cross-core IPC separately: a cross-core seL4 call is
+//! 81–141× an XPC call because it pays an IPI, a remote wakeup through
+//! the target core's scheduler, and cache-line transfers for the message
+//! — while `xcall` migrates the calling thread on its own core and pays
+//! none of that. This module makes that pricing uniform across every
+//! [`IpcSystem`]:
+//!
+//! * [`XCoreCost`] — the IPI + remote-wakeup + cache-transfer surcharge;
+//! * [`CrossCore`] — an adapter wrapping *any* system so the whole roster
+//!   (not just hand-rolled `+xcore` variants) can be swept same-core vs
+//!   cross-core, charging [`Phase::CrossCore`] into the existing ledger;
+//! * [`MultiWorld`] — N per-core [`World`]s sharing a virtual clock
+//!   discipline: each core is a FIFO server with a `free_at` time, a step
+//!   starts at `max(request_ready, core_free)`, and cross-core hops are
+//!   surcharged unless the system migrates threads.
+//!
+//! [`Placement`] decides which core serves which service; the closed-loop
+//! driver lives in [`crate::load`].
+
+use crate::cost::CostModel;
+use crate::ipc::IpcSystem;
+use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
+use crate::world::World;
+
+/// Index of a core in a [`MultiWorld`].
+pub type CoreId = usize;
+
+/// The cross-core surcharge of §5.2, split into its physical parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XCoreCost {
+    /// Raising and delivering the inter-processor interrupt.
+    pub ipi: u64,
+    /// Remote wakeup: the target core's scheduler dequeues and resumes
+    /// the server thread.
+    pub remote_wakeup: u64,
+    /// Cycles to pull one cache line of payload across the interconnect.
+    pub line_transfer: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl XCoreCost {
+    /// The U500 calibration. The constant part (`ipi + remote_wakeup`)
+    /// equals [`CostModel::u500`]'s `cross_core_base`, so the adapter
+    /// reproduces the hand-rolled `seL4+xcore` / `Zircon+xcore` variants
+    /// exactly at 0 B and lands seL4 in §5.2's 81–141× band.
+    pub fn u500() -> Self {
+        let base = CostModel::u500().cross_core_base;
+        XCoreCost {
+            ipi: 2_000,
+            remote_wakeup: base - 2_000,
+            line_transfer: 50,
+            line_bytes: 64,
+        }
+    }
+
+    /// Surcharge for one hop carrying `payload_bytes` across cores.
+    pub fn hop_extra(&self, payload_bytes: u64) -> u64 {
+        let lines = payload_bytes.div_ceil(self.line_bytes.max(1));
+        self.ipi + self.remote_wakeup + lines * self.line_transfer
+    }
+}
+
+impl Default for XCoreCost {
+    fn default() -> Self {
+        Self::u500()
+    }
+}
+
+/// Adapter pricing an inner [`IpcSystem`]'s calls as *cross-core* calls.
+///
+/// Every hop additionally charges [`Phase::CrossCore`] with
+/// [`XCoreCost::hop_extra`] — zero when the inner system migrates
+/// threads (XPC: the server runs on the client's core, §5.2), so the
+/// span still records that the call crossed cores for free.
+pub struct CrossCore {
+    inner: Box<dyn IpcSystem>,
+    xc: XCoreCost,
+}
+
+impl CrossCore {
+    /// Wrap `inner` with the U500 cross-core surcharge.
+    pub fn new(inner: Box<dyn IpcSystem>) -> Self {
+        CrossCore {
+            inner,
+            xc: XCoreCost::u500(),
+        }
+    }
+
+    /// Wrap `inner` with a custom surcharge.
+    pub fn with_cost(inner: Box<dyn IpcSystem>, xc: XCoreCost) -> Self {
+        CrossCore { inner, xc }
+    }
+}
+
+impl IpcSystem for CrossCore {
+    fn name(&self) -> String {
+        format!("{}+xcore", self.inner.name())
+    }
+
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        let inv = self.inner.oneway(msg_len, opts);
+        let extra = if self.inner.migrating_threads() {
+            0
+        } else {
+            self.xc.hop_extra(msg_len as u64)
+        };
+        let mut ledger = inv.ledger;
+        ledger.charge(Phase::CrossCore, extra);
+        Invocation::from_ledger(ledger, inv.copied_bytes)
+    }
+
+    fn supports_handover(&self) -> bool {
+        self.inner.supports_handover()
+    }
+
+    fn migrating_threads(&self) -> bool {
+        self.inner.migrating_threads()
+    }
+}
+
+/// Which core serves which service (the compartment-placement axis the
+/// scale-out experiments sweep).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Everything on core 0 — the single-core baseline.
+    SameCore,
+    /// Service *i* is pinned to `map[i] % n_cores` — the microkernel
+    /// deployment where every server is a process on its own core.
+    Pinned(Vec<CoreId>),
+    /// Request *r*'s whole chain runs on core `r % n_cores` (the client
+    /// stays on core 0) — dispatch-level round robin.
+    RoundRobin,
+    /// Each request's chain runs on the core that frees up earliest at
+    /// dispatch time (the client stays on core 0).
+    LeastLoaded,
+}
+
+impl Placement {
+    /// Stable label for tables and JSON dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::SameCore => "same-core",
+            Placement::Pinned(_) => "pinned",
+            Placement::RoundRobin => "round-robin",
+            Placement::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Map the `n_services` services of request `r` to cores. Service 0
+    /// is the client; it always sits on core 0.
+    pub fn assign(&self, r: u64, n_services: usize, mw: &MultiWorld) -> Vec<CoreId> {
+        let n = mw.n_cores();
+        match self {
+            Placement::SameCore => vec![0; n_services],
+            Placement::Pinned(map) => {
+                assert!(
+                    map.len() >= n_services,
+                    "pinned map covers {} of {n_services} services",
+                    map.len()
+                );
+                map[..n_services].iter().map(|&c| c % n).collect()
+            }
+            Placement::RoundRobin => {
+                let chain = (r as usize) % n;
+                Self::chain_on(chain, n_services)
+            }
+            Placement::LeastLoaded => Self::chain_on(mw.least_loaded(), n_services),
+        }
+    }
+
+    fn chain_on(chain: CoreId, n_services: usize) -> Vec<CoreId> {
+        let mut map = vec![chain; n_services];
+        if !map.is_empty() {
+            map[0] = 0; // the client
+        }
+        map
+    }
+}
+
+/// N per-core [`World`]s under one virtual-time discipline.
+///
+/// Each core runs its own instance of the IPC system (warm state stays
+/// core-local) and is a FIFO server: work charged at virtual time `t`
+/// starts at `max(t, free_at)`. A hop is charged to the core *serving*
+/// it; a blocked synchronous caller yields its core (that is the whole
+/// point of scale-out), so only the serving core accrues busy time.
+pub struct MultiWorld {
+    cores: Vec<World>,
+    free_at: Vec<u64>,
+    xc: XCoreCost,
+}
+
+impl std::fmt::Debug for MultiWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiWorld")
+            .field("cores", &self.cores.len())
+            .field("free_at", &self.free_at)
+            .finish()
+    }
+}
+
+impl MultiWorld {
+    /// `n_cores` worlds, each with a fresh system from `mk`.
+    pub fn new(n_cores: usize, mk: impl Fn() -> Box<dyn IpcSystem>) -> Self {
+        assert!(n_cores > 0, "a world needs at least one core");
+        MultiWorld {
+            cores: (0..n_cores).map(|_| World::new(mk())).collect(),
+            free_at: vec![0; n_cores],
+            xc: XCoreCost::u500(),
+        }
+    }
+
+    /// Override the cross-core surcharge.
+    #[must_use]
+    pub fn with_xcore_cost(mut self, xc: XCoreCost) -> Self {
+        self.xc = xc;
+        self
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The world of core `i`.
+    pub fn core(&self, i: CoreId) -> &World {
+        &self.cores[i]
+    }
+
+    /// The world of core `i`, mutably.
+    pub fn core_mut(&mut self, i: CoreId) -> &mut World {
+        &mut self.cores[i]
+    }
+
+    /// Virtual time at which core `i` is next free.
+    pub fn free_at(&self, i: CoreId) -> u64 {
+        self.free_at[i]
+    }
+
+    /// The core that frees up earliest (ties break to the lowest index).
+    pub fn least_loaded(&self) -> CoreId {
+        let mut best = 0;
+        for (i, &t) in self.free_at.iter().enumerate() {
+            if t < self.free_at[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Total busy cycles over all cores (utilization numerator).
+    pub fn busy_cycles(&self) -> u64 {
+        self.cores.iter().map(|w| w.cycles).sum()
+    }
+
+    /// Phase ledger merged over every core's IPC accounting.
+    pub fn merged_ledger(&self) -> CycleLedger {
+        let mut l = CycleLedger::new();
+        for w in &self.cores {
+            l.merge(&w.stats.ledger);
+        }
+        l
+    }
+
+    fn surcharge(&self, to: CoreId, cross: bool, bytes: u64, inv: Invocation) -> Invocation {
+        if !cross || self.cores[to].migrating_threads() {
+            return inv;
+        }
+        let mut ledger = inv.ledger;
+        ledger.charge(Phase::CrossCore, self.xc.hop_extra(bytes));
+        Invocation::from_ledger(ledger, inv.copied_bytes)
+    }
+
+    fn exec(&mut self, core: CoreId, ready: u64, cycles: u64) -> u64 {
+        let start = ready.max(self.free_at[core]);
+        let done = start + cycles;
+        self.free_at[core] = done;
+        done
+    }
+
+    /// One one-way hop from `from`'s core to `to`'s core at virtual time
+    /// `ready`, served (and charged) at `to`. Returns the completion time
+    /// and the priced invocation (cross-core surcharge included).
+    pub fn exec_oneway(
+        &mut self,
+        from: CoreId,
+        to: CoreId,
+        bytes: u64,
+        opts: &InvokeOpts,
+        ready: u64,
+    ) -> (u64, Invocation) {
+        let inv = self.cores[to].price_oneway(bytes, opts);
+        let inv = self.surcharge(to, from != to, bytes, inv);
+        let done = self.exec(to, ready, inv.total);
+        self.cores[to].charge_invocation(bytes, inv.clone());
+        (done, inv)
+    }
+
+    /// A synchronous round trip from `from`'s core into `to`'s core: both
+    /// legs priced by the serving core's system, each leg surcharged when
+    /// the call crosses cores, the serving core busy for the whole trip.
+    pub fn exec_roundtrip(
+        &mut self,
+        from: CoreId,
+        to: CoreId,
+        request: u64,
+        response: u64,
+        ready: u64,
+    ) -> (u64, Invocation) {
+        let cross = from != to;
+        let call = self.cores[to].price_oneway(request, &InvokeOpts::call());
+        let call = self.surcharge(to, cross, request, call);
+        let reply = self.cores[to].price_oneway(response, &InvokeOpts::reply_leg());
+        let reply = self.surcharge(to, cross, response, reply);
+        let inv = call.plus(reply);
+        let done = self.exec(to, ready, inv.total);
+        self.cores[to].charge_invocation(request + response, inv.clone());
+        (done, inv)
+    }
+
+    /// Compute at `core`, starting no earlier than `ready`.
+    pub fn exec_compute(&mut self, core: CoreId, cycles: u64, ready: u64) -> u64 {
+        let done = self.exec(core, ready, cycles);
+        self.cores[core].compute(cycles);
+        done
+    }
+
+    /// One pass over `bytes` of data at `core` (memcpy-grade work scaled
+    /// by `intensity_x10 / 10`), starting no earlier than `ready`.
+    pub fn exec_data_pass(
+        &mut self,
+        core: CoreId,
+        bytes: u64,
+        intensity_x10: u64,
+        ready: u64,
+    ) -> u64 {
+        let cycles = self.cores[core].cost.copy_cycles(bytes) * intensity_x10 / 10;
+        self.exec_compute(core, cycles, ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed {
+        base: u64,
+        migrating: bool,
+    }
+
+    impl IpcSystem for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::from_ledger(
+                CycleLedger::new()
+                    .with(Phase::Trap, self.base)
+                    .with(Phase::Transfer, msg_len as u64),
+                msg_len as u64,
+            )
+        }
+        fn migrating_threads(&self) -> bool {
+            self.migrating
+        }
+    }
+
+    fn fixed() -> Box<dyn IpcSystem> {
+        Box::new(Fixed {
+            base: 100,
+            migrating: false,
+        })
+    }
+
+    #[test]
+    fn adapter_adds_the_surcharge_into_the_ledger() {
+        let mut cc = CrossCore::new(fixed());
+        for bytes in [0usize, 64, 4096] {
+            let inv = cc.oneway(bytes, &InvokeOpts::call());
+            let expect = XCoreCost::u500().hop_extra(bytes as u64);
+            assert_eq!(inv.ledger.get(Phase::CrossCore), expect);
+            assert_eq!(inv.total, inv.ledger.total());
+            assert_eq!(inv.total, 100 + bytes as u64 + expect);
+        }
+        assert_eq!(cc.name(), "fixed+xcore");
+    }
+
+    #[test]
+    fn migrating_systems_cross_for_free() {
+        let mut cc = CrossCore::new(Box::new(Fixed {
+            base: 100,
+            migrating: true,
+        }));
+        let inv = cc.oneway(4096, &InvokeOpts::call());
+        assert_eq!(inv.ledger.get(Phase::CrossCore), 0);
+        // The zero-cost span is still recorded: the hop *did* cross.
+        assert!(inv.ledger.spans().iter().any(|(p, _)| *p == Phase::CrossCore));
+        assert_eq!(inv.total, 100 + 4096);
+    }
+
+    #[test]
+    fn surcharge_constant_part_matches_the_cost_model() {
+        let xc = XCoreCost::u500();
+        assert_eq!(
+            xc.ipi + xc.remote_wakeup,
+            CostModel::u500().cross_core_base
+        );
+        assert_eq!(xc.hop_extra(0), CostModel::u500().cross_core_base);
+        assert!(xc.hop_extra(4096) > xc.hop_extra(0));
+    }
+
+    #[test]
+    fn same_core_hops_pay_no_surcharge() {
+        let mut mw = MultiWorld::new(2, fixed);
+        let (done, inv) = mw.exec_oneway(0, 0, 64, &InvokeOpts::call(), 0);
+        assert_eq!(inv.ledger.get(Phase::CrossCore), 0);
+        assert_eq!(done, 164);
+        let (_, inv) = mw.exec_oneway(0, 1, 64, &InvokeOpts::call(), 0);
+        assert_eq!(
+            inv.ledger.get(Phase::CrossCore),
+            XCoreCost::u500().hop_extra(64)
+        );
+    }
+
+    #[test]
+    fn cores_are_fifo_servers() {
+        let mut mw = MultiWorld::new(2, fixed);
+        // Two 100-cycle computes both ready at t=0 on core 0: the second
+        // queues behind the first.
+        assert_eq!(mw.exec_compute(0, 100, 0), 100);
+        assert_eq!(mw.exec_compute(0, 100, 0), 200);
+        // A third on core 1 runs immediately.
+        assert_eq!(mw.exec_compute(1, 100, 0), 100);
+        assert_eq!(mw.free_at(0), 200);
+        assert_eq!(mw.busy_cycles(), 300);
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_idle_core() {
+        let mut mw = MultiWorld::new(3, fixed);
+        mw.exec_compute(0, 500, 0);
+        mw.exec_compute(1, 200, 0);
+        assert_eq!(mw.least_loaded(), 2);
+        mw.exec_compute(2, 900, 0);
+        assert_eq!(mw.least_loaded(), 1);
+    }
+
+    #[test]
+    fn placement_policies_map_services() {
+        let mw = MultiWorld::new(4, fixed);
+        assert_eq!(Placement::SameCore.assign(7, 3, &mw), vec![0, 0, 0]);
+        assert_eq!(
+            Placement::Pinned(vec![0, 1, 2, 3]).assign(0, 4, &mw),
+            vec![0, 1, 2, 3]
+        );
+        // Round robin keeps the client (service 0) on core 0.
+        assert_eq!(Placement::RoundRobin.assign(5, 3, &mw), vec![0, 1, 1]);
+        assert_eq!(Placement::RoundRobin.assign(4, 3, &mw), vec![0, 0, 0]);
+        assert_eq!(Placement::LeastLoaded.assign(0, 2, &mw), vec![0, 0]);
+    }
+
+    #[test]
+    fn roundtrip_charges_the_serving_core() {
+        let mut mw = MultiWorld::new(2, fixed);
+        let (done, inv) = mw.exec_roundtrip(0, 1, 10, 20, 0);
+        // Two legs of 100 + bytes, each surcharged.
+        let extra = XCoreCost::u500();
+        let expect = 100 + 10 + extra.hop_extra(10) + 100 + 20 + extra.hop_extra(20);
+        assert_eq!(inv.total, expect);
+        assert_eq!(done, expect);
+        assert_eq!(mw.core(1).cycles, expect);
+        assert_eq!(mw.core(0).cycles, 0);
+        assert_eq!(mw.merged_ledger().total(), expect);
+    }
+}

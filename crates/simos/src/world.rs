@@ -9,7 +9,7 @@
 
 use crate::cost::CostModel;
 use crate::ipc::IpcSystem;
-use crate::ledger::{CycleLedger, Invocation, Phase};
+use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 
 /// Accumulated accounting.
 #[derive(Debug, Clone, Default)]
@@ -114,22 +114,42 @@ impl World {
         self.ipc.supports_handover()
     }
 
+    /// Whether the active system migrates the calling thread (cross-core
+    /// calls cost the same as same-core, §5.2).
+    pub fn migrating_threads(&self) -> bool {
+        self.ipc.migrating_threads()
+    }
+
+    /// Price one one-way hop *without* charging it. The multicore layer
+    /// prices hops here, wraps them with cross-core cost when the call
+    /// leaves the core, then charges them via
+    /// [`charge_invocation`](Self::charge_invocation).
+    pub fn price_oneway(&mut self, bytes: u64, opts: &InvokeOpts) -> Invocation {
+        self.ipc.oneway(bytes as usize, opts)
+    }
+
+    /// Price a round trip *without* charging it (see
+    /// [`price_oneway`](Self::price_oneway)).
+    pub fn price_roundtrip(&mut self, request: u64, response: u64) -> Invocation {
+        self.ipc.roundtrip(request as usize, response as usize)
+    }
+
     /// Charge one IPC round trip carrying `request` bytes out and
     /// `response` bytes back.
     pub fn ipc_roundtrip(&mut self, request: u64, response: u64) {
-        let inv = self.ipc.roundtrip(request as usize, response as usize);
-        self.charge_ipc(request + response, inv);
+        let inv = self.price_roundtrip(request, response);
+        self.charge_invocation(request + response, inv);
     }
 
     /// Charge a one-way IPC (calls into a chain that will not reply yet).
     pub fn ipc_oneway(&mut self, bytes: u64) {
-        let inv = self
-            .ipc
-            .oneway(bytes as usize, &crate::ledger::InvokeOpts::call());
-        self.charge_ipc(bytes, inv);
+        let inv = self.price_oneway(bytes, &InvokeOpts::call());
+        self.charge_invocation(bytes, inv);
     }
 
-    fn charge_ipc(&mut self, payload: u64, inv: Invocation) {
+    /// Charge an already-priced invocation carrying `payload` bytes into
+    /// the clock, the IPC/compute split, and the merged ledger.
+    pub fn charge_invocation(&mut self, payload: u64, inv: Invocation) {
         self.cycles += inv.total;
         self.stats.ipc_cycles += inv.total;
         self.stats.ipc_transfer_cycles += inv.ledger.get(Phase::Transfer);
