@@ -6,6 +6,9 @@ cd "$(dirname "$0")"
 
 export RUSTFLAGS="-D warnings"
 
+echo "== fmt =="
+cargo fmt --all -- --check
+
 echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
 

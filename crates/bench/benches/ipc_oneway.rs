@@ -8,7 +8,7 @@
 #[cfg(feature = "criterion")]
 mod bench {
     use criterion::{criterion_group, BenchmarkId, Criterion};
-    use kernels::{IpcSystem, InvokeOpts, Sel4, Sel4Transfer, XpcIpc, Zircon};
+    use kernels::{InvokeOpts, IpcSystem, Sel4, Sel4Transfer, XpcIpc, Zircon};
     use std::hint::black_box;
 
     fn bench_oneway(c: &mut Criterion) {

@@ -50,7 +50,17 @@ fn main() {
             .map(|(name, inv)| (name.to_string(), inv))
             .collect();
         let scale = experiments::scale::json_section();
-        let doc = sweep::json_dump(&rows, &[("fig5", fig5)], &[("scale", scale)]);
+        let pipeline = experiments::pipeline::json_section();
+        let ablations = experiments::ablations::json_section();
+        let doc = sweep::json_dump(
+            &rows,
+            &[("fig5", fig5)],
+            &[
+                ("scale", scale),
+                ("pipeline", pipeline),
+                ("ablations", ablations),
+            ],
+        );
         let path = "BENCH_figures.json";
         std::fs::write(path, &doc).expect("write BENCH_figures.json");
         eprintln!(

@@ -160,7 +160,10 @@ mod tests {
     fn nonblocking_saves_the_push() {
         let b = bars();
         let tagged = b.iter().find(|x| x.config == "+Tagged-TLB").unwrap();
-        let nonblock = b.iter().find(|x| x.config == "+Nonblock LinkStack").unwrap();
+        let nonblock = b
+            .iter()
+            .find(|x| x.config == "+Nonblock LinkStack")
+            .unwrap();
         let saved = tagged.xcall - nonblock.xcall;
         assert_eq!(saved, 16, "paper: non-blocking link stack saves 16 cycles");
         // And the diff attributes that saving to the xcall phase.

@@ -81,7 +81,12 @@ fn fs_report(id: &'static str, caption: &'static str, write: bool) -> Report {
             row
         })
         .collect();
-    Report { id, caption, headers, rows }
+    Report {
+        id,
+        caption,
+        headers,
+        rows,
+    }
 }
 
 /// Regenerate Figure 7(a)+(b) as one report pair.
@@ -99,8 +104,7 @@ pub fn fig7ab() -> Report {
 
 /// TCP curves for Figure 7(c): (system, buf -> MB/s).
 pub fn tcp_curves() -> Vec<(String, Vec<f64>)> {
-    let mk: Vec<Box<dyn IpcSystem>> =
-        vec![Box::new(Zircon::new()), Box::new(XpcIpc::zircon_xpc())];
+    let mk: Vec<Box<dyn IpcSystem>> = vec![Box::new(Zircon::new()), Box::new(XpcIpc::zircon_xpc())];
     mk.into_iter()
         .map(|m| {
             let name = m.name();
@@ -164,8 +168,7 @@ mod tests {
         let xpc = curve(&c, "seL4-XPC");
         let vs_zircon: f64 =
             xpc.iter().zip(zircon).map(|(x, z)| x / z).sum::<f64>() / xpc.len() as f64;
-        let vs_sel4: f64 =
-            xpc.iter().zip(sel4).map(|(x, s)| x / s).sum::<f64>() / xpc.len() as f64;
+        let vs_sel4: f64 = xpc.iter().zip(sel4).map(|(x, s)| x / s).sum::<f64>() / xpc.len() as f64;
         assert!((3.0..15.0).contains(&vs_zircon), "vs Zircon {vs_zircon:.1}");
         assert!((1.5..8.0).contains(&vs_sel4), "vs seL4 {vs_sel4:.1}");
     }
@@ -196,8 +199,14 @@ mod tests {
         let x = curve(&c, "Zircon-XPC");
         let first = x[0] / z[0];
         let last = x.last().unwrap() / z.last().unwrap();
-        assert!(first > last, "batching helps Zircon: {first:.1} -> {last:.1}");
-        assert!((3.0..12.0).contains(&first), "small-buffer speedup {first:.1}");
+        assert!(
+            first > last,
+            "batching helps Zircon: {first:.1} -> {last:.1}"
+        );
+        assert!(
+            (3.0..12.0).contains(&first),
+            "small-buffer speedup {first:.1}"
+        );
     }
 
     #[test]

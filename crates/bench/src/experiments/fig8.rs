@@ -155,8 +155,14 @@ mod tests {
         let enc_speedup = enc_x[2] / enc[2];
         let plain_speedup = plain_x[2] / plain[2];
         // Paper: ~10x with encryption, ~12x without.
-        assert!((5.0..20.0).contains(&plain_speedup), "plain {plain_speedup:.1}");
-        assert!((4.0..16.0).contains(&enc_speedup), "encrypted {enc_speedup:.1}");
+        assert!(
+            (5.0..20.0).contains(&plain_speedup),
+            "plain {plain_speedup:.1}"
+        );
+        assert!(
+            (4.0..16.0).contains(&enc_speedup),
+            "encrypted {enc_speedup:.1}"
+        );
         assert!(
             plain_speedup > enc_speedup,
             "encryption compute dilutes the IPC win: {plain_speedup:.1} vs {enc_speedup:.1}"

@@ -37,7 +37,12 @@ pub fn fig9a() -> Report {
     Report {
         id: "Figure 9(a)",
         caption: "Binder transaction latency via buffer (paper: 378us->8.2us at 2KB, 46.2x)",
-        headers: vec!["Size".into(), "Binder".into(), "Binder-XPC".into(), "Speedup".into()],
+        headers: vec![
+            "Size".into(),
+            "Binder".into(),
+            "Binder-XPC".into(),
+            "Speedup".into(),
+        ],
         rows,
     }
 }

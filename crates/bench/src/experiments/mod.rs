@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod pipeline;
 pub mod scale;
 pub mod table1;
 pub mod table3;
@@ -87,6 +88,7 @@ pub fn all() -> Vec<Experiment> {
         ("table7", table7::run),
         ("ablations", ablations::run),
         ("scale", scale::run),
+        ("pipeline", pipeline::run),
     ]
 }
 
@@ -108,7 +110,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_18_experiments() {
-        assert_eq!(all().len(), 18);
+    fn registry_has_all_19_experiments() {
+        assert_eq!(all().len(), 19);
     }
 }

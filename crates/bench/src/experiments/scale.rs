@@ -155,10 +155,7 @@ mod tests {
                 .find(|r| r.system == sys && r.policy == pol)
                 .unwrap()
         };
-        assert_eq!(
-            cell("seL4-XPC", "round-robin").cross_core_fraction(),
-            0.0
-        );
+        assert_eq!(cell("seL4-XPC", "round-robin").cross_core_fraction(), 0.0);
         assert!(cell("Zircon", "pinned").cross_core_fraction() > 0.3);
         // Fully spreading the Zircon chain is a *loss*: the surcharge on
         // every hop outweighs the parallelism.

@@ -12,7 +12,11 @@ pub fn run() -> Report {
         caption: "Simulator configuration (ARM HPI model, paper Table 4)",
         headers: vec!["Parameter".into(), "Value".into(), "Paper".into()],
         rows: vec![
-            vec!["Core model".into(), "in-order, 1 IPC issue".into(), "8 in-order cores @2.0GHz".into()],
+            vec![
+                "Core model".into(),
+                "in-order, 1 IPC issue".into(),
+                "8 in-order cores @2.0GHz".into(),
+            ],
             vec![
                 "I/D TLB".into(),
                 format!("{} entries", c.tlb_entries),

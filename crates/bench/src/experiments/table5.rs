@@ -116,7 +116,8 @@ pub fn run() -> Report {
     let barrier = XpcTimings::arm_hpi().space_switch_barrier;
     Report {
         id: "Table 5",
-        caption: "IPC cost on the ARM HPI model (TLB/TTBR barrier is ~58 cycles, broken out as +58)",
+        caption:
+            "IPC cost on the ARM HPI model (TLB/TTBR barrier is ~58 cycles, broken out as +58)",
         headers: vec!["Systems".into(), "IPC Call".into(), "IPC Ret".into()],
         rows: vec![
             vec![

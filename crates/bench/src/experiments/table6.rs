@@ -28,8 +28,14 @@ pub fn run() -> Report {
     ]);
     Report {
         id: "Table 6",
-        caption: "Hardware resource costs in FPGA (published Vivado report + our structural estimate)",
-        headers: vec!["Resource".into(), "Freedom".into(), "XPC".into(), "Cost".into()],
+        caption:
+            "Hardware resource costs in FPGA (published Vivado report + our structural estimate)",
+        headers: vec![
+            "Resource".into(),
+            "Freedom".into(),
+            "XPC".into(),
+            "Cost".into(),
+        ],
         rows,
     }
 }

@@ -401,8 +401,13 @@ mod debug_tests {
             let im = b.k.machine.core.icache.misses - im0;
             let tm = b.k.machine.core.mmu.tlb.misses - tm0;
             let lm = b.k.machine.core.dcache.last_miss_pa;
-            eprintln!("pc={pc:#x} cost={d} dmiss={dm} imiss={im} tlbmiss={tm} lastmiss={lm:#x} set={}", (lm/64)%64);
-            if pc == b.wrapper_end { break; }
+            eprintln!(
+                "pc={pc:#x} cost={d} dmiss={dm} imiss={im} tlbmiss={tm} lastmiss={lm:#x} set={}",
+                (lm / 64) % 64
+            );
+            if pc == b.wrapper_end {
+                break;
+            }
         }
     }
 }

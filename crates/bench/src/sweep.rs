@@ -227,8 +227,15 @@ mod tests {
     #[test]
     fn json_dump_is_parseable_shape() {
         let mut s = Sel4::new(Sel4Transfer::OneCopy);
-        let rows = sweep(vec![Box::new(Sel4::new(Sel4Transfer::OneCopy))], &[0, 64], &InvokeOpts::call());
-        let extra = vec![("fig5", vec![("bar".to_string(), s.oneway(0, &InvokeOpts::call()))])];
+        let rows = sweep(
+            vec![Box::new(Sel4::new(Sel4Transfer::OneCopy))],
+            &[0, 64],
+            &InvokeOpts::call(),
+        );
+        let extra = vec![(
+            "fig5",
+            vec![("bar".to_string(), s.oneway(0, &InvokeOpts::call()))],
+        )];
         let raw = vec![("scale", "[{\"x\": 1}]".to_string())];
         let j = json_dump(&rows, &extra, &raw);
         assert!(j.starts_with("{\n"));

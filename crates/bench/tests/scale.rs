@@ -29,7 +29,11 @@ fn json_section_has_the_grid_and_the_metrics() {
     let s = scale::json_section();
     assert!(s.trim_start().starts_with('['));
     assert!(s.trim_end().ends_with(']'));
-    assert_eq!(s.matches("\"system\"").count(), 16, "4 mechanisms x 4 policies");
+    assert_eq!(
+        s.matches("\"system\"").count(),
+        16,
+        "4 mechanisms x 4 policies"
+    );
     for key in [
         "\"policy\"",
         "\"cores\": 4",

@@ -75,8 +75,8 @@ impl Default for BinderConfig {
             ashmem_fixed: 45_000,
             xpc_fixed: 600,
             ashmem_xpc_fixed: 28_000,
-            touch_millicycles_per_byte: 31,  // ~2 cycles per 64B line
-            draw_millicycles_per_byte: 240,  // surface composition pass
+            touch_millicycles_per_byte: 31, // ~2 cycles per 64B line
+            draw_millicycles_per_byte: 240, // surface composition pass
             ashmem_copy_millicycles_per_byte: 450,
         }
     }
@@ -200,6 +200,15 @@ impl IpcSystem for BinderIpc {
     fn supports_handover(&self) -> bool {
         self.system != BinderSystem::Binder
     }
+
+    /// Binder batching = one `BINDER_WRITE_READ` ioctl carrying many
+    /// transactions: repeat transactions in the burst skip roughly half
+    /// the control path (the ioctl entry and framework dispatch) but
+    /// still pay per-transaction Parcel copies, surface work and the
+    /// driver's per-transaction bookkeeping.
+    fn batch_amortizable(&self, first: &Invocation, _opts: &InvokeOpts) -> CycleLedger {
+        CycleLedger::new().with(Phase::Driver, first.ledger.get(Phase::Driver) / 2)
+    }
 }
 
 /// Figure 9 latency in microseconds.
@@ -250,7 +259,10 @@ mod tests {
         assert!((150.0..350.0).contains(&b32m), "32MB: {b32m} ms");
         let a32m = binder_latency_us(BinderSystem::AshmemXpc, true, 32 << 20) / 1000.0;
         let speedup = b32m / a32m;
-        assert!((2.0..4.0).contains(&speedup), "32MB ashmem speedup: {speedup}");
+        assert!(
+            (2.0..4.0).contains(&speedup),
+            "32MB ashmem speedup: {speedup}"
+        );
     }
 
     #[test]

@@ -217,7 +217,14 @@ pub fn table7() -> Vec<Table7Row> {
         (Box::new(Mach::new()), true, true, true, false, "2N"),
         (Box::new(Lrpc::new()), true, false, false, false, "N"),
         (Box::new(L4TempMap::new()), true, false, true, false, "N"),
-        (Box::new(PpcRemap::new()), true, false, false, false, "0+TLB"),
+        (
+            Box::new(PpcRemap::new()),
+            true,
+            false,
+            false,
+            false,
+            "0+TLB",
+        ),
         (
             Box::new(Sel4::new(Sel4Transfer::TwoCopy)),
             true,
@@ -229,15 +236,17 @@ pub fn table7() -> Vec<Table7Row> {
         (Box::new(XpcIpc::sel4_xpc()), false, false, true, true, "0"),
     ];
     rows.into_iter()
-        .map(|(mut m, traps, schedules, safe, handover, copies)| Table7Row {
-            name: m.name(),
-            traps,
-            schedules,
-            tocttou_safe: safe,
-            handover,
-            copies,
-            cycles_4k: m.oneway(4096, &InvokeOpts::call()).total,
-        })
+        .map(
+            |(mut m, traps, schedules, safe, handover, copies)| Table7Row {
+                name: m.name(),
+                traps,
+                schedules,
+                tocttou_safe: safe,
+                handover,
+                copies,
+                cycles_4k: m.oneway(4096, &InvokeOpts::call()).total,
+            },
+        )
         .collect()
 }
 

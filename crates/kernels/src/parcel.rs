@@ -138,18 +138,22 @@ impl Parcel {
             match tag {
                 TAG_I32 => {
                     let s = take(&mut i, 4)?;
-                    out.push(Value::I32(i32::from_le_bytes(b[s..s + 4].try_into().unwrap())));
+                    out.push(Value::I32(i32::from_le_bytes(
+                        b[s..s + 4].try_into().unwrap(),
+                    )));
                 }
                 TAG_I64 => {
                     let s = take(&mut i, 8)?;
-                    out.push(Value::I64(i64::from_le_bytes(b[s..s + 8].try_into().unwrap())));
+                    out.push(Value::I64(i64::from_le_bytes(
+                        b[s..s + 8].try_into().unwrap(),
+                    )));
                 }
                 TAG_STR => {
                     let s = take(&mut i, 4)?;
                     let n = u32::from_le_bytes(b[s..s + 4].try_into().unwrap()) as usize;
                     let s = take(&mut i, n)?;
-                    let text = std::str::from_utf8(&b[s..s + n])
-                        .map_err(|_| ParcelError::BadUtf8)?;
+                    let text =
+                        std::str::from_utf8(&b[s..s + n]).map_err(|_| ParcelError::BadUtf8)?;
                     out.push(Value::Str(text.to_string()));
                 }
                 TAG_BLOB => {
@@ -160,7 +164,9 @@ impl Parcel {
                 }
                 TAG_FD => {
                     let s = take(&mut i, 4)?;
-                    out.push(Value::Fd(u32::from_le_bytes(b[s..s + 4].try_into().unwrap())));
+                    out.push(Value::Fd(u32::from_le_bytes(
+                        b[s..s + 4].try_into().unwrap(),
+                    )));
                 }
                 t => return Err(ParcelError::BadTag(t)),
             }

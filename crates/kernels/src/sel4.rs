@@ -158,7 +158,11 @@ mod tests {
             assert_eq!(inv.ledger.get(Phase::Restore), 199);
             assert_eq!(inv.total, inv.ledger.total());
             // Transfer is present even at 0 B (Table 1 prints the row).
-            assert!(inv.ledger.spans().iter().any(|(p, _)| *p == Phase::Transfer));
+            assert!(inv
+                .ledger
+                .spans()
+                .iter()
+                .any(|(p, _)| *p == Phase::Transfer));
         }
         let inv4k = s.oneway(4096, &InvokeOpts::call());
         assert_eq!(inv4k.ledger.get(Phase::Transfer), 4010);

@@ -114,7 +114,6 @@ mod tests {
     }
 }
 
-
 /// Errors from [`Channel`] operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelError {

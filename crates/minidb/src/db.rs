@@ -64,9 +64,8 @@ impl MiniDb {
                 break;
             }
             let key = String::from_utf8_lossy(&raw[off + 2..off + 2 + klen]).into_owned();
-            let vlen = u32::from_le_bytes(
-                raw[off + 2 + klen..off + 6 + klen].try_into().unwrap(),
-            ) as u64;
+            let vlen =
+                u32::from_le_bytes(raw[off + 2 + klen..off + 6 + klen].try_into().unwrap()) as u64;
             let voff = (off + 6 + klen) as u64;
             if voff + vlen > raw.len() as u64 {
                 break;
@@ -134,8 +133,10 @@ impl MiniDb {
         let off = self.append_off;
         FsClient::write(&mut self.fs, w, self.table_ino, off, &rec);
         self.append_off += rec.len() as u64;
-        self.index
-            .insert(key.to_string(), (off + 6 + key.len() as u64, row.len() as u64));
+        self.index.insert(
+            key.to_string(),
+            (off + 6 + key.len() as u64, row.len() as u64),
+        );
         self.cache_put(key, row.to_vec());
         w.compute(120_000); // SQL parse/plan, btree update, VFS, journal bookkeeping
     }
@@ -173,9 +174,7 @@ impl MiniDb {
             .take(n)
             .map(|(k, _)| k.clone())
             .collect();
-        keys.iter()
-            .filter_map(|k| self.read(w, k))
-            .collect()
+        keys.iter().filter_map(|k| self.read(w, k)).collect()
     }
 
     /// Delete a key: writes a tombstone record (zero-length value) to the
@@ -240,8 +239,14 @@ mod tests {
         let mut db = MiniDb::create(&mut w, 1 << 14);
         db.insert(&mut w, "k1", b"value-one");
         db.insert(&mut w, "k2", b"value-two");
-        assert_eq!(db.read(&mut w, "k1").as_deref(), Some(b"value-one".as_ref()));
-        assert_eq!(db.read(&mut w, "k2").as_deref(), Some(b"value-two".as_ref()));
+        assert_eq!(
+            db.read(&mut w, "k1").as_deref(),
+            Some(b"value-one".as_ref())
+        );
+        assert_eq!(
+            db.read(&mut w, "k2").as_deref(),
+            Some(b"value-two".as_ref())
+        );
         assert_eq!(db.read(&mut w, "k3"), None);
         assert_eq!(db.len(), 2);
     }
@@ -305,7 +310,10 @@ mod tests {
         let dev = db.fs.dev.clone();
         let mut db2 = MiniDb::reopen(&mut w, dev);
         assert_eq!(db2.len(), 2);
-        assert_eq!(db2.read(&mut w, "alpha").as_deref(), Some(b"three".as_ref()));
+        assert_eq!(
+            db2.read(&mut w, "alpha").as_deref(),
+            Some(b"three".as_ref())
+        );
         assert_eq!(db2.read(&mut w, "beta").as_deref(), Some(b"two".as_ref()));
         assert_eq!(db2.read(&mut w, "gamma"), None);
     }

@@ -70,7 +70,11 @@ fn ipc_fraction_is_significant_on_sel4() {
             ..WorkloadSpec::paper(wl)
         };
         let r = run_workload(&mut world, &spec);
-        let band = if wl == Workload::C { 0.01..0.75 } else { 0.08..0.75 };
+        let band = if wl == Workload::C {
+            0.01..0.75
+        } else {
+            0.08..0.75
+        };
         assert!(
             band.contains(&r.ipc_fraction),
             "{}: IPC fraction {:.2} out of plausible band",

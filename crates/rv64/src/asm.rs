@@ -187,7 +187,8 @@ impl Assembler {
 
     /// `jal rd, label`.
     pub fn jal(&mut self, rd: u8, label: &str) {
-        self.fixups.push((self.words.len(), label.to_string(), FixKind::Jal));
+        self.fixups
+            .push((self.words.len(), label.to_string(), FixKind::Jal));
         self.raw(jtype(0, rd, 0b110_1111));
     }
 
@@ -476,15 +477,33 @@ impl Assembler {
 
     /// `csrrw rd, csr, rs1`.
     pub fn csrrw(&mut self, rd: u8, csr: u16, rs1: u8) {
-        self.raw(((csr as u32) << 20) | ((rs1 as u32) << 15) | (1 << 12) | ((rd as u32) << 7) | 0b111_0011);
+        self.raw(
+            ((csr as u32) << 20)
+                | ((rs1 as u32) << 15)
+                | (1 << 12)
+                | ((rd as u32) << 7)
+                | 0b111_0011,
+        );
     }
     /// `csrrs rd, csr, rs1`.
     pub fn csrrs(&mut self, rd: u8, csr: u16, rs1: u8) {
-        self.raw(((csr as u32) << 20) | ((rs1 as u32) << 15) | (2 << 12) | ((rd as u32) << 7) | 0b111_0011);
+        self.raw(
+            ((csr as u32) << 20)
+                | ((rs1 as u32) << 15)
+                | (2 << 12)
+                | ((rd as u32) << 7)
+                | 0b111_0011,
+        );
     }
     /// `csrrc rd, csr, rs1`.
     pub fn csrrc(&mut self, rd: u8, csr: u16, rs1: u8) {
-        self.raw(((csr as u32) << 20) | ((rs1 as u32) << 15) | (3 << 12) | ((rd as u32) << 7) | 0b111_0011);
+        self.raw(
+            ((csr as u32) << 20)
+                | ((rs1 as u32) << 15)
+                | (3 << 12)
+                | ((rd as u32) << 7)
+                | 0b111_0011,
+        );
     }
     /// `csrr rd, csr` (pseudo).
     pub fn csrr(&mut self, rd: u8, csr: u16) {
@@ -585,7 +604,12 @@ mod tests {
         a.sd(5, 2, -16);
         let w = a.assemble();
         match decode(w[0]).unwrap() {
-            Inst::Store { rs1: 2, rs2: 5, imm, .. } => assert_eq!(imm, -16),
+            Inst::Store {
+                rs1: 2,
+                rs2: 5,
+                imm,
+                ..
+            } => assert_eq!(imm, -16),
             other => panic!("{other:?}"),
         }
     }
@@ -597,7 +621,12 @@ mod tests {
         let w = a.assemble();
         assert_eq!(w.len(), 1);
         match decode(w[0]).unwrap() {
-            Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm } => assert_eq!(imm, -5),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm,
+            } => assert_eq!(imm, -5),
             other => panic!("{other:?}"),
         }
     }

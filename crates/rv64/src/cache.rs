@@ -43,7 +43,10 @@ impl Cache {
     /// Build an empty (all-invalid) cache for `cfg`.
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             lines: vec![Line::default(); cfg.sets * cfg.ways],
             cfg,

@@ -59,8 +59,7 @@ pub mod addr {
 }
 
 /// Bits of `mstatus` visible through the `sstatus` shadow.
-const SSTATUS_MASK: u64 =
-    mstatus::SIE | mstatus::SPIE | mstatus::SPP | mstatus::SUM | mstatus::MXR;
+const SSTATUS_MASK: u64 = mstatus::SIE | mstatus::SPIE | mstatus::SPP | mstatus::SUM | mstatus::MXR;
 
 /// The CSR file.
 ///
@@ -176,9 +175,7 @@ impl CsrFile {
             addr::MCAUSE => self.mcause = value,
             addr::MTVAL => self.mtval = value,
             addr::MTIMECMP => self.mtimecmp = value,
-            addr::SSTATUS => {
-                self.mstatus = (self.mstatus & !SSTATUS_MASK) | (value & SSTATUS_MASK)
-            }
+            addr::SSTATUS => self.mstatus = (self.mstatus & !SSTATUS_MASK) | (value & SSTATUS_MASK),
             addr::SIE => {
                 let d = self.mideleg;
                 self.mie = (self.mie & !d) | (value & d);
@@ -224,10 +221,7 @@ mod tests {
             f.read(addr::MSTATUS, Mode::User, 0, 0),
             Some(Err(_))
         ));
-        assert!(matches!(
-            f.write(addr::SATP, 0, Mode::User),
-            Some(Err(_))
-        ));
+        assert!(matches!(f.write(addr::SATP, 0, Mode::User), Some(Err(_))));
         assert!(matches!(
             f.write(addr::SATP, 0, Mode::Supervisor),
             Some(Ok(true))
@@ -242,7 +236,10 @@ mod tests {
             f.read(addr::INSTRET, Mode::User, 77, 5).unwrap().unwrap(),
             5
         );
-        assert!(matches!(f.write(addr::CYCLE, 0, Mode::Machine), Some(Err(_))));
+        assert!(matches!(
+            f.write(addr::CYCLE, 0, Mode::Machine),
+            Some(Err(_))
+        ));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! assert_eq!(disasm(0x00150513), "addi a0, a0, 1");
 //! ```
 
-use crate::inst::{decode, AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, Inst, LoadOp, StoreOp, OPCODE_CUSTOM0};
+use crate::inst::{
+    decode, AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, Inst, LoadOp, StoreOp, OPCODE_CUSTOM0,
+};
 use crate::reg;
 
 fn alu_name(op: AluOp) -> &'static str {
@@ -176,7 +178,12 @@ pub fn render(i: Inst) -> String {
             format!("{n} {}, {csr:#x}, {s}", r(rd))
         }
         Inst::Lr { rd, rs1, word } => {
-            format!("lr.{} {}, ({})", if word { "w" } else { "d" }, r(rd), r(rs1))
+            format!(
+                "lr.{} {}, ({})",
+                if word { "w" } else { "d" },
+                r(rd),
+                r(rs1)
+            )
         }
         Inst::Sc { rd, rs1, rs2, word } => format!(
             "sc.{} {}, {}, ({})",
@@ -185,7 +192,13 @@ pub fn render(i: Inst) -> String {
             r(rs2),
             r(rs1)
         ),
-        Inst::Amo { op, rd, rs1, rs2, word } => format!(
+        Inst::Amo {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => format!(
             "{}.{} {}, {}, ({})",
             amo_name(op),
             if word { "w" } else { "d" },

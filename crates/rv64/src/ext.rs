@@ -38,8 +38,7 @@ pub trait IsaExtension {
     fn csr_read(&mut self, addr: u16, core: &mut Core) -> Option<Result<u64, Trap>>;
 
     /// Write a CSR the base file does not implement. `None` = not mine.
-    fn csr_write(&mut self, addr: u16, value: u64, core: &mut Core)
-        -> Option<Result<(), Trap>>;
+    fn csr_write(&mut self, addr: u16, value: u64, core: &mut Core) -> Option<Result<(), Trap>>;
 
     /// Called after the kernel context-switches address spaces (satp write),
     /// letting the extension invalidate address-space-derived state.
@@ -67,12 +66,7 @@ impl IsaExtension for NullExtension {
         None
     }
 
-    fn csr_write(
-        &mut self,
-        _addr: u16,
-        _value: u64,
-        _core: &mut Core,
-    ) -> Option<Result<(), Trap>> {
+    fn csr_write(&mut self, _addr: u16, _value: u64, _core: &mut Core) -> Option<Result<(), Trap>> {
         None
     }
 }

@@ -9,17 +9,65 @@
 /// Decoded instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Inst {
-    Lui { rd: u8, imm: i64 },
-    Auipc { rd: u8, imm: i64 },
-    Jal { rd: u8, imm: i64 },
-    Jalr { rd: u8, rs1: u8, imm: i64 },
-    Branch { op: BranchOp, rs1: u8, rs2: u8, imm: i64 },
-    Load { op: LoadOp, rd: u8, rs1: u8, imm: i64 },
-    Store { op: StoreOp, rs1: u8, rs2: u8, imm: i64 },
-    OpImm { op: AluOp, rd: u8, rs1: u8, imm: i64 },
-    OpImm32 { op: AluOp, rd: u8, rs1: u8, imm: i64 },
-    Op { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
-    Op32 { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    Lui {
+        rd: u8,
+        imm: i64,
+    },
+    Auipc {
+        rd: u8,
+        imm: i64,
+    },
+    Jal {
+        rd: u8,
+        imm: i64,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+    },
+    Branch {
+        op: BranchOp,
+        rs1: u8,
+        rs2: u8,
+        imm: i64,
+    },
+    Load {
+        op: LoadOp,
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+    },
+    Store {
+        op: StoreOp,
+        rs1: u8,
+        rs2: u8,
+        imm: i64,
+    },
+    OpImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+    },
+    OpImm32 {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+    },
+    Op {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Op32 {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
     Fence,
     FenceI,
     Ecall,
@@ -27,14 +75,37 @@ pub enum Inst {
     Mret,
     Sret,
     Wfi,
-    SfenceVma { rs1: u8, rs2: u8 },
-    Csr { op: CsrOp, rd: u8, csr: u16, src: CsrSrc },
+    SfenceVma {
+        rs1: u8,
+        rs2: u8,
+    },
+    Csr {
+        op: CsrOp,
+        rd: u8,
+        csr: u16,
+        src: CsrSrc,
+    },
     /// RV64A: load-reserved (`word` selects LR.W vs LR.D).
-    Lr { rd: u8, rs1: u8, word: bool },
+    Lr {
+        rd: u8,
+        rs1: u8,
+        word: bool,
+    },
     /// RV64A: store-conditional.
-    Sc { rd: u8, rs1: u8, rs2: u8, word: bool },
+    Sc {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        word: bool,
+    },
     /// RV64A: atomic memory operation.
-    Amo { op: AmoOp, rd: u8, rs1: u8, rs2: u8, word: bool },
+    Amo {
+        op: AmoOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        word: bool,
+    },
 }
 
 /// RV64A atomic memory operations.
@@ -206,14 +277,27 @@ fn imm_j(raw: u32) -> i64 {
 pub fn decode(raw: u32) -> Option<Inst> {
     let opcode = raw & 0x7f;
     Some(match opcode {
-        0b011_0111 => Inst::Lui { rd: rd(raw), imm: imm_u(raw) },
-        0b001_0111 => Inst::Auipc { rd: rd(raw), imm: imm_u(raw) },
-        0b110_1111 => Inst::Jal { rd: rd(raw), imm: imm_j(raw) },
+        0b011_0111 => Inst::Lui {
+            rd: rd(raw),
+            imm: imm_u(raw),
+        },
+        0b001_0111 => Inst::Auipc {
+            rd: rd(raw),
+            imm: imm_u(raw),
+        },
+        0b110_1111 => Inst::Jal {
+            rd: rd(raw),
+            imm: imm_j(raw),
+        },
         0b110_0111 => {
             if funct3(raw) != 0 {
                 return None;
             }
-            Inst::Jalr { rd: rd(raw), rs1: rs1(raw), imm: imm_i(raw) }
+            Inst::Jalr {
+                rd: rd(raw),
+                rs1: rs1(raw),
+                imm: imm_i(raw),
+            }
         }
         0b110_0011 => {
             let op = match funct3(raw) {
@@ -225,7 +309,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
                 7 => BranchOp::Geu,
                 _ => return None,
             };
-            Inst::Branch { op, rs1: rs1(raw), rs2: rs2(raw), imm: imm_b(raw) }
+            Inst::Branch {
+                op,
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+                imm: imm_b(raw),
+            }
         }
         0b000_0011 => {
             let op = match funct3(raw) {
@@ -238,7 +327,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
                 6 => LoadOp::Lwu,
                 _ => return None,
             };
-            Inst::Load { op, rd: rd(raw), rs1: rs1(raw), imm: imm_i(raw) }
+            Inst::Load {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                imm: imm_i(raw),
+            }
         }
         0b010_0011 => {
             let op = match funct3(raw) {
@@ -248,7 +342,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
                 3 => StoreOp::Sd,
                 _ => return None,
             };
-            Inst::Store { op, rs1: rs1(raw), rs2: rs2(raw), imm: imm_s(raw) }
+            Inst::Store {
+                op,
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+                imm: imm_s(raw),
+            }
         }
         0b001_0011 => {
             let f3 = funct3(raw);
@@ -274,7 +373,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
             } else {
                 imm_i(raw)
             };
-            Inst::OpImm { op, rd: rd(raw), rs1: rs1(raw), imm }
+            Inst::OpImm {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                imm,
+            }
         }
         0b001_1011 => {
             let op = match funct3(raw) {
@@ -294,7 +398,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
             } else {
                 imm_i(raw)
             };
-            Inst::OpImm32 { op, rd: rd(raw), rs1: rs1(raw), imm }
+            Inst::OpImm32 {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                imm,
+            }
         }
         0b011_0011 => {
             let op = match (funct7(raw), funct3(raw)) {
@@ -318,7 +427,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
                 (0b000_0001, 7) => AluOp::Remu,
                 _ => return None,
             };
-            Inst::Op { op, rd: rd(raw), rs1: rs1(raw), rs2: rs2(raw) }
+            Inst::Op {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+            }
         }
         0b011_1011 => {
             let op = match (funct7(raw), funct3(raw)) {
@@ -334,7 +448,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
                 (0b000_0001, 7) => AluOp::Remu,
                 _ => return None,
             };
-            Inst::Op32 { op, rd: rd(raw), rs1: rs1(raw), rs2: rs2(raw) }
+            Inst::Op32 {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+            }
         }
         0b000_1111 => {
             if funct3(raw) == 1 {
@@ -355,9 +474,18 @@ pub fn decode(raw: u32) -> Option<Inst> {
                     if rs2(raw) != 0 {
                         return None;
                     }
-                    Inst::Lr { rd: rd(raw), rs1: rs1(raw), word }
+                    Inst::Lr {
+                        rd: rd(raw),
+                        rs1: rs1(raw),
+                        word,
+                    }
                 }
-                0b00011 => Inst::Sc { rd: rd(raw), rs1: rs1(raw), rs2: rs2(raw), word },
+                0b00011 => Inst::Sc {
+                    rd: rd(raw),
+                    rs1: rs1(raw),
+                    rs2: rs2(raw),
+                    word,
+                },
                 _ => {
                     let op = match funct5 {
                         0b00001 => AmoOp::Swap,
@@ -371,7 +499,13 @@ pub fn decode(raw: u32) -> Option<Inst> {
                         0b11100 => AmoOp::Maxu,
                         _ => return None,
                     };
-                    Inst::Amo { op, rd: rd(raw), rs1: rs1(raw), rs2: rs2(raw), word }
+                    Inst::Amo {
+                        op,
+                        rd: rd(raw),
+                        rs1: rs1(raw),
+                        rs2: rs2(raw),
+                        word,
+                    }
                 }
             }
         }
@@ -386,7 +520,10 @@ pub fn decode(raw: u32) -> Option<Inst> {
                     0x1050_0073 => Inst::Wfi,
                     _ => {
                         if funct7(raw) == 0b000_1001 {
-                            Inst::SfenceVma { rs1: rs1(raw), rs2: rs2(raw) }
+                            Inst::SfenceVma {
+                                rs1: rs1(raw),
+                                rs2: rs2(raw),
+                            }
                         } else {
                             return None;
                         }
@@ -403,7 +540,12 @@ pub fn decode(raw: u32) -> Option<Inst> {
                     7 => (CsrOp::Rc, CsrSrc::Imm(rs1(raw))),
                     _ => return None,
                 };
-                Inst::Csr { op, rd: rd(raw), csr, src }
+                Inst::Csr {
+                    op,
+                    rd: rd(raw),
+                    csr,
+                    src,
+                }
             }
         }
         _ => return None,
@@ -420,7 +562,12 @@ mod tests {
         let raw = (1 << 20) | (10 << 15) | (10 << 7) | 0b001_0011;
         assert_eq!(
             decode(raw),
-            Some(Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: 1 })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                imm: 1
+            })
         );
     }
 
@@ -430,7 +577,12 @@ mod tests {
         let raw = (0xfffu32 << 20) | (10 << 7) | 0b001_0011;
         assert_eq!(
             decode(raw),
-            Some(Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: -1 })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: -1
+            })
         );
     }
 
@@ -452,7 +604,12 @@ mod tests {
         // beq x0, x0, -4 : imm[12|10:5]=..., check via encoder in asm tests;
         // here just check a known encoding: 0xfe000ee3 is beq x0,x0,-4.
         match decode(0xfe00_0ee3) {
-            Some(Inst::Branch { op: BranchOp::Eq, rs1: 0, rs2: 0, imm }) => {
+            Some(Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: 0,
+                rs2: 0,
+                imm,
+            }) => {
                 assert_eq!(imm, -4)
             }
             other => panic!("bad decode: {other:?}"),
@@ -465,20 +622,39 @@ mod tests {
         let raw = (0b00001u32 << 27) | (11 << 20) | (12 << 15) | (3 << 12) | (10 << 7) | 0b010_1111;
         assert_eq!(
             decode(raw),
-            Some(Inst::Amo { op: AmoOp::Swap, rd: 10, rs1: 12, rs2: 11, word: false })
+            Some(Inst::Amo {
+                op: AmoOp::Swap,
+                rd: 10,
+                rs1: 12,
+                rs2: 11,
+                word: false
+            })
         );
         // lr.w t0, (t1)
         let raw = (0b00010u32 << 27) | (6 << 15) | (2 << 12) | (5 << 7) | 0b010_1111;
-        assert_eq!(decode(raw), Some(Inst::Lr { rd: 5, rs1: 6, word: true }));
+        assert_eq!(
+            decode(raw),
+            Some(Inst::Lr {
+                rd: 5,
+                rs1: 6,
+                word: true
+            })
+        );
     }
 
     #[test]
     fn decode_srai_shamt6() {
         // srai a0, a0, 40 (RV64 6-bit shamt): funct7(high)=0100000, shamt=40
-        let raw = (0b010000u32 << 26) | (40 << 20) | (10 << 15) | (5 << 12) | (10 << 7) | 0b001_0011;
+        let raw =
+            (0b010000u32 << 26) | (40 << 20) | (10 << 15) | (5 << 12) | (10 << 7) | 0b001_0011;
         assert_eq!(
             decode(raw),
-            Some(Inst::OpImm { op: AluOp::Sra, rd: 10, rs1: 10, imm: 40 })
+            Some(Inst::OpImm {
+                op: AluOp::Sra,
+                rd: 10,
+                rs1: 10,
+                imm: 40
+            })
         );
     }
 }

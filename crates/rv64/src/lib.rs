@@ -33,8 +33,8 @@ pub mod asm;
 pub mod cache;
 pub mod config;
 pub mod cpu;
-pub mod disasm;
 pub mod csr;
+pub mod disasm;
 pub mod ext;
 pub mod inst;
 pub mod machine;

@@ -194,9 +194,8 @@ impl Core {
     /// [`SimError::UnhandledTrap`] when the target `tvec` is 0.
     pub fn take_trap(&mut self, trap: Trap) -> Result<(), SimError> {
         let code = trap.cause.code();
-        let delegate = self.cpu.mode != Mode::Machine
-            && code < 64
-            && (self.cpu.csr.medeleg >> code) & 1 == 1;
+        let delegate =
+            self.cpu.mode != Mode::Machine && code < 64 && (self.cpu.csr.medeleg >> code) & 1 == 1;
         self.charge(self.cfg.trap_entry_cycles);
         if delegate {
             if self.cpu.csr.stvec == 0 {
@@ -243,12 +242,12 @@ impl Core {
         Ok(())
     }
 
-    fn csr_read_any(
-        &mut self,
-        addr: u16,
-        ext: &mut dyn IsaExtension,
-    ) -> Result<u64, Trap> {
-        if let Some(r) = self.cpu.csr.read(addr, self.cpu.mode, self.cycles, self.instret) {
+    fn csr_read_any(&mut self, addr: u16, ext: &mut dyn IsaExtension) -> Result<u64, Trap> {
+        if let Some(r) = self
+            .cpu
+            .csr
+            .read(addr, self.cpu.mode, self.cycles, self.instret)
+        {
             return r;
         }
         if let Some(r) = ext.csr_read(addr, self) {
@@ -526,7 +525,11 @@ impl Core {
                 let cost = self.dcache.access(pa).cycles;
                 self.charge(cost + 1); // AMO ordering cost
                 let raw = self.mem.read(pa, size)?;
-                let v = if word { raw as u32 as i32 as i64 as u64 } else { raw };
+                let v = if word {
+                    raw as u32 as i32 as i64 as u64
+                } else {
+                    raw
+                };
                 self.reservation = Some(pa);
                 self.cpu.set_x(rd, v);
             }
@@ -547,7 +550,13 @@ impl Core {
                 }
                 self.reservation = None;
             }
-            Inst::Amo { op, rd, rs1, rs2, word } => {
+            Inst::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let size = if word { 4 } else { 8 };
                 let va = self.cpu.x(rs1);
                 if !va.is_multiple_of(size) {
@@ -557,7 +566,11 @@ impl Core {
                 let cost = self.dcache.access(pa).cycles;
                 self.charge(cost + 2); // read-modify-write turnaround
                 let raw = self.mem.read(pa, size)?;
-                let old = if word { raw as u32 as i32 as i64 as u64 } else { raw };
+                let old = if word {
+                    raw as u32 as i32 as i64 as u64
+                } else {
+                    raw
+                };
                 let src = self.cpu.x(rs2);
                 let new = Self::amo(op, old, src, word);
                 let stored = if word { new as u32 as u64 } else { new };
@@ -571,7 +584,10 @@ impl Core {
 
     fn amo(op: AmoOp, old: u64, src: u64, word: bool) -> u64 {
         let (a, b) = if word {
-            (old as u32 as i32 as i64 as u64, src as u32 as i32 as i64 as u64)
+            (
+                old as u32 as i32 as i64 as u64,
+                src as u32 as i32 as i64 as u64,
+            )
         } else {
             (old, src)
         };
@@ -885,7 +901,10 @@ mod tests {
         assert_eq!(r.exit, Exit::Break);
         assert_eq!(m.core.cpu.x(reg::A0), 7);
         assert_eq!(m.core.cpu.csr.mcause, Cause::EcallFromU.code());
-        assert_eq!(m.core.cpu.csr.mepc, DRAM_BASE + 0x200 + 4 * (user.len() as u64 - 1));
+        assert_eq!(
+            m.core.cpu.csr.mepc,
+            DRAM_BASE + 0x200 + 4 * (user.len() as u64 - 1)
+        );
     }
 
     #[test]
@@ -1031,7 +1050,7 @@ mod atomics_tests {
             a.lr_d(reg::A0, reg::T0);
             a.li(reg::T2, 20);
             a.sc_d(reg::A1, reg::T2, reg::T0); // a1 = 0 (success)
-            // SC without a reservation fails.
+                                               // SC without a reservation fails.
             a.li(reg::T2, 30);
             a.sc_d(reg::A2, reg::T2, reg::T0); // a2 = 1 (failure)
             a.ld(reg::A3, reg::T0, 0);

@@ -135,8 +135,12 @@ mod tests {
     #[test]
     fn read_write_round_trip_all_sizes() {
         let mut m = Memory::new(4096);
-        for (size, val) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
-        {
+        for (size, val) in [
+            (1u64, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, 0x0123_4567_89ab_cdef),
+        ] {
             m.write(DRAM_BASE + 64, size, val).unwrap();
             assert_eq!(m.read(DRAM_BASE + 64, size).unwrap(), val);
         }
@@ -155,10 +159,7 @@ mod tests {
         let mut m = Memory::new(4096);
         assert!(m.read(0x0, 8).is_err());
         assert!(m.write(DRAM_BASE + 4095, 8, 0).is_err());
-        assert_eq!(
-            m.read(0x10, 4).unwrap_err().cause,
-            Cause::LoadAccessFault
-        );
+        assert_eq!(m.read(0x10, 4).unwrap_err().cause, Cause::LoadAccessFault);
     }
 
     #[test]

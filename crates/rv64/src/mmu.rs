@@ -321,8 +321,10 @@ mod tests {
         let vpn2 = (va >> 30) & 0x1ff;
         let vpn1 = (va >> 21) & 0x1ff;
         let vpn0 = (va >> 12) & 0x1ff;
-        mem.write(root + vpn2 * 8, 8, ((l1 >> 12) << 10) | pte::V).unwrap();
-        mem.write(l1 + vpn1 * 8, 8, ((l0 >> 12) << 10) | pte::V).unwrap();
+        mem.write(root + vpn2 * 8, 8, ((l1 >> 12) << 10) | pte::V)
+            .unwrap();
+        mem.write(l1 + vpn1 * 8, 8, ((l0 >> 12) << 10) | pte::V)
+            .unwrap();
         mem.write(l0 + vpn0 * 8, 8, ((pa >> 12) << 10) | perm_bits | pte::V)
             .unwrap();
         Satp {
@@ -341,7 +343,18 @@ mod tests {
             root_ppn: 0,
         };
         let t = mmu
-            .translate(0x1234, 8, Access::Load, Mode::Machine, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x1234,
+                8,
+                Access::Load,
+                Mode::Machine,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg,
+            )
             .unwrap();
         assert_eq!(t.pa, 0x1234);
     }
@@ -351,12 +364,34 @@ mod tests {
         let (mut mmu, mut mem, mut dc, cfg) = setup();
         let satp = map_page(&mut mem, 0x4000_0000, DRAM_BASE + 0x2000, pte::R | pte::U);
         let t1 = mmu
-            .translate(0x4000_0010, 8, Access::Load, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x4000_0010,
+                8,
+                Access::Load,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg,
+            )
             .unwrap();
         assert_eq!(t1.pa, DRAM_BASE + 0x2010);
         assert!(t1.cycles > 0, "walk charged cycles");
         let t2 = mmu
-            .translate(0x4000_0020, 8, Access::Load, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x4000_0020,
+                8,
+                Access::Load,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg,
+            )
             .unwrap();
         assert_eq!(t2.pa, DRAM_BASE + 0x2020);
         assert_eq!(t2.cycles, 0, "TLB hit is free");
@@ -368,7 +403,18 @@ mod tests {
         let (mut mmu, mut mem, mut dc, cfg) = setup();
         let satp = map_page(&mut mem, 0x4000_0000, DRAM_BASE + 0x2000, pte::R | pte::U);
         let e = mmu
-            .translate(0x4000_0000, 8, Access::Store, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x4000_0000,
+                8,
+                Access::Store,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg,
+            )
             .unwrap_err();
         assert_eq!(e.cause, Cause::StorePageFault);
     }
@@ -378,10 +424,32 @@ mod tests {
         let (mut mmu, mut mem, mut dc, cfg) = setup();
         let satp = map_page(&mut mem, 0x4000_0000, DRAM_BASE + 0x2000, pte::R | pte::U);
         assert!(mmu
-            .translate(0x4000_0000, 8, Access::Load, Mode::Supervisor, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x4000_0000,
+                8,
+                Access::Load,
+                Mode::Supervisor,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_err());
         assert!(mmu
-            .translate(0x4000_0000, 8, Access::Load, Mode::Supervisor, satp, true, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x4000_0000,
+                8,
+                Access::Load,
+                Mode::Supervisor,
+                satp,
+                true,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_ok());
     }
 
@@ -397,7 +465,18 @@ mod tests {
             paged: false,
         });
         let t = mmu
-            .translate(0x4000_0008, 8, Access::Store, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x4000_0008,
+                8,
+                Access::Store,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg,
+            )
             .unwrap();
         assert_eq!(t.pa, DRAM_BASE + 0x9008, "seg window wins over page table");
         assert_eq!(t.cycles, 0, "no walk, no TLB pressure");
@@ -419,7 +498,18 @@ mod tests {
             paged: false,
         });
         let e = mmu
-            .translate(0x5000_0000, 4, Access::Fetch, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x5000_0000,
+                4,
+                Access::Fetch,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg,
+            )
             .unwrap_err();
         assert_eq!(e.cause, Cause::InstPageFault);
     }
@@ -440,10 +530,32 @@ mod tests {
             paged: false,
         });
         assert!(mmu
-            .translate(0x5000_0000, 8, Access::Store, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x5000_0000,
+                8,
+                Access::Store,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_err());
         assert!(mmu
-            .translate(0x5000_0000, 8, Access::Load, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x5000_0000,
+                8,
+                Access::Load,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_ok());
     }
 
@@ -462,7 +574,18 @@ mod tests {
         let (mut mmu, mut mem, mut dc, cfg) = setup();
         let satp = map_page(&mut mem, 0x4000_0000, DRAM_BASE + 0x2000, pte::R | pte::U);
         assert!(mmu
-            .translate(0x0000_8000_0000_0000, 8, Access::Load, Mode::User, satp, false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x0000_8000_0000_0000,
+                8,
+                Access::Load,
+                Mode::User,
+                satp,
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_err());
     }
 }

@@ -103,9 +103,10 @@ impl Tlb {
         self.stamp += 1;
         let stamp = self.stamp;
         let tagged = self.tagged;
-        let found = self.entries.iter_mut().find(|e| {
-            e.valid && Self::vpn_matches(e, vpn) && (!tagged || e.asid == asid)
-        });
+        let found = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && Self::vpn_matches(e, vpn) && (!tagged || e.asid == asid));
         match found {
             Some(e) => {
                 e.lru = stamp;
@@ -126,9 +127,11 @@ impl Tlb {
         self.stamp += 1;
         let stamp = self.stamp;
         let tagged = self.tagged;
-        let victim = if let Some(existing) = self.entries.iter_mut().find(|e| {
-            e.valid && Self::vpn_matches(e, vpn) && (!tagged || e.asid == asid)
-        }) {
+        let victim = if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && Self::vpn_matches(e, vpn) && (!tagged || e.asid == asid))
+        {
             existing
         } else {
             self.entries

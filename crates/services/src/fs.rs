@@ -75,9 +75,7 @@ impl Inode {
             used: b[0] != 0,
             size: u64::from_le_bytes(b[8..16].try_into().unwrap()),
             direct,
-            indirect: u64::from_le_bytes(
-                b[16 + 8 * NDIRECT..24 + 8 * NDIRECT].try_into().unwrap(),
-            ),
+            indirect: u64::from_le_bytes(b[16 + 8 * NDIRECT..24 + 8 * NDIRECT].try_into().unwrap()),
         }
     }
 }
@@ -164,7 +162,9 @@ impl Xv6Fs {
         for b in 0..INODE_BLOCKS {
             let blk = fs.dev_read(w, INODE_START + b);
             for i in 0..(BLOCK_SIZE / INODE_BYTES) {
-                inodes.push(Inode::from_bytes(&blk[i * INODE_BYTES..(i + 1) * INODE_BYTES]));
+                inodes.push(Inode::from_bytes(
+                    &blk[i * INODE_BYTES..(i + 1) * INODE_BYTES],
+                ));
             }
         }
         fs.inodes = inodes;
@@ -198,8 +198,7 @@ impl Xv6Fs {
             return;
         }
         for i in 0..n {
-            let target =
-                u64::from_le_bytes(hdr[8 + 8 * i..16 + 8 * i].try_into().unwrap());
+            let target = u64::from_le_bytes(hdr[8 + 8 * i..16 + 8 * i].try_into().unwrap());
             let data = self.dev_read(w, JOURNAL_DATA + i as u64);
             self.dev_write(w, target, &data);
         }
@@ -383,7 +382,10 @@ impl Xv6Fs {
     fn flush_bitmap_staged(&mut self) {
         for b in 0..BITMAP_BLOCKS {
             let start = (b as usize) * BLOCK_SIZE;
-            self.stage(BITMAP_START + b, self.bitmap[start..start + BLOCK_SIZE].to_vec());
+            self.stage(
+                BITMAP_START + b,
+                self.bitmap[start..start + BLOCK_SIZE].to_vec(),
+            );
         }
     }
 

@@ -141,7 +141,12 @@ impl HttpServer {
 
 /// Figure 8(c) driver: serve `requests` GETs for `path` and return the
 /// throughput in operations per second under the world's mechanism.
-pub fn http_throughput_ops(w: &mut World, server: &mut HttpServer, path: &str, requests: u64) -> f64 {
+pub fn http_throughput_ops(
+    w: &mut World,
+    server: &mut HttpServer,
+    path: &str,
+    requests: u64,
+) -> f64 {
     let raw = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
     let start = w.cycles;
     for _ in 0..requests {
@@ -384,11 +389,9 @@ mod tests {
                 let handover = mk().supports_handover();
                 let steps = chain_steps(path, file.len() as u64, encrypt, handover);
                 let mut mw = MultiWorld::new(1, mk);
-                let (done, ledger) =
-                    run_request(&mut mw, &[0; CHAIN_SERVICES], &steps, 0);
+                let (done, ledger) = run_request(&mut mw, &[0; CHAIN_SERVICES], &steps, 0);
                 assert_eq!(
-                    done,
-                    w.cycles,
+                    done, w.cycles,
                     "recipe diverged from handle() (handover={handover}, aes={encrypt})"
                 );
                 // The request ledger carries the IPC phases only —

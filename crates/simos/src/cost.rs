@@ -37,6 +37,11 @@ pub struct CostModel {
     pub cross_core_base: u64,
     /// `xcall` cycles (Table 3: 18).
     pub xcall: u64,
+    /// `xcall` cycles when the x-entry is already in the engine cache
+    /// (Figure 5: the "+Engine Cache" bar measures 6 — see the harness
+    /// test `engine_cache_reduces_xcall_to_6`). Batched repeat calls to
+    /// the same entry hit the one-entry cache and pay this instead.
+    pub xcall_cached: u64,
     /// `xret` cycles (Table 3: 23).
     pub xret: u64,
     /// `swapseg` cycles (Table 3: 11).
@@ -69,6 +74,7 @@ impl CostModel {
             schedule: 900,
             cross_core_base: 10_700,
             xcall: 18,
+            xcall_cached: 6,
             xret: 23,
             swapseg: 11,
             trampoline_full: 76,

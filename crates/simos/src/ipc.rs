@@ -9,7 +9,29 @@
 //! totals swept over message sizes — no experiment does bespoke cycle
 //! math anymore.
 
-use crate::ledger::{Invocation, InvokeOpts};
+use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
+
+/// Model-level engine-cache counters, mirroring `xpc-engine`'s
+/// `XpcStats` for the cost-model layer: how many x-entry prefetches a
+/// batched submission issued and how many repeat calls were served from
+/// the one-entry cache. Systems without an engine cache report `None`
+/// from [`IpcSystem::engine_cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    /// Engine-cache prefetch operations (one per batch: the first call
+    /// of a burst fetches the x-entry and populates the cache).
+    pub prefetches: u64,
+    /// Calls served from the engine cache (every repeat call of a batch).
+    pub cache_hits: u64,
+}
+
+impl EngineCacheStats {
+    /// Fold another counter set in (summing per-core stats).
+    pub fn merge(&mut self, other: EngineCacheStats) {
+        self.prefetches += other.prefetches;
+        self.cache_hits += other.cache_hits;
+    }
+}
 
 /// Flat summary of one IPC hop (legacy shape; derived from a ledger).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +98,65 @@ pub trait IpcSystem {
     fn migrating_threads(&self) -> bool {
         false
     }
+
+    /// The slice of the *first* call's ledger that repeat calls of a
+    /// batch do **not** pay again.
+    ///
+    /// The default amortizes half the kernel IPC logic (capability
+    /// lookup, endpoint resolution — the part a batched submission
+    /// resolves once), which is deliberately conservative for trap-based
+    /// kernels: every repeat call still traps, switches and restores in
+    /// full. XPC variants override this to drop the trampoline entry and
+    /// the uncached x-entry fetch (the engine cache holds the entry after
+    /// call one); Binder overrides it to halve the framework driver path.
+    fn batch_amortizable(&self, first: &Invocation, _opts: &InvokeOpts) -> CycleLedger {
+        CycleLedger::new().with(Phase::IpcLogic, first.ledger.get(Phase::IpcLogic) / 2)
+    }
+
+    /// Price a burst of `calls` one-way invocations of `bytes_each` bytes
+    /// submitted together (AnyCall-style aggregation): the first call
+    /// pays the full [`oneway`](Self::oneway) cost, every repeat call
+    /// pays that minus [`batch_amortizable`](Self::batch_amortizable).
+    /// Per-call payload transfer is never amortized — the data still has
+    /// to move.
+    fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
+        amortized_batch(self, calls, bytes_each, opts)
+    }
+
+    /// Engine-cache counters accumulated by batched submissions, for
+    /// systems that model one ([`None`] otherwise).
+    fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
+        None
+    }
+}
+
+/// The shared first-call + amortized-repeats pricing behind
+/// [`IpcSystem::invoke_batch`]: `total(n) = first + (n - 1) * repeat`
+/// where `repeat` is the first call's ledger minus the system's
+/// [`batch_amortizable`](IpcSystem::batch_amortizable) slice, phase by
+/// phase (saturating — a system can never amortize below zero).
+///
+/// Free function (not a default-method body) so overriding impls that
+/// only want to add side effects (stats counting) can delegate here.
+pub fn amortized_batch<S: IpcSystem + ?Sized>(
+    sys: &mut S,
+    calls: u64,
+    bytes_each: usize,
+    opts: &InvokeOpts,
+) -> Invocation {
+    assert!(calls >= 1, "a batch prices at least one call");
+    let first = sys.oneway(bytes_each, opts);
+    if calls == 1 {
+        return first;
+    }
+    let amort = sys.batch_amortizable(&first, opts);
+    let mut ledger = CycleLedger::new();
+    for &(phase, cycles) in first.ledger.spans() {
+        let repeat = cycles.saturating_sub(amort.get(phase));
+        ledger.charge(phase, cycles + (calls - 1) * repeat);
+    }
+    let copied = first.copied_bytes * calls;
+    Invocation::from_ledger(ledger, copied)
 }
 
 impl IpcSystem for Box<dyn IpcSystem> {
@@ -90,6 +171,15 @@ impl IpcSystem for Box<dyn IpcSystem> {
     }
     fn migrating_threads(&self) -> bool {
         (**self).migrating_threads()
+    }
+    fn batch_amortizable(&self, first: &Invocation, opts: &InvokeOpts) -> CycleLedger {
+        (**self).batch_amortizable(first, opts)
+    }
+    fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
+        (**self).invoke_batch(calls, bytes_each, opts)
+    }
+    fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
+        (**self).engine_cache_stats()
     }
 }
 
@@ -143,5 +233,60 @@ mod tests {
         let mut b: Box<dyn IpcSystem> = Box::new(Fixed(3));
         assert_eq!(b.name(), "fixed");
         assert_eq!(b.oneway(1, &InvokeOpts::call()).total, 4);
+    }
+
+    struct Amortizing;
+    impl IpcSystem for Amortizing {
+        fn name(&self) -> String {
+            "amortizing".into()
+        }
+        fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::from_ledger(
+                CycleLedger::new()
+                    .with(Phase::Trap, 100)
+                    .with(Phase::IpcLogic, 50)
+                    .with(Phase::Transfer, msg_len as u64),
+                msg_len as u64,
+            )
+        }
+    }
+
+    #[test]
+    fn batch_of_one_is_exactly_oneway() {
+        let opts = InvokeOpts::call();
+        let one = Amortizing.oneway(64, &opts);
+        let batch = Amortizing.invoke_batch(1, 64, &opts);
+        assert_eq!(batch, one, "batch=1 must be bit-identical to oneway");
+    }
+
+    #[test]
+    fn default_amortization_halves_ipc_logic_on_repeats() {
+        let opts = InvokeOpts::call();
+        // first = 100 + 50 + 64; each repeat = 100 + 25 + 64.
+        let b = Amortizing.invoke_batch(4, 64, &opts);
+        assert_eq!(b.ledger.get(Phase::Trap), 4 * 100);
+        assert_eq!(b.ledger.get(Phase::IpcLogic), 50 + 3 * 25);
+        assert_eq!(b.ledger.get(Phase::Transfer), 4 * 64);
+        assert_eq!(b.total, b.ledger.total());
+        assert_eq!(b.copied_bytes, 4 * 64);
+    }
+
+    #[test]
+    fn per_call_cost_decreases_with_batch_size() {
+        let opts = InvokeOpts::call();
+        let per = |n: u64| Amortizing.invoke_batch(n, 64, &opts).total as f64 / n as f64;
+        assert!(per(8) < per(1));
+        assert!(per(64) < per(8));
+        // ...but never below the unamortized per-call floor.
+        let repeat = per(1) - 25.0; // IpcLogic/2 is all the default amortizes
+        assert!(per(64) >= repeat);
+    }
+
+    #[test]
+    fn boxed_system_forwards_batching() {
+        let mut b: Box<dyn IpcSystem> = Box::new(Amortizing);
+        let direct = Amortizing.invoke_batch(8, 16, &InvokeOpts::call());
+        assert_eq!(b.invoke_batch(8, 16, &InvokeOpts::call()), direct);
+        assert_eq!(b.engine_cache_stats(), None);
     }
 }

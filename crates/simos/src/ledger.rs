@@ -40,6 +40,10 @@ pub enum Phase {
     TlbRefill,
     /// Scheduler / wait-queue work (slow paths, async kernels).
     Schedule,
+    /// Virtual time a request spent queued behind other work (windowed
+    /// pipeline runs only; the closed-loop report folds waiting into
+    /// latency as it always did).
+    Queue,
     /// Cross-core IPI + remote wakeup + cache transfer (§5.2).
     CrossCore,
     /// Kernel mapping work: remap, TLB shootdown, temporary mapping.
@@ -52,7 +56,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical (paper) order.
-    pub const ALL: [Phase; 15] = [
+    pub const ALL: [Phase; 16] = [
         Phase::Trap,
         Phase::IpcLogic,
         Phase::Switch,
@@ -64,6 +68,7 @@ impl Phase {
         Phase::Swapseg,
         Phase::TlbRefill,
         Phase::Schedule,
+        Phase::Queue,
         Phase::CrossCore,
         Phase::Mapping,
         Phase::Driver,
@@ -84,6 +89,7 @@ impl Phase {
             Phase::Swapseg => "swapseg",
             Phase::TlbRefill => "tlb-refill",
             Phase::Schedule => "schedule",
+            Phase::Queue => "queue",
             Phase::CrossCore => "cross-core",
             Phase::Mapping => "mapping",
             Phase::Driver => "driver",
@@ -105,6 +111,7 @@ impl Phase {
             Phase::Swapseg => "swapseg",
             Phase::TlbRefill => "TLB Refill",
             Phase::Schedule => "Schedule",
+            Phase::Queue => "Queue",
             Phase::CrossCore => "Cross-core",
             Phase::Mapping => "Mapping",
             Phase::Driver => "Driver",
@@ -283,7 +290,9 @@ mod tests {
     #[test]
     fn merge_and_plus_preserve_totals() {
         let a = Invocation::from_ledger(
-            CycleLedger::new().with(Phase::Trap, 10).with(Phase::Transfer, 5),
+            CycleLedger::new()
+                .with(Phase::Trap, 10)
+                .with(Phase::Transfer, 5),
             5,
         );
         let b = Invocation::single(Phase::Xret, 23);
@@ -295,8 +304,12 @@ mod tests {
 
     #[test]
     fn diff_covers_union_of_phases() {
-        let a = CycleLedger::new().with(Phase::Xcall, 18).with(Phase::TlbRefill, 40);
-        let b = CycleLedger::new().with(Phase::Xcall, 6).with(Phase::Trampoline, 15);
+        let a = CycleLedger::new()
+            .with(Phase::Xcall, 18)
+            .with(Phase::TlbRefill, 40);
+        let b = CycleLedger::new()
+            .with(Phase::Xcall, 6)
+            .with(Phase::Trampoline, 15);
         let d = a.diff(&b);
         assert!(d.contains(&(Phase::Xcall, 12)));
         assert!(d.contains(&(Phase::TlbRefill, 40)));
@@ -316,7 +329,9 @@ mod tests {
     #[test]
     fn invocation_invariant_total_is_ledger_sum() {
         let inv = Invocation::from_ledger(
-            CycleLedger::new().with(Phase::Trap, 107).with(Phase::Restore, 199),
+            CycleLedger::new()
+                .with(Phase::Trap, 107)
+                .with(Phase::Restore, 199),
             0,
         );
         assert_eq!(inv.total, inv.ledger.total());

@@ -35,7 +35,7 @@ pub mod transport;
 pub mod world;
 
 pub use cost::CostModel;
-pub use ipc::{IpcCost, IpcSystem};
+pub use ipc::{amortized_batch, EngineCacheStats, IpcCost, IpcSystem};
 pub use ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 pub use load::{LoadGen, LoadReport, Step};
 pub use multicore::{CoreId, CrossCore, MultiWorld, Placement, XCoreCost};

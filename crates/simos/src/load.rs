@@ -1,23 +1,35 @@
-//! Deterministic closed-loop load generation over a [`MultiWorld`].
+//! Deterministic windowed load generation over a [`MultiWorld`].
 //!
 //! The §5.4 evaluation serves one request at a time; the ROADMAP's
 //! north star is a system under *concurrent* load. This module drives
 //! request recipes (sequences of [`Step`]s in service-id space) through
 //! N cores in virtual time:
 //!
-//! * **closed loop** — a fixed population of clients; each client issues
-//!   its next request only after the previous one completes (plus think
-//!   time), the standard closed queueing model;
-//! * **deterministic** — request ordering is "lowest ready-time first,
+//! * **windowed clients** — a fixed population of clients, each keeping
+//!   up to `window` requests outstanding. `window = 1` is the classic
+//!   closed loop ([`run`]): a client issues its next request only after
+//!   the previous one completes (plus think time). Wider windows model
+//!   asynchronous submission: the client fires `window` requests
+//!   back-to-back and replaces each as it completes ([`run_windowed`]);
+//! * **FIFO cores in virtual time** — each core is a FIFO server
+//!   ([`MultiWorld::free_at`]); a step issued at `t` starts at
+//!   `max(t, core_free)`. In windowed runs the wait `core_free - t` is
+//!   attributed to [`Phase::Queue`] in the request ledger, so the report
+//!   shows where time goes as the window opens. Closed-loop runs keep
+//!   their historical ledgers untouched (no `Queue` spans) — waiting is
+//!   folded into latency as it always was;
+//! * **deterministic** — request ordering is "lowest issue-time first,
 //!   ties to the lowest client index", and the only randomness is the
 //!   in-tree seeded [`ycsb::rng`], so the same seed reproduces the same
-//!   percentile report bit for bit;
+//!   percentile report bit for bit — and `window = 1` reproduces the
+//!   pre-windowed closed-loop report exactly;
 //! * **ledger-derived** — every hop returns an [`Invocation`]; a
 //!   request's latency is the virtual-time span from issue to last step
 //!   (queueing included), and the report's phase breakdown (how much of
-//!   the fleet's IPC time was cross-core, transfer, …) is the merged
-//!   per-request ledger.
+//!   the fleet's IPC time was cross-core, transfer, queueing, …) is the
+//!   merged per-request ledger.
 
+use crate::ipc::EngineCacheStats;
 use crate::ledger::{CycleLedger, InvokeOpts, Phase};
 use crate::multicore::{CoreId, MultiWorld, Placement};
 use ycsb::rng::Rng;
@@ -35,6 +47,19 @@ pub enum Step {
         to: usize,
         /// Payload bytes.
         bytes: u64,
+    },
+    /// A burst of `calls` one-way IPCs from `from` to `to` submitted
+    /// together, priced by [`crate::ipc::IpcSystem::invoke_batch`]
+    /// (per-batch entry work amortized, per-call transfer not).
+    Batch {
+        /// Sending service.
+        from: usize,
+        /// Receiving (and serving) service.
+        to: usize,
+        /// Calls in the burst (>= 1).
+        calls: u64,
+        /// Payload bytes per call.
+        bytes_each: u64,
     },
     /// A synchronous round trip from `from` into `to`.
     Roundtrip {
@@ -103,8 +128,12 @@ pub struct LoadReport {
     pub cores: usize,
     /// Concurrent clients.
     pub clients: usize,
+    /// Requests each client keeps outstanding (1 = closed loop).
+    pub window: usize,
     /// Requests completed.
     pub requests: u64,
+    /// IPC invocations issued (a [`Step::Batch`] of n counts n).
+    pub ipc_calls: u64,
     /// Virtual time of the last completion.
     pub makespan_cycles: u64,
     /// Busy cycles summed over cores (utilization numerator).
@@ -119,20 +148,40 @@ pub struct LoadReport {
     pub p95_us: f64,
     /// 99th-percentile request latency (µs).
     pub p99_us: f64,
-    /// Phase ledger merged over every request's IPC invocations.
+    /// Phase ledger merged over every request's IPC invocations (plus
+    /// [`Phase::Queue`] waiting, windowed runs only).
     pub ledger: CycleLedger,
+    /// Engine-cache counters summed over cores, for systems that model
+    /// one ([`None`] otherwise).
+    pub engine_cache: Option<EngineCacheStats>,
 }
 
 impl LoadReport {
     /// Fraction of all IPC cycles that were cross-core surcharge.
     pub fn cross_core_fraction(&self) -> f64 {
+        self.phase_fraction(Phase::CrossCore)
+    }
+
+    /// Fraction of all ledger cycles that were queue waiting (0 in
+    /// closed-loop runs, which do not attribute waiting).
+    pub fn queue_fraction(&self) -> f64 {
+        self.phase_fraction(Phase::Queue)
+    }
+
+    fn phase_fraction(&self, phase: Phase) -> f64 {
         let total = self.ledger.total();
         if total == 0 {
             0.0
         } else {
-            self.ledger.get(Phase::CrossCore) as f64 / total as f64
+            self.ledger.get(phase) as f64 / total as f64
         }
     }
+}
+
+/// Convert cycles (as f64, so means pass through) to microseconds at
+/// `clock_hz` — the one place the report does this conversion.
+fn cycles_to_us(cycles: f64, clock_hz: u64) -> f64 {
+    cycles / clock_hz as f64 * 1e6
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -153,14 +202,55 @@ pub fn run_request(
     steps: &[Step],
     t0: u64,
 ) -> (u64, CycleLedger) {
+    let (done, ledger, _) = run_request_inner(mw, map, steps, t0, false);
+    (done, ledger)
+}
+
+/// [`run_request`] plus queue attribution and call counting: when
+/// `attribute_queue`, the wait each step spends behind its serving
+/// core's earlier work (`free_at - t`) is charged to [`Phase::Queue`]
+/// in the request ledger. Also returns the IPC calls the request made.
+fn run_request_inner(
+    mw: &mut MultiWorld,
+    map: &[CoreId],
+    steps: &[Step],
+    t0: u64,
+    attribute_queue: bool,
+) -> (u64, CycleLedger, u64) {
     let mut t = t0;
     let mut ledger = CycleLedger::new();
+    let mut ipc_calls = 0u64;
     for step in steps {
+        if attribute_queue {
+            let serving = match *step {
+                Step::Oneway { to, .. } | Step::Batch { to, .. } | Step::Roundtrip { to, .. } => to,
+                Step::Compute { at, .. } | Step::DataPass { at, .. } => at,
+            };
+            ledger.charge(Phase::Queue, mw.free_at(map[serving]).saturating_sub(t));
+        }
         match *step {
             Step::Oneway { from, to, bytes } => {
-                let (done, inv) =
-                    mw.exec_oneway(map[from], map[to], bytes, &InvokeOpts::call(), t);
+                let (done, inv) = mw.exec_oneway(map[from], map[to], bytes, &InvokeOpts::call(), t);
                 ledger.merge(&inv.ledger);
+                ipc_calls += 1;
+                t = done;
+            }
+            Step::Batch {
+                from,
+                to,
+                calls,
+                bytes_each,
+            } => {
+                let (done, inv) = mw.exec_batch(
+                    map[from],
+                    map[to],
+                    calls,
+                    bytes_each,
+                    &InvokeOpts::call(),
+                    t,
+                );
+                ledger.merge(&inv.ledger);
+                ipc_calls += calls;
                 t = done;
             }
             Step::Roundtrip {
@@ -171,6 +261,7 @@ pub fn run_request(
             } => {
                 let (done, inv) = mw.exec_roundtrip(map[from], map[to], request, response, t);
                 ledger.merge(&inv.ledger);
+                ipc_calls += 1;
                 t = done;
             }
             Step::Compute { at, cycles } => {
@@ -185,13 +276,16 @@ pub fn run_request(
             }
         }
     }
-    (t, ledger)
+    (t, ledger, ipc_calls)
 }
 
 /// Drive `spec.requests` requests from `spec.clients` closed-loop
 /// clients through `mw` under `policy`. Each request uses a recipe drawn
 /// from `recipes` by the seeded RNG; `n_services` is the recipe
 /// service-id space (service 0 is the client).
+///
+/// Exactly [`run_windowed`] with `window = 1` — same issue order, same
+/// RNG draws, same report, bit for bit.
 pub fn run(
     mw: &mut MultiWorld,
     policy: &Placement,
@@ -199,40 +293,77 @@ pub fn run(
     recipes: &[Vec<Step>],
     spec: &LoadGen,
 ) -> LoadReport {
+    run_windowed(mw, policy, n_services, recipes, spec, 1)
+}
+
+/// Drive `spec.requests` requests from `spec.clients` *windowed*
+/// clients: each client keeps up to `window` requests outstanding,
+/// issuing a replacement (after think time) as the oldest-completing
+/// one finishes. Issue order is "lowest issue-time first, ties to the
+/// lowest client index"; cores serve FIFO in virtual time, and (for
+/// `window > 1`) per-step queue waiting is charged to [`Phase::Queue`]
+/// in the report ledger.
+pub fn run_windowed(
+    mw: &mut MultiWorld,
+    policy: &Placement,
+    n_services: usize,
+    recipes: &[Vec<Step>],
+    spec: &LoadGen,
+    window: usize,
+) -> LoadReport {
     assert!(!recipes.is_empty(), "need at least one recipe");
     assert!(spec.clients > 0, "need at least one client");
+    assert!(window > 0, "a client keeps at least one request in flight");
+    let attribute_queue = window > 1;
     let mut rng = Rng::seed_from_u64(spec.seed);
-    let mut ready = vec![0u64; spec.clients];
+    // Per client: the earliest time it may issue its next request, and
+    // the completion (+ think) times of its outstanding requests.
+    let mut avail = vec![0u64; spec.clients];
+    let mut outstanding: Vec<Vec<u64>> = vec![Vec::new(); spec.clients];
     let mut latencies = Vec::with_capacity(spec.requests as usize);
     let mut ledger = CycleLedger::new();
     let mut makespan = 0u64;
+    let mut ipc_calls = 0u64;
     for r in 0..spec.requests {
-        // Next issuer: earliest-ready client, ties to the lowest index.
+        // Next issuer: earliest-issuable client, ties to the lowest index.
         let mut c = 0;
-        for i in 1..ready.len() {
-            if ready[i] < ready[c] {
+        for i in 1..avail.len() {
+            if avail[i] < avail[c] {
                 c = i;
             }
         }
-        let t0 = ready[c];
+        let t0 = avail[c];
         let recipe = &recipes[rng.below(recipes.len() as u64) as usize];
         let map = policy.assign(r, n_services, mw);
-        let (done, req_ledger) = run_request(mw, &map, recipe, t0);
+        let (done, req_ledger, calls) = run_request_inner(mw, &map, recipe, t0, attribute_queue);
         ledger.merge(&req_ledger);
+        ipc_calls += calls;
         latencies.push(done - t0);
         makespan = makespan.max(done);
-        ready[c] = done + spec.think_cycles;
+        outstanding[c].push(done + spec.think_cycles);
+        if outstanding[c].len() >= window {
+            // Window full: the next issue replaces the outstanding
+            // request that completes earliest.
+            let (i, &first_done) = outstanding[c]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &d)| d)
+                .expect("window >= 1 outstanding");
+            outstanding[c].swap_remove(i);
+            avail[c] = avail[c].max(first_done);
+        }
     }
     latencies.sort_unstable();
     let clock_hz = mw.core(0).cost.clock_hz;
-    let to_us = |cycles: u64| cycles as f64 / clock_hz as f64 * 1e6;
     let mean = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
     LoadReport {
         system: mw.core(0).ipc_name(),
         policy: policy.label(),
         cores: mw.n_cores(),
         clients: spec.clients,
+        window,
         requests: spec.requests,
+        ipc_calls,
         makespan_cycles: makespan,
         busy_cycles: mw.busy_cycles(),
         throughput_rps: if makespan == 0 {
@@ -240,11 +371,12 @@ pub fn run(
         } else {
             spec.requests as f64 * clock_hz as f64 / makespan as f64
         },
-        mean_us: mean / clock_hz as f64 * 1e6,
-        p50_us: to_us(percentile(&latencies, 0.50)),
-        p95_us: to_us(percentile(&latencies, 0.95)),
-        p99_us: to_us(percentile(&latencies, 0.99)),
+        mean_us: cycles_to_us(mean, clock_hz),
+        p50_us: cycles_to_us(percentile(&latencies, 0.50) as f64, clock_hz),
+        p95_us: cycles_to_us(percentile(&latencies, 0.95) as f64, clock_hz),
+        p99_us: cycles_to_us(percentile(&latencies, 0.99) as f64, clock_hz),
         ledger,
+        engine_cache: mw.engine_cache_stats(),
     }
 }
 
@@ -372,6 +504,175 @@ mod tests {
         assert_eq!(percentile(&v, 0.99), 99);
         assert_eq!(percentile(&v, 1.0), 100);
         assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty slice: 0 at every quantile.
+        assert_eq!(percentile(&[], 0.0), 0);
+        assert_eq!(percentile(&[], 1.0), 0);
+        // Single element: that element at every quantile.
+        assert_eq!(percentile(&[42], 0.0), 42);
+        assert_eq!(percentile(&[42], 0.5), 42);
+        assert_eq!(percentile(&[42], 1.0), 42);
+        // q = 0.0 clamps to the first element, q = 1.0 is the last.
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 10);
+        // Tiny q still lands on the first element, not out of range.
+        assert_eq!(percentile(&v, 0.001), 1);
+    }
+
+    /// The closed-loop driver exactly as it existed before the windowed
+    /// refactor — kept here as the oracle that pins `run` /
+    /// `run_windowed(window = 1)` to the historical behavior bit for bit.
+    fn closed_loop_oracle(
+        mw: &mut MultiWorld,
+        policy: &Placement,
+        n_services: usize,
+        recipes: &[Vec<Step>],
+        spec: &LoadGen,
+    ) -> (Vec<u64>, CycleLedger, u64) {
+        let mut rng = ycsb::rng::Rng::seed_from_u64(spec.seed);
+        let mut ready = vec![0u64; spec.clients];
+        let mut latencies = Vec::new();
+        let mut ledger = CycleLedger::new();
+        let mut makespan = 0u64;
+        for r in 0..spec.requests {
+            let mut c = 0;
+            for i in 1..ready.len() {
+                if ready[i] < ready[c] {
+                    c = i;
+                }
+            }
+            let t0 = ready[c];
+            let recipe = &recipes[rng.below(recipes.len() as u64) as usize];
+            let map = policy.assign(r, n_services, mw);
+            let (done, req_ledger) = run_request(mw, &map, recipe, t0);
+            ledger.merge(&req_ledger);
+            latencies.push(done - t0);
+            makespan = makespan.max(done);
+            ready[c] = done + spec.think_cycles;
+        }
+        latencies.sort_unstable();
+        (latencies, ledger, makespan)
+    }
+
+    #[test]
+    fn window_of_one_reproduces_the_closed_loop_bit_for_bit() {
+        let spec = LoadGen {
+            think_cycles: 250,
+            ..spec()
+        };
+        let mut oracle_mw = MultiWorld::new(4, || Box::new(Fixed));
+        let (lat, ledger, makespan) = closed_loop_oracle(
+            &mut oracle_mw,
+            &Placement::RoundRobin,
+            3,
+            &[recipe()],
+            &spec,
+        );
+        let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+        let r = run_windowed(&mut mw, &Placement::RoundRobin, 3, &[recipe()], &spec, 1);
+        assert_eq!(r.ledger, ledger, "same merged ledger, span for span");
+        assert_eq!(r.makespan_cycles, makespan);
+        assert_eq!(r.busy_cycles, oracle_mw.busy_cycles());
+        let hz = mw.core(0).cost.clock_hz;
+        assert_eq!(r.p99_us, percentile(&lat, 0.99) as f64 / hz as f64 * 1e6);
+        // No queue attribution in the closed loop — not even zero spans.
+        assert_eq!(r.ledger.get(Phase::Queue), 0);
+        assert!(!r.ledger.spans().iter().any(|(p, _)| *p == Phase::Queue));
+        // And `run` is the same thing by construction.
+        let mut mw2 = MultiWorld::new(4, || Box::new(Fixed));
+        assert_eq!(
+            run(&mut mw2, &Placement::RoundRobin, 3, &[recipe()], &spec),
+            r
+        );
+    }
+
+    #[test]
+    fn windowed_same_seed_is_bit_identical() {
+        let run_once = || {
+            let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+            run_windowed(&mut mw, &Placement::RoundRobin, 3, &[recipe()], &spec(), 16)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn open_windows_attribute_queueing() {
+        // 4 clients with 4 requests in flight each against one core:
+        // almost everything waits, and the wait lands in Phase::Queue.
+        let heavy = vec![Step::Roundtrip {
+            from: 0,
+            to: 1,
+            request: 64,
+            response: 4096,
+        }];
+        let mut mw = MultiWorld::new(1, || Box::new(Fixed));
+        let r = run_windowed(&mut mw, &Placement::SameCore, 2, &[heavy], &spec(), 4);
+        assert!(r.ledger.get(Phase::Queue) > 0, "contention must queue");
+        assert!(r.queue_fraction() > 0.0);
+        assert_eq!(r.window, 4);
+        // Queue time is *waiting*, not work: it never inflates core busy
+        // cycles, so utilization stays bounded by the makespan.
+        assert!(r.busy_cycles <= r.cores as u64 * r.makespan_cycles);
+    }
+
+    #[test]
+    fn wider_windows_do_not_reduce_throughput() {
+        // With think time dominating service time the closed loop leaves
+        // cores idle while clients think; an open window hides that.
+        let spec = LoadGen {
+            clients: 4,
+            requests: 200,
+            seed: 11,
+            think_cycles: 200_000,
+        };
+        let rps = |window: usize| {
+            let mut mw = MultiWorld::new(2, || Box::new(Fixed));
+            run_windowed(
+                &mut mw,
+                &Placement::RoundRobin,
+                3,
+                &[recipe()],
+                &spec,
+                window,
+            )
+            .throughput_rps
+        };
+        let (w1, w4, w16) = (rps(1), rps(4), rps(16));
+        assert!(
+            w4 > w1,
+            "window 4 ({w4:.0} rps) must beat closed loop ({w1:.0} rps)"
+        );
+        assert!(
+            w16 >= w4,
+            "window 16 ({w16:.0} rps) vs window 4 ({w4:.0} rps)"
+        );
+    }
+
+    #[test]
+    fn batch_steps_count_their_calls() {
+        let burst = vec![Step::Batch {
+            from: 0,
+            to: 1,
+            calls: 8,
+            bytes_each: 64,
+        }];
+        let mut mw = MultiWorld::new(2, || Box::new(Fixed));
+        let spec = LoadGen {
+            clients: 2,
+            requests: 10,
+            seed: 3,
+            think_cycles: 0,
+        };
+        let r = run(&mut mw, &Placement::RoundRobin, 2, &[burst], &spec);
+        assert_eq!(r.ipc_calls, 80);
+        assert_eq!(r.requests, 10);
+        // `Fixed` amortizes nothing, so the batch costs 8 full calls.
+        assert_eq!(r.ledger.get(Phase::Trap), 80 * 100);
+        assert_eq!(r.engine_cache, None);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! driver lives in [`crate::load`].
 
 use crate::cost::CostModel;
-use crate::ipc::IpcSystem;
+use crate::ipc::{EngineCacheStats, IpcSystem};
 use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 use crate::world::World;
 
@@ -119,6 +119,30 @@ impl IpcSystem for CrossCore {
 
     fn migrating_threads(&self) -> bool {
         self.inner.migrating_threads()
+    }
+
+    fn batch_amortizable(&self, first: &Invocation, opts: &InvokeOpts) -> CycleLedger {
+        self.inner.batch_amortizable(first, opts)
+    }
+
+    fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
+        // Delegate to the inner system (keeping its amortization *and*
+        // its stats counting), then surcharge every call: batching does
+        // not amortize the IPI or the remote wakeup — each cross-core
+        // delivery still interrupts and wakes the target core.
+        let inv = self.inner.invoke_batch(calls, bytes_each, opts);
+        let extra = if self.inner.migrating_threads() {
+            0
+        } else {
+            calls * self.xc.hop_extra(bytes_each as u64)
+        };
+        let mut ledger = inv.ledger;
+        ledger.charge(Phase::CrossCore, extra);
+        Invocation::from_ledger(ledger, inv.copied_bytes)
+    }
+
+    fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
+        self.inner.engine_cache_stats()
     }
 }
 
@@ -266,12 +290,31 @@ impl MultiWorld {
         l
     }
 
-    fn surcharge(&self, to: CoreId, cross: bool, bytes: u64, inv: Invocation) -> Invocation {
+    /// Engine-cache counters summed over every core's system ([`None`]
+    /// when no core models one).
+    pub fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
+        let mut acc: Option<EngineCacheStats> = None;
+        for w in &self.cores {
+            if let Some(s) = w.engine_cache_stats() {
+                acc.get_or_insert_with(EngineCacheStats::default).merge(s);
+            }
+        }
+        acc
+    }
+
+    fn surcharge(
+        &self,
+        to: CoreId,
+        cross: bool,
+        bytes: u64,
+        calls: u64,
+        inv: Invocation,
+    ) -> Invocation {
         if !cross || self.cores[to].migrating_threads() {
             return inv;
         }
         let mut ledger = inv.ledger;
-        ledger.charge(Phase::CrossCore, self.xc.hop_extra(bytes));
+        ledger.charge(Phase::CrossCore, calls * self.xc.hop_extra(bytes));
         Invocation::from_ledger(ledger, inv.copied_bytes)
     }
 
@@ -294,9 +337,31 @@ impl MultiWorld {
         ready: u64,
     ) -> (u64, Invocation) {
         let inv = self.cores[to].price_oneway(bytes, opts);
-        let inv = self.surcharge(to, from != to, bytes, inv);
+        let inv = self.surcharge(to, from != to, bytes, 1, inv);
         let done = self.exec(to, ready, inv.total);
         self.cores[to].charge_invocation(bytes, inv.clone());
+        (done, inv)
+    }
+
+    /// A burst of `calls` one-way hops of `bytes_each` from `from`'s
+    /// core into `to`'s core submitted together at `ready` (see
+    /// [`IpcSystem::invoke_batch`]): the serving core's system amortizes
+    /// its per-batch work; crossing cores pays the full §5.2 surcharge
+    /// *per call* — every delivery still raises its own IPI and remote
+    /// wakeup, batching amortizes none of that.
+    pub fn exec_batch(
+        &mut self,
+        from: CoreId,
+        to: CoreId,
+        calls: u64,
+        bytes_each: u64,
+        opts: &InvokeOpts,
+        ready: u64,
+    ) -> (u64, Invocation) {
+        let inv = self.cores[to].price_batch(calls, bytes_each, opts);
+        let inv = self.surcharge(to, from != to, bytes_each, calls, inv);
+        let done = self.exec(to, ready, inv.total);
+        self.cores[to].charge_batch(calls, calls * bytes_each, inv.clone());
         (done, inv)
     }
 
@@ -313,9 +378,9 @@ impl MultiWorld {
     ) -> (u64, Invocation) {
         let cross = from != to;
         let call = self.cores[to].price_oneway(request, &InvokeOpts::call());
-        let call = self.surcharge(to, cross, request, call);
+        let call = self.surcharge(to, cross, request, 1, call);
         let reply = self.cores[to].price_oneway(response, &InvokeOpts::reply_leg());
-        let reply = self.surcharge(to, cross, response, reply);
+        let reply = self.surcharge(to, cross, response, 1, reply);
         let inv = call.plus(reply);
         let done = self.exec(to, ready, inv.total);
         self.cores[to].charge_invocation(request + response, inv.clone());
@@ -398,17 +463,18 @@ mod tests {
         let inv = cc.oneway(4096, &InvokeOpts::call());
         assert_eq!(inv.ledger.get(Phase::CrossCore), 0);
         // The zero-cost span is still recorded: the hop *did* cross.
-        assert!(inv.ledger.spans().iter().any(|(p, _)| *p == Phase::CrossCore));
+        assert!(inv
+            .ledger
+            .spans()
+            .iter()
+            .any(|(p, _)| *p == Phase::CrossCore));
         assert_eq!(inv.total, 100 + 4096);
     }
 
     #[test]
     fn surcharge_constant_part_matches_the_cost_model() {
         let xc = XCoreCost::u500();
-        assert_eq!(
-            xc.ipi + xc.remote_wakeup,
-            CostModel::u500().cross_core_base
-        );
+        assert_eq!(xc.ipi + xc.remote_wakeup, CostModel::u500().cross_core_base);
         assert_eq!(xc.hop_extra(0), CostModel::u500().cross_core_base);
         assert!(xc.hop_extra(4096) > xc.hop_extra(0));
     }
@@ -461,6 +527,37 @@ mod tests {
         assert_eq!(Placement::RoundRobin.assign(5, 3, &mw), vec![0, 1, 1]);
         assert_eq!(Placement::RoundRobin.assign(4, 3, &mw), vec![0, 0, 0]);
         assert_eq!(Placement::LeastLoaded.assign(0, 2, &mw), vec![0, 0]);
+    }
+
+    #[test]
+    fn cross_core_surcharge_is_per_call_in_a_batch() {
+        // `Fixed` has no IpcLogic phase, so the default amortization
+        // amortizes nothing: a batch of n costs exactly n oneway calls —
+        // and crossing cores must still pay n full surcharges.
+        let mut mw = MultiWorld::new(2, fixed);
+        let n = 8u64;
+        let (_, inv) = mw.exec_batch(0, 1, n, 64, &InvokeOpts::call(), 0);
+        assert_eq!(
+            inv.ledger.get(Phase::CrossCore),
+            n * XCoreCost::u500().hop_extra(64)
+        );
+        assert_eq!(inv.total, n * (100 + 64 + XCoreCost::u500().hop_extra(64)));
+        assert_eq!(mw.core(1).stats.ipc_count, n);
+        // Same-core batches pay none.
+        let (_, inv) = mw.exec_batch(0, 0, n, 64, &InvokeOpts::call(), 0);
+        assert_eq!(inv.ledger.get(Phase::CrossCore), 0);
+    }
+
+    #[test]
+    fn cross_core_adapter_batches_like_the_multiworld() {
+        let mut cc = CrossCore::new(fixed());
+        let inv = cc.invoke_batch(4, 16, &InvokeOpts::call());
+        assert_eq!(
+            inv.ledger.get(Phase::CrossCore),
+            4 * XCoreCost::u500().hop_extra(16)
+        );
+        assert_eq!(inv.total, inv.ledger.total());
+        assert_eq!(cc.engine_cache_stats(), None);
     }
 
     #[test]

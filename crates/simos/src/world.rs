@@ -8,7 +8,7 @@
 //! phases.
 
 use crate::cost::CostModel;
-use crate::ipc::IpcSystem;
+use crate::ipc::{EngineCacheStats, IpcSystem};
 use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 
 /// Accumulated accounting.
@@ -134,6 +134,18 @@ impl World {
         self.ipc.roundtrip(request as usize, response as usize)
     }
 
+    /// Price a burst of `calls` one-way hops of `bytes_each` submitted
+    /// together *without* charging it (see
+    /// [`IpcSystem::invoke_batch`]).
+    pub fn price_batch(&mut self, calls: u64, bytes_each: u64, opts: &InvokeOpts) -> Invocation {
+        self.ipc.invoke_batch(calls, bytes_each as usize, opts)
+    }
+
+    /// Engine-cache counters of the active system, when it models one.
+    pub fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
+        self.ipc.engine_cache_stats()
+    }
+
     /// Charge one IPC round trip carrying `request` bytes out and
     /// `response` bytes back.
     pub fn ipc_roundtrip(&mut self, request: u64, response: u64) {
@@ -150,11 +162,18 @@ impl World {
     /// Charge an already-priced invocation carrying `payload` bytes into
     /// the clock, the IPC/compute split, and the merged ledger.
     pub fn charge_invocation(&mut self, payload: u64, inv: Invocation) {
+        self.charge_batch(1, payload, inv);
+    }
+
+    /// Charge an already-priced batch of `calls` invocations carrying
+    /// `payload` bytes total: one size-histogram event (the burst was one
+    /// submission), `calls` IPC invocations.
+    pub fn charge_batch(&mut self, calls: u64, payload: u64, inv: Invocation) {
         self.cycles += inv.total;
         self.stats.ipc_cycles += inv.total;
         self.stats.ipc_transfer_cycles += inv.ledger.get(Phase::Transfer);
         self.stats.events.push((payload, inv.total));
-        self.stats.ipc_count += 1;
+        self.stats.ipc_count += calls;
         self.stats.payload_bytes += payload;
         self.stats.ledger.merge(&inv.ledger);
     }

@@ -155,7 +155,10 @@ mod tests {
     fn warm_xcall_calibration_arithmetic() {
         // fetch(1) + logic + (1 + cap_extra) + (4 + entry_extra) + (10 + drain)
         let t = XpcTimings::rocket();
-        let blocking = 1 + t.xcall_logic + (1 + t.cap_check_extra) + (4 + t.entry_fetch_extra)
+        let blocking = 1
+            + t.xcall_logic
+            + (1 + t.cap_check_extra)
+            + (4 + t.entry_fetch_extra)
             + (10 + t.link_push_drain);
         assert_eq!(blocking, 34, "Figure 5 xcall component");
         let nonblocking = blocking - 10 - t.link_push_drain;

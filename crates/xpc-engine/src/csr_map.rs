@@ -80,7 +80,12 @@ mod tests {
 
     #[test]
     fn kernel_csrs_are_supervisor_range() {
-        for a in [XPC_XENTRY_TABLE, XPC_XENTRY_TABLE_SIZE, XPC_XCALL_CAP, XPC_LINK] {
+        for a in [
+            XPC_XENTRY_TABLE,
+            XPC_XENTRY_TABLE_SIZE,
+            XPC_XCALL_CAP,
+            XPC_LINK,
+        ] {
             assert_eq!((a >> 8) & 0b11, 0b01, "{a:#x} should be S-level");
         }
     }

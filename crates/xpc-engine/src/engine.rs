@@ -415,10 +415,8 @@ mod tests {
     /// CALLEE, caller granted the capability, all in bare (M-mode-less,
     /// satp-off) addressing for unit simplicity.
     fn fixture(cfg: XpcEngineConfig) -> Machine {
-        let mut m = Machine::with_extension(
-            MachineConfig::rocket_u500(),
-            Box::new(XpcEngine::new(cfg)),
-        );
+        let mut m =
+            Machine::with_extension(MachineConfig::rocket_u500(), Box::new(XpcEngine::new(cfg)));
         // Callee: a1 = 77; xret.
         let mut c = Assembler::new(CALLEE);
         c.li(rv64::reg::A1, 77);
@@ -498,7 +496,7 @@ mod tests {
     fn missing_capability_raises_invalid_xcall_cap() {
         let mut m = fixture(XpcEngineConfig::paper_default());
         m.core.mem.write(CAP_A, 1, 0).unwrap(); // revoke
-        // Install an M-mode trap handler that stops.
+                                                // Install an M-mode trap handler that stops.
         let mut h = Assembler::new(DRAM_BASE + 0x8000);
         h.csrr(rv64::reg::A0, 0x342); // mcause
         h.ebreak();
@@ -653,9 +651,12 @@ mod tests {
             writable: false,
             paged: false,
         };
-        SegDescriptor { seg: slot_seg, valid: true }
-            .store(&mut m.core, list, 3)
-            .unwrap();
+        SegDescriptor {
+            seg: slot_seg,
+            valid: true,
+        }
+        .store(&mut m.core, list, 3)
+        .unwrap();
         {
             let eng = engine(&mut m);
             eng.regs.seg = seg0;
@@ -720,9 +721,12 @@ mod tests {
             writable: true,
             paged: false,
         };
-        SegDescriptor { seg: callee_own, valid: true }
-            .store(&mut m.core, list, 0)
-            .unwrap();
+        SegDescriptor {
+            seg: callee_own,
+            valid: true,
+        }
+        .store(&mut m.core, list, 0)
+        .unwrap();
         {
             let (core, ext) = m.split();
             let eng = ext.as_any_mut().downcast_mut::<XpcEngine>().unwrap();
@@ -829,11 +833,18 @@ mod tests {
             a.ebreak();
         });
         assert_eq!(m.core.cpu.x(rv64::reg::A2), 0x4000_0800, "masked base");
-        assert_eq!(m.core.cpu.x(rv64::reg::A3) & 0xffff_ffff, 1024, "masked len");
+        assert_eq!(
+            m.core.cpu.x(rv64::reg::A3) & 0xffff_ffff,
+            1024,
+            "masked len"
+        );
         // After return the caller's full segment is restored.
         let eng = engine(&mut m);
         assert_eq!(eng.regs.seg, caller_seg);
-        assert!(eng.regs.mask.is_set(), "caller's own mask survives the call");
+        assert!(
+            eng.regs.mask.is_set(),
+            "caller's own mask survives the call"
+        );
     }
 
     #[test]

@@ -36,13 +36,41 @@ impl ResourceRow {
 /// The published Table 6 (Freedom U500, Vivado, no engine cache).
 pub fn published_table6() -> Vec<ResourceRow> {
     vec![
-        ResourceRow { resource: "LUT", freedom: 44_643, xpc: 45_531 },
-        ResourceRow { resource: "LUTRAM", freedom: 3_370, xpc: 3_370 },
-        ResourceRow { resource: "SRL", freedom: 636, xpc: 636 },
-        ResourceRow { resource: "FF", freedom: 30_379, xpc: 31_386 },
-        ResourceRow { resource: "RAMB36", freedom: 3, xpc: 3 },
-        ResourceRow { resource: "RAMB18", freedom: 48, xpc: 48 },
-        ResourceRow { resource: "DSP48 Blocks", freedom: 15, xpc: 16 },
+        ResourceRow {
+            resource: "LUT",
+            freedom: 44_643,
+            xpc: 45_531,
+        },
+        ResourceRow {
+            resource: "LUTRAM",
+            freedom: 3_370,
+            xpc: 3_370,
+        },
+        ResourceRow {
+            resource: "SRL",
+            freedom: 636,
+            xpc: 636,
+        },
+        ResourceRow {
+            resource: "FF",
+            freedom: 30_379,
+            xpc: 31_386,
+        },
+        ResourceRow {
+            resource: "RAMB36",
+            freedom: 3,
+            xpc: 3,
+        },
+        ResourceRow {
+            resource: "RAMB18",
+            freedom: 48,
+            xpc: 48,
+        },
+        ResourceRow {
+            resource: "DSP48 Blocks",
+            freedom: 15,
+            xpc: 16,
+        },
     ]
 }
 
@@ -64,14 +92,14 @@ pub struct EngineEstimate {
 /// (1 FF/bit of state, ~0.5 LUT/bit of compare/mux fabric).
 pub fn estimated_engine_cost() -> EngineEstimate {
     let csr_bits: u64 = [
-        64, // x-entry-table-reg
-        16, // x-entry-table-size (1024 entries needs 10+ bits)
-        64, // xcall-cap-reg
-        64, // link-reg
-        13, // link-sp (8 KiB stack)
-        64 + 64 + 49,      // seg-reg (va, pa, len+perm)
-        64 + 49,           // seg-mask
-        64 + 8,            // seg-list + size
+        64,           // x-entry-table-reg
+        16,           // x-entry-table-size (1024 entries needs 10+ bits)
+        64,           // xcall-cap-reg
+        64,           // link-reg
+        13,           // link-sp (8 KiB stack)
+        64 + 64 + 49, // seg-reg (va, pa, len+perm)
+        64 + 49,      // seg-mask
+        64 + 8,       // seg-list + size
     ]
     .iter()
     .sum();
@@ -119,7 +147,11 @@ mod tests {
         // Published deltas: +888 LUT, +1007 FF, +1 DSP.
         let e = estimated_engine_cost();
         assert!(e.ff > 300 && e.ff < 3000, "FF estimate {} off-order", e.ff);
-        assert!(e.lut > 200 && e.lut < 3000, "LUT estimate {} off-order", e.lut);
+        assert!(
+            e.lut > 200 && e.lut < 3000,
+            "LUT estimate {} off-order",
+            e.lut
+        );
         assert_eq!(e.dsp, 1);
     }
 }

@@ -82,9 +82,7 @@ pub struct SegReg {
 impl SegReg {
     /// Pack length+permission into the raw CSR value.
     pub fn len_perm_raw(&self) -> u64 {
-        (self.len & ((1 << 48) - 1))
-            | ((self.writable as u64) << 63)
-            | ((self.paged as u64) << 62)
+        (self.len & ((1 << 48) - 1)) | ((self.writable as u64) << 63) | ((self.paged as u64) << 62)
     }
 
     /// Unpack a raw len/perm CSR value into this register.
@@ -111,9 +109,7 @@ impl SegReg {
         if !mask.is_set() {
             return *self;
         }
-        if mask.va_base < self.va_base
-            || mask.va_base + mask.len > self.va_base + self.len
-        {
+        if mask.va_base < self.va_base || mask.va_base + mask.len > self.va_base + self.len {
             return SegReg::invalid();
         }
         if self.paged {
@@ -394,11 +390,17 @@ mod tests {
             valid: true,
         };
         r.store(&mut c, DRAM_BASE + 0x2000, 0, true).unwrap();
-        assert_eq!(LinkageRecord::load(&mut c, DRAM_BASE + 0x2000, 0).unwrap(), r);
+        assert_eq!(
+            LinkageRecord::load(&mut c, DRAM_BASE + 0x2000, 0).unwrap(),
+            r
+        );
         let before = c.cycles;
         r.store(&mut c, DRAM_BASE + 0x3000, 80, false).unwrap();
         assert_eq!(c.cycles, before, "non-blocking store is uncharged");
-        assert_eq!(LinkageRecord::load(&mut c, DRAM_BASE + 0x3000, 80).unwrap(), r);
+        assert_eq!(
+            LinkageRecord::load(&mut c, DRAM_BASE + 0x3000, 80).unwrap(),
+            r
+        );
     }
 
     #[test]
@@ -442,9 +444,21 @@ mod tests {
             writable: false,
             paged: false,
         };
-        assert!(SegMask { va_base: 0x1000, len: 0x1000 }.within(&seg));
-        assert!(!SegMask { va_base: 0xfff, len: 8 }.within(&seg));
-        assert!(!SegMask { va_base: 0x1ff9, len: 0x10 }.within(&seg));
+        assert!(SegMask {
+            va_base: 0x1000,
+            len: 0x1000
+        }
+        .within(&seg));
+        assert!(!SegMask {
+            va_base: 0xfff,
+            len: 8
+        }
+        .within(&seg));
+        assert!(!SegMask {
+            va_base: 0x1ff9,
+            len: 0x10
+        }
+        .within(&seg));
         assert!(SegMask::none().within(&seg));
     }
 
@@ -457,7 +471,11 @@ mod tests {
             writable: false,
             paged: false,
         };
-        assert!(!SegMask { va_base: 0x1800, len: u64::MAX - 1 }.within(&seg));
+        assert!(!SegMask {
+            va_base: 0x1800,
+            len: u64::MAX - 1
+        }
+        .within(&seg));
     }
 
     #[test]
@@ -483,6 +501,9 @@ mod tests {
             valid: true,
         };
         d.store(&mut c, DRAM_BASE + 0x4000, 5).unwrap();
-        assert_eq!(SegDescriptor::load(&mut c, DRAM_BASE + 0x4000, 5).unwrap(), d);
+        assert_eq!(
+            SegDescriptor::load(&mut c, DRAM_BASE + 0x4000, 5).unwrap(),
+            d
+        );
     }
 }

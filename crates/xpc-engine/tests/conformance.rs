@@ -36,7 +36,10 @@ fn all_table2_registers_are_addressable() {
     for (i, (addr, val)) in regs.iter().enumerate() {
         a.li(reg::T1, *val as i64);
         a.csrw(*addr, reg::T1);
-        a.li(reg::T2, (rv64::mem::DRAM_BASE + 0x9000 + 8 * i as u64) as i64);
+        a.li(
+            reg::T2,
+            (rv64::mem::DRAM_BASE + 0x9000 + 8 * i as u64) as i64,
+        );
         a.csrr(reg::T3, *addr);
         a.sd(reg::T3, reg::T2, 0);
     }

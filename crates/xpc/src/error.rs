@@ -45,10 +45,16 @@ impl fmt::Display for XpcError {
                 write!(f, "thread {thread} holds no grant-cap for x-entry {entry}")
             }
             XpcError::SegNotOwned { seg, owner } => {
-                write!(f, "relay segment {seg} not owned by caller (owner: {owner:?})")
+                write!(
+                    f,
+                    "relay segment {seg} not owned by caller (owner: {owner:?})"
+                )
             }
             XpcError::SegOverlap { va, len } => {
-                write!(f, "relay segment {va:#x}+{len:#x} overlaps an existing mapping")
+                write!(
+                    f,
+                    "relay segment {va:#x}+{len:#x} overlaps an existing mapping"
+                )
             }
             XpcError::SegListFull => write!(f, "per-process seg-list full"),
             XpcError::GuestFault(s) => write!(f, "unexpected guest fault: {s}"),
@@ -71,8 +77,14 @@ mod tests {
         for e in [
             XpcError::OutOfMemory,
             XpcError::NoSuchProcess(3),
-            XpcError::SegOverlap { va: 0x1000, len: 64 },
-            XpcError::NoGrantCap { thread: 1, entry: 2 },
+            XpcError::SegOverlap {
+                va: 0x1000,
+                len: 64,
+            },
+            XpcError::NoGrantCap {
+                thread: 1,
+                entry: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -178,10 +178,8 @@ impl XpcKernel {
     /// Boot: install the engine, the M-mode trap stub and the global
     /// x-entry table.
     pub fn boot(cfg: XpcKernelConfig) -> Self {
-        let mut machine = Machine::with_extension(
-            cfg.machine.clone(),
-            Box::new(XpcEngine::new(cfg.engine)),
-        );
+        let mut machine =
+            Machine::with_extension(cfg.machine.clone(), Box::new(XpcEngine::new(cfg.engine)));
         // M-mode stub: a single ebreak; every trap surfaces to the host.
         machine.load_program_at(KSTUB_PA, &[0x0010_0073]);
         machine.core.cpu.csr.mtvec = KSTUB_PA;
@@ -504,7 +502,8 @@ impl XpcKernel {
             valid: true,
         };
         let table_pa = self.engine().regs.x_entry_table;
-        entry.store(&mut self.machine.core, table_pa, id)
+        entry
+            .store(&mut self.machine.core, table_pa, id)
             .expect("table in DRAM");
         self.engine().invalidate_cache();
 
@@ -547,7 +546,8 @@ impl XpcKernel {
             valid: true,
         };
         let table_pa = self.engine().regs.x_entry_table;
-        entry.store(&mut self.machine.core, table_pa, id)
+        entry
+            .store(&mut self.machine.core, table_pa, id)
             .expect("table in DRAM");
         self.engine().invalidate_cache();
         self.entries[id as usize] = Some(EntryInfo {
@@ -583,7 +583,12 @@ impl XpcKernel {
         let cap_pa = self.thread(grantee)?.runtime.cap_bitmap_pa;
         debug_assert!(entry.0 / 8 < CAP_BITMAP_BYTES);
         let byte_pa = cap_pa + entry.0 / 8;
-        let old = self.machine.core.mem.read(byte_pa, 1).expect("bitmap in DRAM");
+        let old = self
+            .machine
+            .core
+            .mem
+            .read(byte_pa, 1)
+            .expect("bitmap in DRAM");
         self.machine
             .core
             .mem
@@ -714,7 +719,12 @@ impl XpcKernel {
     pub fn revoke_xcall(&mut self, thread: ThreadId, entry: XEntryId) -> Result<(), XpcError> {
         let cap_pa = self.thread(thread)?.runtime.cap_bitmap_pa;
         let byte_pa = cap_pa + entry.0 / 8;
-        let old = self.machine.core.mem.read(byte_pa, 1).expect("bitmap in DRAM");
+        let old = self
+            .machine
+            .core
+            .mem
+            .read(byte_pa, 1)
+            .expect("bitmap in DRAM");
         self.machine
             .core
             .mem
@@ -753,9 +763,9 @@ impl XpcKernel {
         pages: u64,
     ) -> Result<SegHandle, XpcError> {
         self.thread(owner)?;
-        let (h, table_pa, frames) =
-            self.segs
-                .alloc_paged(&mut self.alloc, pages, owner.0, true)?;
+        let (h, table_pa, frames) = self
+            .segs
+            .alloc_paged(&mut self.alloc, pages, owner.0, true)?;
         crate::pagetable::zero_frame(&mut self.machine.core.mem, table_pa);
         for (i, f) in frames.iter().enumerate() {
             crate::pagetable::zero_frame(&mut self.machine.core.mem, *f);
@@ -857,12 +867,7 @@ impl XpcKernel {
     /// # Errors
     ///
     /// Bad slot, ownership violation, unknown ids.
-    pub fn stash_seg(
-        &mut self,
-        pid: ProcessId,
-        slot: u64,
-        h: SegHandle,
-    ) -> Result<(), XpcError> {
+    pub fn stash_seg(&mut self, pid: ProcessId, slot: u64, h: SegHandle) -> Result<(), XpcError> {
         if slot >= SEG_LIST_SLOTS {
             return Err(XpcError::SegListFull);
         }
@@ -879,14 +884,20 @@ impl XpcKernel {
     /// handles both contiguous and paged segments).
     pub fn write_seg(&mut self, h: SegHandle, offset: u64, bytes: &[u8]) {
         let seg = self.segs.seg_reg(h);
-        assert!(offset + bytes.len() as u64 <= seg.len, "write escapes segment");
+        assert!(
+            offset + bytes.len() as u64 <= seg.len,
+            "write escapes segment"
+        );
         let mut pos = 0usize;
         while pos < bytes.len() {
             let off = offset + pos as u64;
             let in_page = (4096 - (off & 0xfff)) as usize;
             let take = in_page.min(bytes.len() - pos);
             let pa = self.seg_offset_pa(h, off);
-            self.machine.core.mem.load_bytes(pa, &bytes[pos..pos + take]);
+            self.machine
+                .core
+                .mem
+                .load_bytes(pa, &bytes[pos..pos + take]);
             pos += take;
         }
     }
@@ -1259,7 +1270,10 @@ impl XpcKernel {
                 let rec = LinkageRecord::load(&mut self.machine.core, link, off)
                     .map_err(|t| XpcError::GuestFault(t.to_string()))?;
                 if rec.satp == satp && rec.valid {
-                    let invalid = LinkageRecord { valid: false, ..rec };
+                    let invalid = LinkageRecord {
+                        valid: false,
+                        ..rec
+                    };
                     invalid
                         .store(&mut self.machine.core, link, off, false)
                         .map_err(|t| XpcError::GuestFault(t.to_string()))?;

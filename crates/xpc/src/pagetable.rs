@@ -147,7 +147,13 @@ impl AddressSpace {
     ) -> Result<u64, XpcError> {
         let base = alloc.alloc_contig(n)?;
         for i in 0..n {
-            self.map_page(mem, alloc, va + i * FRAME_BYTES, base + i * FRAME_BYTES, perms)?;
+            self.map_page(
+                mem,
+                alloc,
+                va + i * FRAME_BYTES,
+                base + i * FRAME_BYTES,
+                perms,
+            )?;
         }
         Ok(base)
     }
@@ -221,10 +227,32 @@ mod tests {
             .map_page(&mut mem, &mut alloc, 0x1_0000, pa, PagePerms::UserCode)
             .unwrap();
         assert!(mmu
-            .translate(0x1_0000, 8, Access::Store, Mode::User, space.satp(), false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x1_0000,
+                8,
+                Access::Store,
+                Mode::User,
+                space.satp(),
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_err());
         assert!(mmu
-            .translate(0x1_0000, 4, Access::Fetch, Mode::User, space.satp(), false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x1_0000,
+                4,
+                Access::Fetch,
+                Mode::User,
+                space.satp(),
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_ok());
     }
 
@@ -251,7 +279,18 @@ mod tests {
             .unwrap();
         space.zero_root(&mut mem);
         assert!(mmu
-            .translate(0x1_0000, 8, Access::Load, Mode::User, space.satp(), false, false, &mut mem, &mut dc, &cfg)
+            .translate(
+                0x1_0000,
+                8,
+                Access::Load,
+                Mode::User,
+                space.satp(),
+                false,
+                false,
+                &mut mem,
+                &mut dc,
+                &cfg
+            )
             .is_err());
     }
 

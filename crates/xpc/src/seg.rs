@@ -308,10 +308,11 @@ impl SegRegistry {
             .iter()
             .filter(|i| i.owner != SegOwner::Freed)
             .collect();
-        if self.va_cursor < RELAY_REGION_VA
-            || self.va_cursor > RELAY_REGION_VA + RELAY_REGION_LEN
-        {
-            return Err(format!("cursor outside relay window: {:#x}", self.va_cursor));
+        if self.va_cursor < RELAY_REGION_VA || self.va_cursor > RELAY_REGION_VA + RELAY_REGION_LEN {
+            return Err(format!(
+                "cursor outside relay window: {:#x}",
+                self.va_cursor
+            ));
         }
         for (n, &(b, l)) in self.free_va.iter().enumerate() {
             if b < RELAY_REGION_VA || b + l > self.va_cursor {
@@ -339,8 +340,7 @@ impl SegRegistry {
                 return Err(format!("segment outside relay window: {:?}", a.seg));
             }
             for b in live.iter().skip(n + 1) {
-                let va_overlap =
-                    a.seg.va_base < b.seg.va_base + b.seg.len && b.seg.va_base < a_end;
+                let va_overlap = a.seg.va_base < b.seg.va_base + b.seg.len && b.seg.va_base < a_end;
                 // Paged segments' data frames come from the allocator
                 // (disjoint by construction); their pa_base is a table
                 // pointer, so the linear PA check only applies to

@@ -93,9 +93,7 @@ fn link_stack_overflow_raises_invalid_linkage() {
     h.xcall(reg::T6);
     h.ret();
     let hv = k.load_code(p, &h.assemble()).unwrap();
-    let entry = k
-        .register_entry(t, t, hv, capacity as u64 + 8)
-        .unwrap();
+    let entry = k.register_entry(t, t, hv, capacity as u64 + 8).unwrap();
     assert_eq!(entry.0, 1);
     k.grant_xcall(t, t, entry).unwrap();
 

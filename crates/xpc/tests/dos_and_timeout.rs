@@ -32,7 +32,8 @@ fn credits_throttle_a_greedy_client() {
     let entry = k
         .register_entry_with_credits(server, server, handler_va, 2)
         .unwrap();
-    k.grant_xcall_with_credits(server, client, entry, 3).unwrap();
+    k.grant_xcall_with_credits(server, client, entry, 3)
+        .unwrap();
 
     // Client: call 5 times, summing results (successes return 1, the
     // starved calls return ERR_NO_CREDIT).
@@ -70,7 +71,8 @@ fn refill_restores_service() {
     let entry = k
         .register_entry_with_credits(server, server, handler_va, 1)
         .unwrap();
-    k.grant_xcall_with_credits(server, client, entry, 0).unwrap();
+    k.grant_xcall_with_credits(server, client, entry, 0)
+        .unwrap();
 
     let mut c = asm();
     c.li(reg::T6, entry.0 as i64);
@@ -102,7 +104,9 @@ fn plain_entries_are_uncredited() {
     h.ret();
     let handler_va = k.load_code(pb, &h.assemble()).unwrap();
     let entry = k.register_entry(server, server, handler_va, 1).unwrap();
-    assert!(k.grant_xcall_with_credits(server, client, entry, 5).is_err());
+    assert!(k
+        .grant_xcall_with_credits(server, client, entry, 5)
+        .is_err());
     assert!(k.credits_of(entry, client).is_err());
 }
 

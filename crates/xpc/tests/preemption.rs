@@ -157,5 +157,9 @@ fn preemption_preserves_xpc_state_across_a_call() {
 
     k.resume_thread(client).unwrap();
     let ev = k.run(10_000_000).unwrap();
-    assert_eq!(ev, KernelEvent::ThreadExit(7), "xret survived the preemption");
+    assert_eq!(
+        ev,
+        KernelEvent::ThreadExit(7),
+        "xret survived the preemption"
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
     println!("window manager <- surface compositor transaction latency\n");
 
     println!("-- transaction buffer path (Figure 9a) --");
-    println!("{:<10} {:>12} {:>12} {:>9}", "size", "Binder", "Binder-XPC", "speedup");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "size", "Binder", "Binder-XPC", "speedup"
+    );
     for size in [1024u64, 2048, 4096, 8192, 16384] {
         let b = binder_latency_us(BinderSystem::Binder, false, size);
         let x = binder_latency_us(BinderSystem::BinderXpc, false, size);

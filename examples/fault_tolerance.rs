@@ -61,7 +61,8 @@ fn main() {
         let entry = k
             .register_entry_with_credits(server, server, hv, 2)
             .unwrap();
-        k.grant_xcall_with_credits(server, client, entry, 2).unwrap();
+        k.grant_xcall_with_credits(server, client, entry, 2)
+            .unwrap();
         let mut c = Assembler::new(USER_CODE_VA);
         c.li(reg::S2, 0);
         for _ in 0..4 {

@@ -41,7 +41,10 @@ fn run_one(mech: Box<dyn IpcSystem>, buf: u64) -> (String, f64, f64) {
 
 fn main() {
     let buf = 16384;
-    println!("xv6fs over ramdisk, {}KB buffers, journaling on:\n", buf / 1024);
+    println!(
+        "xv6fs over ramdisk, {}KB buffers, journaling on:\n",
+        buf / 1024
+    );
     println!("{:<16} {:>12} {:>12}", "system", "read MB/s", "write MB/s");
     let systems: Vec<Box<dyn IpcSystem>> = vec![
         Box::new(Zircon::new()),

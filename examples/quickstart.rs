@@ -37,7 +37,9 @@ fn main() {
     h.j("loop");
     h.label("done");
     h.ret();
-    let handler_va = k.load_code(server_proc, &h.assemble()).expect("load handler");
+    let handler_va = k
+        .load_code(server_proc, &h.assemble())
+        .expect("load handler");
 
     // max_xpc_context = 4, as in Listing 1.
     let xpc_id = k
@@ -64,9 +66,12 @@ fn main() {
     c.xcall(reg::T6);
     c.li(reg::A7, syscall::EXIT as i64);
     c.ecall();
-    let client_va = k.load_code(client_proc, &c.assemble()).expect("load client");
+    let client_va = k
+        .load_code(client_proc, &c.assemble())
+        .expect("load client");
 
-    k.enter_thread(client_thread, client_va, &[]).expect("enter");
+    k.enter_thread(client_thread, client_va, &[])
+        .expect("enter");
     let cycles_before = k.machine.core.cycles;
     let ev = k.run(1_000_000).expect("run");
     let cycles = k.machine.core.cycles - cycles_before;

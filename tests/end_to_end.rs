@@ -129,7 +129,11 @@ fn three_hop_chain_passes_the_same_segment() {
 
     k.enter_thread(ta, ca_va, &[]).unwrap();
     let ev = k.run(1_000_000).unwrap();
-    assert_eq!(ev, KernelEvent::ThreadExit(128 + 1), "sum through C, +1 in B");
+    assert_eq!(
+        ev,
+        KernelEvent::ThreadExit(128 + 1),
+        "sum through C, +1 in B"
+    );
     assert_eq!(k.engine().stats.xcalls, 2);
     assert_eq!(k.engine().stats.xrets, 2);
 }
