@@ -15,6 +15,9 @@ cargo build --release --workspace --all-targets
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rustdoc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== tests =="
 cargo test -q --workspace
 

@@ -52,6 +52,7 @@ fn main() {
         let scale = experiments::scale::json_section();
         let pipeline = experiments::pipeline::json_section();
         let ablations = experiments::ablations::json_section();
+        let numa = experiments::numa::json_section();
         let doc = sweep::json_dump(
             &rows,
             &[("fig5", fig5)],
@@ -59,6 +60,7 @@ fn main() {
                 ("scale", scale),
                 ("pipeline", pipeline),
                 ("ablations", ablations),
+                ("numa", numa),
             ],
         );
         let path = "BENCH_figures.json";

@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod numa;
 pub mod pipeline;
 pub mod scale;
 pub mod table1;
@@ -89,6 +90,7 @@ pub fn all() -> Vec<Experiment> {
         ("ablations", ablations::run),
         ("scale", scale::run),
         ("pipeline", pipeline::run),
+        ("numa", numa::run),
     ]
 }
 
@@ -110,7 +112,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_19_experiments() {
-        assert_eq!(all().len(), 19);
+    fn registry_has_all_20_experiments() {
+        assert_eq!(all().len(), 20);
     }
 }

@@ -81,7 +81,7 @@ pub fn results() -> Vec<(u64, LoadReport)> {
     for mk in mechanisms() {
         for &window in &WINDOWS {
             for &batch in &BATCHES {
-                let mut mw = MultiWorld::new(CORES, mk);
+                let mut mw = MultiWorld::builder().cores(CORES).build(mk);
                 let r = simos::load::run_windowed(
                     &mut mw,
                     &Placement::RoundRobin,
@@ -197,7 +197,7 @@ mod tests {
         // The acceptance pin: window=1, batch=1 must reproduce the
         // pre-windowed closed-loop report exactly, with no Queue spans.
         let mk = || -> Box<dyn IpcSystem> { Box::new(XpcIpc::sel4_xpc()) };
-        let mut mw = MultiWorld::new(CORES, mk);
+        let mut mw = MultiWorld::builder().cores(CORES).build(mk);
         let closed = simos::load::run(&mut mw, &Placement::RoundRobin, 2, &[recipe(1)], &spec());
         let cell = results()
             .into_iter()

@@ -54,7 +54,9 @@ pub fn results() -> Vec<LoadReport> {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
         for policy in policies() {
-            let mut mw = MultiWorld::new(CORES, mk);
+            // The single-socket u500 preset: byte-identical to the
+            // pre-topology 4-core world.
+            let mut mw = MultiWorld::builder().cores(CORES).build(mk);
             out.push(simos::load::run(
                 &mut mw,
                 &policy,

@@ -40,20 +40,33 @@ pub fn all_systems() -> Vec<Box<dyn IpcSystem>> {
     ]
 }
 
+/// Factories for the full roster, one per system, in [`full_roster`]
+/// order. For anything that needs *fresh* instances per core — e.g. a
+/// [`simos::MultiWorld`] builds one system per core from a factory — a
+/// boxed-roster walk cannot help, so this is the list to iterate.
+pub fn full_roster_factories() -> Vec<fn() -> Box<dyn IpcSystem>> {
+    vec![
+        || Box::new(Zircon::new()),
+        || Box::new(XpcIpc::zircon_xpc()),
+        || Box::new(Sel4::new(Sel4Transfer::OneCopy)),
+        || Box::new(Sel4::new(Sel4Transfer::TwoCopy)),
+        || Box::new(XpcIpc::sel4_xpc()),
+        || Box::new(Mach::new()),
+        || Box::new(Lrpc::new()),
+        || Box::new(L4TempMap::new()),
+        || Box::new(PpcRemap::new()),
+        || Box::new(BinderIpc::new(BinderSystem::Binder, false)),
+        || Box::new(BinderIpc::new(BinderSystem::BinderXpc, false)),
+        || Box::new(BinderIpc::new(BinderSystem::AshmemXpc, true)),
+    ]
+}
+
 /// The full roster: the core evaluation systems plus the historical
 /// designs of Table 7 and the Binder stack of Figure 9 — every model in
 /// the repository, behind the one `IpcSystem` pipeline (the `figures
 /// --json` dump walks this list).
 pub fn full_roster() -> Vec<Box<dyn IpcSystem>> {
-    let mut v = all_systems();
-    v.push(Box::new(Mach::new()));
-    v.push(Box::new(Lrpc::new()));
-    v.push(Box::new(L4TempMap::new()));
-    v.push(Box::new(PpcRemap::new()));
-    v.push(Box::new(BinderIpc::new(BinderSystem::Binder, false)));
-    v.push(Box::new(BinderIpc::new(BinderSystem::BinderXpc, false)));
-    v.push(Box::new(BinderIpc::new(BinderSystem::AshmemXpc, true)));
-    v
+    full_roster_factories().into_iter().map(|mk| mk()).collect()
 }
 
 /// The full roster priced as *cross-core* calls: every system wrapped in

@@ -72,14 +72,27 @@ impl IpcSystem for XpcIpc {
 
     fn oneway(&mut self, _msg_len: usize, opts: &InvokeOpts) -> Invocation {
         let ledger = if opts.reply {
-            // Return leg: xret restores the caller's context directly.
+            // Return leg: xret restores the caller's context directly
+            // (the link-stack entry, not the x-entry table, so sharding
+            // never touches it).
             let mut l = CycleLedger::new().with(Phase::Xret, self.cost.xret);
             if !self.tagged_tlb {
                 l.charge(Phase::TlbRefill, self.cost.tlb_refill);
             }
             l
         } else {
-            self.cost.xpc_oneway_ledger(self.full_ctx, self.tagged_tlb)
+            let mut l = self.cost.xpc_oneway_ledger(self.full_ctx, self.tagged_tlb);
+            if opts.shard_dist > 0 {
+                // Sharded x-entry table: this uncached call leg resolves
+                // its x-entry from the callee socket's shard,
+                // `shard_dist` units across the interconnect.
+                l.charge(
+                    Phase::ShardMiss,
+                    self.cost.xentry_shard_fetch * opts.shard_dist,
+                );
+                self.stats.shard_misses += 1;
+            }
+            l
         };
         // Relay segment: the payload is handed over, never copied.
         Invocation::from_ledger(ledger, 0)
@@ -99,9 +112,11 @@ impl IpcSystem for XpcIpc {
     /// Repeat calls of a batch skip the caller trampoline entry (the
     /// context frame stays set up for the burst) and hit the engine's
     /// one-entry x-entry cache, paying `xcall_cached` instead of the full
-    /// uncached fetch (Figure 5's "+Engine Cache" bar). Per-call TLB
-    /// refill and relay-segment transfer are untouched — every call
-    /// still switches address spaces and hands its payload over.
+    /// uncached fetch (Figure 5's "+Engine Cache" bar) — which also means
+    /// they never consult the x-entry table, so a remote-shard fetch is
+    /// paid once per burst, not per call. Per-call TLB refill and
+    /// relay-segment transfer are untouched — every call still switches
+    /// address spaces and hands its payload over.
     fn batch_amortizable(&self, first: &Invocation, _opts: &InvokeOpts) -> CycleLedger {
         CycleLedger::new()
             .with(Phase::Trampoline, first.ledger.get(Phase::Trampoline))
@@ -109,6 +124,7 @@ impl IpcSystem for XpcIpc {
                 Phase::Xcall,
                 self.cost.xcall.saturating_sub(self.cost.xcall_cached),
             )
+            .with(Phase::ShardMiss, first.ledger.get(Phase::ShardMiss))
     }
 
     fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
@@ -203,8 +219,44 @@ mod tests {
             Some(EngineCacheStats {
                 prefetches: 1,
                 cache_hits: 63,
+                shard_misses: 0,
             })
         );
+    }
+
+    #[test]
+    fn remote_shard_lookup_is_priced_on_uncached_call_legs() {
+        let mut x = XpcIpc::sel4_xpc();
+        let local = x.oneway(0, &InvokeOpts::call());
+        let remote = x.oneway(0, &InvokeOpts::call().at_shard_distance(2));
+        // One cache-line pull per distance unit: 2 × 50.
+        assert_eq!(remote.ledger.get(Phase::ShardMiss), 100);
+        assert_eq!(remote.total, local.total + 100);
+        // Reply legs walk the link stack, never the x-entry table.
+        let reply = x.oneway(0, &InvokeOpts::reply_leg().at_shard_distance(2));
+        assert_eq!(reply.ledger.get(Phase::ShardMiss), 0);
+        assert_eq!(
+            x.engine_cache_stats().unwrap().shard_misses,
+            1,
+            "only the uncached call leg missed the shard"
+        );
+    }
+
+    #[test]
+    fn batches_pay_the_shard_fetch_once() {
+        let mut x = XpcIpc::sel4_xpc();
+        let opts = InvokeOpts::call().at_shard_distance(3);
+        let inv = x.invoke_batch(64, 0, &opts);
+        // The first call fetches the x-entry from the remote shard; the
+        // 63 repeats hit the engine cache and skip the table entirely.
+        assert_eq!(inv.ledger.get(Phase::ShardMiss), 3 * 50);
+        let stats = x.engine_cache_stats().unwrap();
+        assert_eq!(stats.shard_misses, 1);
+        assert_eq!(stats.cache_hits, 63);
+        // Amortization aside, a remote batch still costs strictly more
+        // than a local one.
+        let local = XpcIpc::sel4_xpc().invoke_batch(64, 0, &InvokeOpts::call());
+        assert_eq!(inv.total, local.total + 3 * 50);
     }
 
     #[test]

@@ -268,6 +268,82 @@ fn xpc_batching_ratio_beats_every_trap_based_baseline() {
 }
 
 #[test]
+fn numa_pricing_invariants_over_the_full_roster() {
+    // The dual-socket acceptance invariant, over all 12 systems: a hop to
+    // a core on the *remote* socket strictly exceeds the same hop to a
+    // core on the local socket (trap-based kernels pay the
+    // distance-scaled IPI + wakeup + cache-transfer surcharge; migrating
+    // designs pay the relay-segment line-distance term and/or the remote
+    // x-entry shard fetch) — while migrating-thread calls keep the
+    // intra-socket crossing at zero Phase::CrossCore, exactly the §5.2
+    // free crossing.
+    use simos::{MultiWorld, Topology};
+    for mk in kernels::full_roster_factories() {
+        let name = mk().name();
+        let migrating = mk().migrating_threads();
+        for bytes in [0u64, 64, 4096] {
+            let hop = |to: usize| {
+                let mut mw = MultiWorld::builder()
+                    .topology(Topology::dual_socket())
+                    .build(mk);
+                mw.exec_oneway(0, to, bytes, &InvokeOpts::call(), 0).1
+            };
+            let local = hop(1); // same socket
+            let remote = hop(4); // distance 2
+            assert!(
+                remote.total > local.total,
+                "{name} at {bytes}B: remote-socket hop ({}) must strictly \
+                 exceed local-socket hop ({})",
+                remote.total,
+                local.total
+            );
+            assert_eq!(local.total, local.ledger.total(), "{name}");
+            assert_eq!(remote.total, remote.ledger.total(), "{name}");
+            if migrating {
+                // Intra-socket xcall: no surcharge, not even a zero span.
+                assert_eq!(local.ledger.get(Phase::CrossCore), 0, "{name}");
+                assert!(
+                    !local
+                        .ledger
+                        .spans()
+                        .iter()
+                        .any(|(p, _)| *p == Phase::CrossCore),
+                    "{name}: intra-socket migrating hop must not record \
+                     a CrossCore span"
+                );
+            } else {
+                // Trap-based: distance 2 at numa_x10 = 5 doubles the
+                // whole surcharge, and sharding never applies.
+                let flat = XCoreCost::u500().hop_extra(bytes);
+                assert_eq!(local.ledger.get(Phase::CrossCore), flat, "{name}");
+                assert_eq!(remote.ledger.get(Phase::CrossCore), 2 * flat, "{name}");
+                assert_eq!(remote.ledger.get(Phase::ShardMiss), 0, "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_xentry_fetches_are_counted_and_priced() {
+    // XPC on the dual socket: a remote-shard call leg pays
+    // xentry_shard_fetch x distance and bumps the shard-miss counter; a
+    // local-shard leg pays and counts nothing.
+    use simos::{MultiWorld, Topology};
+    let mk = || -> Box<dyn IpcSystem> { Box::new(XpcIpc::sel4_xpc()) };
+    let mut mw = MultiWorld::builder()
+        .topology(Topology::dual_socket())
+        .build(mk);
+    let fetch = CostModel::u500().xentry_shard_fetch;
+    let (_, local) = mw.exec_oneway(0, 1, 0, &InvokeOpts::call(), 0);
+    assert_eq!(local.ledger.get(Phase::ShardMiss), 0);
+    let (_, remote) = mw.exec_oneway(0, 4, 0, &InvokeOpts::call(), 0);
+    assert_eq!(remote.ledger.get(Phase::ShardMiss), 2 * fetch);
+    assert_eq!(remote.total, local.total + 2 * fetch);
+    let stats = mw.engine_cache_stats().expect("XPC models an engine cache");
+    assert_eq!(stats.shard_misses, 1, "only the remote leg missed");
+}
+
+#[test]
 fn roundtrip_is_the_sum_of_its_legs() {
     for mut sys in full_roster() {
         let name = sys.name();

@@ -388,7 +388,7 @@ mod tests {
 
                 let handover = mk().supports_handover();
                 let steps = chain_steps(path, file.len() as u64, encrypt, handover);
-                let mut mw = MultiWorld::new(1, mk);
+                let mut mw = MultiWorld::builder().cores(1).build(mk);
                 let (done, ledger) = run_request(&mut mw, &[0; CHAIN_SERVICES], &steps, 0);
                 assert_eq!(
                     done, w.cycles,

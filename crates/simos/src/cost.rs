@@ -42,6 +42,12 @@ pub struct CostModel {
     /// test `engine_cache_reduces_xcall_to_6`). Batched repeat calls to
     /// the same entry hit the one-entry cache and pay this instead.
     pub xcall_cached: u64,
+    /// Cycles to fetch an x-entry line from a remote socket's x-entry
+    /// shard, *per socket-distance unit* (sharded x-entry tables: a
+    /// local-shard `xcall` pays nothing, a remote lookup pays
+    /// `xentry_shard_fetch × distance`). Calibrated to one cache-line
+    /// pull across the interconnect per distance unit.
+    pub xentry_shard_fetch: u64,
     /// `xret` cycles (Table 3: 23).
     pub xret: u64,
     /// `swapseg` cycles (Table 3: 11).
@@ -75,6 +81,7 @@ impl CostModel {
             cross_core_base: 10_700,
             xcall: 18,
             xcall_cached: 6,
+            xentry_shard_fetch: 50,
             xret: 23,
             swapseg: 11,
             trampoline_full: 76,

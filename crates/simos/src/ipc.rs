@@ -2,8 +2,8 @@
 //!
 //! [`IpcSystem`] is the single pipeline the whole evaluation goes
 //! through: a system prices one hop of `msg_len` bytes and returns an
-//! [`Invocation`] whose [`CycleLedger`](crate::ledger::CycleLedger)
-//! attributes every cycle to a named [`Phase`](crate::ledger::Phase).
+//! [`Invocation`] whose [`CycleLedger`] attributes every cycle to a
+//! named [`Phase`].
 //! Table 1 is the printed ledger of the seL4 model, Figure 5's bars are
 //! ledger diffs between XPC ablations, and Figure 6's curves are ledger
 //! totals swept over message sizes — no experiment does bespoke cycle
@@ -23,6 +23,10 @@ pub struct EngineCacheStats {
     pub prefetches: u64,
     /// Calls served from the engine cache (every repeat call of a batch).
     pub cache_hits: u64,
+    /// Uncached x-entry lookups that had to fetch from a *remote
+    /// socket's* x-entry shard (sharded tables: local-shard lookups and
+    /// engine-cache hits count nothing here).
+    pub shard_misses: u64,
 }
 
 impl EngineCacheStats {
@@ -30,6 +34,7 @@ impl EngineCacheStats {
     pub fn merge(&mut self, other: EngineCacheStats) {
         self.prefetches += other.prefetches;
         self.cache_hits += other.cache_hits;
+        self.shard_misses += other.shard_misses;
     }
 }
 

@@ -46,6 +46,9 @@ pub enum Phase {
     Queue,
     /// Cross-core IPI + remote wakeup + cache transfer (§5.2).
     CrossCore,
+    /// Fetching an x-entry from a *remote socket's* x-entry shard (the
+    /// sharded-table model: a local-shard `xcall` pays nothing here).
+    ShardMiss,
     /// Kernel mapping work: remap, TLB shootdown, temporary mapping.
     Mapping,
     /// Driver / framework control path (Binder ioctl, dispatch).
@@ -56,7 +59,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical (paper) order.
-    pub const ALL: [Phase; 16] = [
+    pub const ALL: [Phase; 17] = [
         Phase::Trap,
         Phase::IpcLogic,
         Phase::Switch,
@@ -70,6 +73,7 @@ impl Phase {
         Phase::Schedule,
         Phase::Queue,
         Phase::CrossCore,
+        Phase::ShardMiss,
         Phase::Mapping,
         Phase::Driver,
         Phase::Compute,
@@ -91,6 +95,7 @@ impl Phase {
             Phase::Schedule => "schedule",
             Phase::Queue => "queue",
             Phase::CrossCore => "cross-core",
+            Phase::ShardMiss => "shard-miss",
             Phase::Mapping => "mapping",
             Phase::Driver => "driver",
             Phase::Compute => "compute",
@@ -113,6 +118,7 @@ impl Phase {
             Phase::Schedule => "Schedule",
             Phase::Queue => "Queue",
             Phase::CrossCore => "Cross-core",
+            Phase::ShardMiss => "Shard Miss",
             Phase::Mapping => "Mapping",
             Phase::Driver => "Driver",
             Phase::Compute => "Compute",
@@ -204,6 +210,12 @@ pub struct InvokeOpts {
     pub reply: bool,
     /// Chain hops the payload crosses (handover chains; >= 1).
     pub hops: u32,
+    /// Socket distance between the caller and the shard holding the
+    /// callee's x-entry (0 = the local shard — always the case on a
+    /// single-socket topology). Systems with a sharded x-entry table
+    /// (`XpcIpc`) charge [`Phase::ShardMiss`] for the remote fetch;
+    /// trap-based systems have one global table and ignore it.
+    pub shard_dist: u64,
 }
 
 impl Default for InvokeOpts {
@@ -211,6 +223,7 @@ impl Default for InvokeOpts {
         InvokeOpts {
             reply: false,
             hops: 1,
+            shard_dist: 0,
         }
     }
 }
@@ -227,6 +240,14 @@ impl InvokeOpts {
             reply: true,
             ..Self::default()
         }
+    }
+
+    /// This hop resolves its x-entry from a shard `dist` distance units
+    /// away (see [`Self::shard_dist`]).
+    #[must_use]
+    pub fn at_shard_distance(mut self, dist: u64) -> Self {
+        self.shard_dist = dist;
+        self
     }
 }
 

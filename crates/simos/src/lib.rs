@@ -20,9 +20,14 @@
 //! * [`world::World`] — a charging context that services run against,
 //!   splitting time into IPC vs non-IPC (exactly the Figure 1(a)
 //!   measurement) and recording a message-size histogram (Figure 1(b));
+//! * [`topology`] — the machine shape ([`topology::Topology`]: sockets ×
+//!   cores with a socket distance matrix; presets for the paper's
+//!   single-socket U500 and a dual-socket box);
 //! * [`multicore`] — N per-core worlds with §5.2 cross-core call pricing
-//!   (the [`multicore::CrossCore`] adapter works over *any* system) and
-//!   placement policies;
+//!   scaled by socket distance (the [`multicore::CrossCore`] adapter
+//!   works over *any* system), built via [`multicore::MultiWorldBuilder`]
+//!   and driven through the unified [`multicore::MultiWorld::exec`], plus
+//!   NUMA-aware placement policies;
 //! * [`load`] — a deterministic closed-loop traffic generator reporting
 //!   throughput and p50/p95/p99 latency from per-request ledgers.
 
@@ -31,12 +36,16 @@ pub mod ipc;
 pub mod ledger;
 pub mod load;
 pub mod multicore;
+pub mod topology;
 pub mod transport;
 pub mod world;
 
 pub use cost::CostModel;
 pub use ipc::{amortized_batch, EngineCacheStats, IpcCost, IpcSystem};
 pub use ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
-pub use load::{LoadGen, LoadReport, Step};
-pub use multicore::{CoreId, CrossCore, MultiWorld, Placement, XCoreCost};
+pub use load::{LoadGen, LoadReport};
+pub use multicore::{
+    Completion, CoreId, CrossCore, MultiWorld, MultiWorldBuilder, Placement, Step, XCoreCost,
+};
+pub use topology::{DistanceMatrix, SocketId, Topology};
 pub use world::{World, WorldStats};

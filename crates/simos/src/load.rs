@@ -23,73 +23,22 @@
 //!   in-tree seeded [`ycsb::rng`], so the same seed reproduces the same
 //!   percentile report bit for bit — and `window = 1` reproduces the
 //!   pre-windowed closed-loop report exactly;
-//! * **ledger-derived** — every hop returns an [`Invocation`]; a
+//! * **ledger-derived** — every hop returns an
+//!   [`Invocation`](crate::ledger::Invocation); a
 //!   request's latency is the virtual-time span from issue to last step
 //!   (queueing included), and the report's phase breakdown (how much of
 //!   the fleet's IPC time was cross-core, transfer, queueing, …) is the
 //!   merged per-request ledger.
 
 use crate::ipc::EngineCacheStats;
-use crate::ledger::{CycleLedger, InvokeOpts, Phase};
+use crate::ledger::{CycleLedger, Phase};
 use crate::multicore::{CoreId, MultiWorld, Placement};
 use ycsb::rng::Rng;
 
-/// One step of a request recipe. Services are abstract indices; the
-/// [`Placement`] maps them to cores per request (service 0 is the
-/// client by convention).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Step {
-    /// A one-way IPC from `from` to `to` carrying `bytes`.
-    Oneway {
-        /// Sending service.
-        from: usize,
-        /// Receiving (and serving) service.
-        to: usize,
-        /// Payload bytes.
-        bytes: u64,
-    },
-    /// A burst of `calls` one-way IPCs from `from` to `to` submitted
-    /// together, priced by [`crate::ipc::IpcSystem::invoke_batch`]
-    /// (per-batch entry work amortized, per-call transfer not).
-    Batch {
-        /// Sending service.
-        from: usize,
-        /// Receiving (and serving) service.
-        to: usize,
-        /// Calls in the burst (>= 1).
-        calls: u64,
-        /// Payload bytes per call.
-        bytes_each: u64,
-    },
-    /// A synchronous round trip from `from` into `to`.
-    Roundtrip {
-        /// Calling service.
-        from: usize,
-        /// Serving service.
-        to: usize,
-        /// Request payload bytes.
-        request: u64,
-        /// Response payload bytes.
-        response: u64,
-    },
-    /// Fixed compute at a service.
-    Compute {
-        /// Computing service.
-        at: usize,
-        /// Cycles.
-        cycles: u64,
-    },
-    /// One pass over data at a service (`intensity_x10 / 10` ×
-    /// memcpy-grade cycles per byte).
-    DataPass {
-        /// Computing service.
-        at: usize,
-        /// Bytes touched.
-        bytes: u64,
-        /// Cost multiplier ×10.
-        intensity_x10: u64,
-    },
-}
+// Recipes are sequences of `Step`s in *service-id* space; the same enum,
+// resolved to core space, is what `MultiWorld::exec` runs. Re-exported
+// here because recipe construction is this module's vocabulary.
+pub use crate::multicore::Step;
 
 /// Closed-loop generator parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -221,60 +170,64 @@ fn run_request_inner(
     let mut ledger = CycleLedger::new();
     let mut ipc_calls = 0u64;
     for step in steps {
-        if attribute_queue {
-            let serving = match *step {
-                Step::Oneway { to, .. } | Step::Batch { to, .. } | Step::Roundtrip { to, .. } => to,
-                Step::Compute { at, .. } | Step::DataPass { at, .. } => at,
-            };
-            ledger.charge(Phase::Queue, mw.free_at(map[serving]).saturating_sub(t));
-        }
-        match *step {
-            Step::Oneway { from, to, bytes } => {
-                let (done, inv) = mw.exec_oneway(map[from], map[to], bytes, &InvokeOpts::call(), t);
-                ledger.merge(&inv.ledger);
-                ipc_calls += 1;
-                t = done;
-            }
+        // Resolve service ids to cores; from here on the step is in core
+        // space and `MultiWorld::exec` does the rest.
+        let resolved = match *step {
+            Step::Oneway { from, to, bytes } => Step::Oneway {
+                from: map[from],
+                to: map[to],
+                bytes,
+            },
             Step::Batch {
                 from,
                 to,
                 calls,
                 bytes_each,
-            } => {
-                let (done, inv) = mw.exec_batch(
-                    map[from],
-                    map[to],
-                    calls,
-                    bytes_each,
-                    &InvokeOpts::call(),
-                    t,
-                );
-                ledger.merge(&inv.ledger);
-                ipc_calls += calls;
-                t = done;
-            }
+            } => Step::Batch {
+                from: map[from],
+                to: map[to],
+                calls,
+                bytes_each,
+            },
             Step::Roundtrip {
                 from,
                 to,
                 request,
                 response,
-            } => {
-                let (done, inv) = mw.exec_roundtrip(map[from], map[to], request, response, t);
-                ledger.merge(&inv.ledger);
-                ipc_calls += 1;
-                t = done;
-            }
-            Step::Compute { at, cycles } => {
-                t = mw.exec_compute(map[at], cycles, t);
-            }
+            } => Step::Roundtrip {
+                from: map[from],
+                to: map[to],
+                request,
+                response,
+            },
+            Step::Compute { at, cycles } => Step::Compute {
+                at: map[at],
+                cycles,
+            },
             Step::DataPass {
                 at,
                 bytes,
                 intensity_x10,
-            } => {
-                t = mw.exec_data_pass(map[at], bytes, intensity_x10, t);
-            }
+            } => Step::DataPass {
+                at: map[at],
+                bytes,
+                intensity_x10,
+            },
+        };
+        let (issuer, serving, calls) = match resolved {
+            Step::Oneway { from, to, .. } | Step::Roundtrip { from, to, .. } => (from, to, 1),
+            Step::Batch {
+                from, to, calls, ..
+            } => (from, to, calls),
+            Step::Compute { at, .. } | Step::DataPass { at, .. } => (at, at, 0),
+        };
+        if attribute_queue {
+            ledger.charge(Phase::Queue, mw.free_at(serving).saturating_sub(t));
         }
+        let c = mw.exec(issuer, resolved, t);
+        ledger.merge(&c.inv.ledger);
+        ipc_calls += calls;
+        t = c.done;
     }
     (t, ledger, ipc_calls)
 }
@@ -384,7 +337,8 @@ pub fn run_windowed(
 mod tests {
     use super::*;
     use crate::ipc::IpcSystem;
-    use crate::ledger::Invocation;
+    use crate::ledger::{Invocation, InvokeOpts};
+    use crate::topology::Topology;
 
     struct Fixed;
     impl IpcSystem for Fixed {
@@ -399,6 +353,12 @@ mod tests {
                 msg_len as u64,
             )
         }
+    }
+
+    fn mw(n: usize) -> MultiWorld {
+        MultiWorld::builder()
+            .topology(Topology::single_socket(n))
+            .build(|| Box::new(Fixed))
     }
 
     fn recipe() -> Vec<Step> {
@@ -435,7 +395,7 @@ mod tests {
     #[test]
     fn same_seed_is_bit_identical() {
         let run_once = || {
-            let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+            let mut mw = mw(4);
             run(&mut mw, &Placement::RoundRobin, 3, &[recipe()], &spec())
         };
         assert_eq!(run_once(), run_once());
@@ -443,7 +403,7 @@ mod tests {
 
     #[test]
     fn different_seeds_may_differ_but_stay_consistent() {
-        let mut mw = MultiWorld::new(2, || Box::new(Fixed));
+        let mut mw = mw(2);
         let r = run(&mut mw, &Placement::SameCore, 3, &[recipe()], &spec());
         assert_eq!(r.requests, 100);
         assert!(r.makespan_cycles > 0);
@@ -459,7 +419,6 @@ mod tests {
         // and 4 cores beat 1; with a tiny request it is not (the §5.2
         // point: cross-core IPC costs ~10k cycles, so spreading cheap
         // calls across cores is a loss for message-passing kernels).
-        let mk = || -> Box<dyn IpcSystem> { Box::new(Fixed) };
         let heavy = {
             let mut r = recipe();
             r.push(Step::Compute {
@@ -468,7 +427,7 @@ mod tests {
             });
             r
         };
-        let mut one = MultiWorld::new(1, mk);
+        let mut one = mw(1);
         let base = run(
             &mut one,
             &Placement::SameCore,
@@ -476,7 +435,7 @@ mod tests {
             std::slice::from_ref(&heavy),
             &spec(),
         );
-        let mut four = MultiWorld::new(4, mk);
+        let mut four = mw(4);
         let scaled = run(&mut four, &Placement::RoundRobin, 3, &[heavy], &spec());
         assert!(
             scaled.throughput_rps > base.throughput_rps,
@@ -489,9 +448,9 @@ mod tests {
         assert!(scaled.cross_core_fraction() > 0.0);
 
         // Tiny requests: the surcharge dominates and scale-out loses.
-        let mut one = MultiWorld::new(1, mk);
+        let mut one = mw(1);
         let base = run(&mut one, &Placement::SameCore, 3, &[recipe()], &spec());
-        let mut four = MultiWorld::new(4, mk);
+        let mut four = mw(4);
         let scaled = run(&mut four, &Placement::RoundRobin, 3, &[recipe()], &spec());
         assert!(scaled.throughput_rps < base.throughput_rps);
     }
@@ -564,7 +523,7 @@ mod tests {
             think_cycles: 250,
             ..spec()
         };
-        let mut oracle_mw = MultiWorld::new(4, || Box::new(Fixed));
+        let mut oracle_mw = mw(4);
         let (lat, ledger, makespan) = closed_loop_oracle(
             &mut oracle_mw,
             &Placement::RoundRobin,
@@ -572,7 +531,11 @@ mod tests {
             &[recipe()],
             &spec,
         );
-        let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+        // Built explicitly on the single-socket u500 preset: the NUMA-aware
+        // pipeline must reproduce the historical closed loop bit for bit.
+        let mut mw = MultiWorld::builder()
+            .topology(Topology::u500())
+            .build(|| Box::new(Fixed));
         let r = run_windowed(&mut mw, &Placement::RoundRobin, 3, &[recipe()], &spec, 1);
         assert_eq!(r.ledger, ledger, "same merged ledger, span for span");
         assert_eq!(r.makespan_cycles, makespan);
@@ -583,7 +546,9 @@ mod tests {
         assert_eq!(r.ledger.get(Phase::Queue), 0);
         assert!(!r.ledger.spans().iter().any(|(p, _)| *p == Phase::Queue));
         // And `run` is the same thing by construction.
-        let mut mw2 = MultiWorld::new(4, || Box::new(Fixed));
+        let mut mw2 = MultiWorld::builder()
+            .topology(Topology::u500())
+            .build(|| Box::new(Fixed));
         assert_eq!(
             run(&mut mw2, &Placement::RoundRobin, 3, &[recipe()], &spec),
             r
@@ -593,7 +558,7 @@ mod tests {
     #[test]
     fn windowed_same_seed_is_bit_identical() {
         let run_once = || {
-            let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+            let mut mw = mw(4);
             run_windowed(&mut mw, &Placement::RoundRobin, 3, &[recipe()], &spec(), 16)
         };
         assert_eq!(run_once(), run_once());
@@ -609,7 +574,7 @@ mod tests {
             request: 64,
             response: 4096,
         }];
-        let mut mw = MultiWorld::new(1, || Box::new(Fixed));
+        let mut mw = mw(1);
         let r = run_windowed(&mut mw, &Placement::SameCore, 2, &[heavy], &spec(), 4);
         assert!(r.ledger.get(Phase::Queue) > 0, "contention must queue");
         assert!(r.queue_fraction() > 0.0);
@@ -630,7 +595,7 @@ mod tests {
             think_cycles: 200_000,
         };
         let rps = |window: usize| {
-            let mut mw = MultiWorld::new(2, || Box::new(Fixed));
+            let mut mw = mw(2);
             run_windowed(
                 &mut mw,
                 &Placement::RoundRobin,
@@ -660,7 +625,7 @@ mod tests {
             calls: 8,
             bytes_each: 64,
         }];
-        let mut mw = MultiWorld::new(2, || Box::new(Fixed));
+        let mut mw = mw(2);
         let spec = LoadGen {
             clients: 2,
             requests: 10,
@@ -677,7 +642,7 @@ mod tests {
 
     #[test]
     fn busy_cycles_bounded_by_cores_times_makespan() {
-        let mut mw = MultiWorld::new(4, || Box::new(Fixed));
+        let mut mw = mw(4);
         let r = run(&mut mw, &Placement::LeastLoaded, 3, &[recipe()], &spec());
         assert!(r.busy_cycles <= r.cores as u64 * r.makespan_cycles);
     }

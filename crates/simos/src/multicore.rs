@@ -1,21 +1,30 @@
-//! Multi-core scale-out: per-core [`World`]s, cross-core call pricing,
-//! and placement policies.
+//! Multi-core scale-out: per-core [`World`]s, NUMA-aware cross-core
+//! call pricing, and placement policies.
 //!
 //! §5.2 prices cross-core IPC separately: a cross-core seL4 call is
 //! 81–141× an XPC call because it pays an IPI, a remote wakeup through
 //! the target core's scheduler, and cache-line transfers for the message
 //! — while `xcall` migrates the calling thread on its own core and pays
 //! none of that. This module makes that pricing uniform across every
-//! [`IpcSystem`]:
+//! [`IpcSystem`], and scales it with the machine's [`Topology`]:
 //!
-//! * [`XCoreCost`] — the IPI + remote-wakeup + cache-transfer surcharge;
+//! * [`XCoreCost`] — the IPI + remote-wakeup + cache-transfer surcharge,
+//!   each component scaled by socket distance (see
+//!   [`XCoreCost::hop_extra_at`]); migrating-thread designs stay free
+//!   intra-socket and pay only the cache-line *distance* term when the
+//!   relay segment has to be pulled across the interconnect;
 //! * [`CrossCore`] — an adapter wrapping *any* system so the whole roster
 //!   (not just hand-rolled `+xcore` variants) can be swept same-core vs
 //!   cross-core, charging [`Phase::CrossCore`] into the existing ledger;
 //! * [`MultiWorld`] — N per-core [`World`]s sharing a virtual clock
 //!   discipline: each core is a FIFO server with a `free_at` time, a step
 //!   starts at `max(request_ready, core_free)`, and cross-core hops are
-//!   surcharged unless the system migrates threads.
+//!   surcharged by distance. Built by [`MultiWorld::builder`], which
+//!   validates the core count against the topology; executed through the
+//!   unified [`MultiWorld::exec`] entry point (one [`Step`], one
+//!   [`Completion`]). Cross-socket hops also resolve their x-entry from
+//!   the remote socket's shard ([`InvokeOpts::shard_dist`]), which
+//!   sharded-table systems price as [`Phase::ShardMiss`].
 //!
 //! [`Placement`] decides which core serves which service; the closed-loop
 //! driver lives in [`crate::load`].
@@ -23,12 +32,84 @@
 use crate::cost::CostModel;
 use crate::ipc::{EngineCacheStats, IpcSystem};
 use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
+use crate::topology::Topology;
 use crate::world::World;
 
 /// Index of a core in a [`MultiWorld`].
 pub type CoreId = usize;
 
-/// The cross-core surcharge of §5.2, split into its physical parts.
+/// One step of a request recipe. In recipe space (see [`crate::load`])
+/// the `from`/`to`/`at` fields are abstract *service* indices that a
+/// [`Placement`] maps to cores per request; [`MultiWorld::exec`] takes
+/// steps already resolved to core space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// A one-way IPC from `from` to `to` carrying `bytes`.
+    Oneway {
+        /// Sending service.
+        from: usize,
+        /// Receiving (and serving) service.
+        to: usize,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A burst of `calls` one-way IPCs from `from` to `to` submitted
+    /// together, priced by [`crate::ipc::IpcSystem::invoke_batch`]
+    /// (per-batch entry work amortized, per-call transfer not).
+    Batch {
+        /// Sending service.
+        from: usize,
+        /// Receiving (and serving) service.
+        to: usize,
+        /// Calls in the burst (>= 1).
+        calls: u64,
+        /// Payload bytes per call.
+        bytes_each: u64,
+    },
+    /// A synchronous round trip from `from` into `to`.
+    Roundtrip {
+        /// Calling service.
+        from: usize,
+        /// Serving service.
+        to: usize,
+        /// Request payload bytes.
+        request: u64,
+        /// Response payload bytes.
+        response: u64,
+    },
+    /// Fixed compute at a service.
+    Compute {
+        /// Computing service.
+        at: usize,
+        /// Cycles.
+        cycles: u64,
+    },
+    /// One pass over data at a service (`intensity_x10 / 10` ×
+    /// memcpy-grade cycles per byte).
+    DataPass {
+        /// Computing service.
+        at: usize,
+        /// Bytes touched.
+        bytes: u64,
+        /// Cost multiplier ×10.
+        intensity_x10: u64,
+    },
+}
+
+/// The outcome of one executed [`Step`]: when it finished in virtual
+/// time, and the priced invocation it charged (an empty ledger for pure
+/// compute steps, which charge no IPC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Virtual time at which the step completed.
+    pub done: u64,
+    /// The priced invocation (surcharges included); `Invocation::default()`
+    /// for [`Step::Compute`] / [`Step::DataPass`].
+    pub inv: Invocation,
+}
+
+/// The cross-core surcharge of §5.2, split into its physical parts and
+/// scaled by socket distance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XCoreCost {
     /// Raising and delivering the inter-processor interrupt.
@@ -40,6 +121,12 @@ pub struct XCoreCost {
     pub line_transfer: u64,
     /// Cache-line size in bytes.
     pub line_bytes: u64,
+    /// NUMA scaling per socket-distance unit, in tenths: a surcharge
+    /// component at distance `d` costs `x * (10 + d * numa_x10) / 10`,
+    /// so distance 0 (same socket) reproduces the flat single-socket
+    /// surcharge exactly and a dual-socket hop at distance 2 with the
+    /// default 5 costs 2×.
+    pub numa_x10: u64,
 }
 
 impl XCoreCost {
@@ -54,13 +141,40 @@ impl XCoreCost {
             remote_wakeup: base - 2_000,
             line_transfer: 50,
             line_bytes: 64,
+            numa_x10: 5,
         }
     }
 
-    /// Surcharge for one hop carrying `payload_bytes` across cores.
+    /// `x` scaled by socket distance: `x * (10 + dist * numa_x10) / 10`
+    /// (exactly `x` at distance 0).
+    fn at_distance(&self, x: u64, dist: u64) -> u64 {
+        x * (10 + dist * self.numa_x10) / 10
+    }
+
+    /// Surcharge for one *intra-socket* hop carrying `payload_bytes`
+    /// across cores (socket distance 0).
     pub fn hop_extra(&self, payload_bytes: u64) -> u64 {
+        self.hop_extra_at(payload_bytes, 0)
+    }
+
+    /// Surcharge for one hop carrying `payload_bytes` between cores whose
+    /// sockets sit `dist` distance units apart: IPI, remote wakeup, and
+    /// cache-line transfer each scale with the distance.
+    pub fn hop_extra_at(&self, payload_bytes: u64, dist: u64) -> u64 {
         let lines = payload_bytes.div_ceil(self.line_bytes.max(1));
-        self.ipi + self.remote_wakeup + lines * self.line_transfer
+        self.at_distance(self.ipi, dist)
+            + self.at_distance(self.remote_wakeup, dist)
+            + lines * self.at_distance(self.line_transfer, dist)
+    }
+
+    /// Surcharge for a *migrating-thread* hop (`xcall` runs the server on
+    /// the caller's core — no IPI, no remote wakeup): zero intra-socket,
+    /// and only the distance-dependent part of the cache-line transfer
+    /// cross-socket (the relay segment's lines are pulled across the
+    /// interconnect on first touch).
+    pub fn migrating_hop_extra(&self, payload_bytes: u64, dist: u64) -> u64 {
+        let lines = payload_bytes.div_ceil(self.line_bytes.max(1));
+        lines * (self.at_distance(self.line_transfer, dist) - self.line_transfer)
     }
 }
 
@@ -70,7 +184,8 @@ impl Default for XCoreCost {
     }
 }
 
-/// Adapter pricing an inner [`IpcSystem`]'s calls as *cross-core* calls.
+/// Adapter pricing an inner [`IpcSystem`]'s calls as *cross-core* calls
+/// (intra-socket: socket distance 0).
 ///
 /// Every hop additionally charges [`Phase::CrossCore`] with
 /// [`XCoreCost::hop_extra`] — zero when the inner system migrates
@@ -158,8 +273,12 @@ pub enum Placement {
     /// Request *r*'s whole chain runs on core `r % n_cores` (the client
     /// stays on core 0) — dispatch-level round robin.
     RoundRobin,
-    /// Each request's chain runs on the core that frees up earliest at
-    /// dispatch time (the client stays on core 0).
+    /// Each request's chain runs on the core with the best
+    /// `free_at + distance penalty` score at dispatch time (the client
+    /// stays on core 0): the NUMA-aware trade between queue depth and
+    /// the surcharge a remote-socket chain would pay per hop. On a
+    /// single-socket topology every penalty is zero and this is the
+    /// classic earliest-free policy.
     LeastLoaded,
 }
 
@@ -175,10 +294,11 @@ impl Placement {
     }
 
     /// Map the `n_services` services of request `r` to cores. Service 0
-    /// is the client; it always sits on core 0.
+    /// is the client; it always sits on core 0. Every returned index is
+    /// strictly below `mw.n_cores()`.
     pub fn assign(&self, r: u64, n_services: usize, mw: &MultiWorld) -> Vec<CoreId> {
         let n = mw.n_cores();
-        match self {
+        let map = match self {
             Placement::SameCore => vec![0; n_services],
             Placement::Pinned(map) => {
                 assert!(
@@ -192,8 +312,14 @@ impl Placement {
                 let chain = (r as usize) % n;
                 Self::chain_on(chain, n_services)
             }
-            Placement::LeastLoaded => Self::chain_on(mw.least_loaded(), n_services),
-        }
+            Placement::LeastLoaded => Self::chain_on(mw.least_loaded_weighted(), n_services),
+        };
+        debug_assert!(
+            map.iter().all(|&c| c < n),
+            "{}: assigned a core index >= {n}: {map:?}",
+            self.label()
+        );
+        map
     }
 
     fn chain_on(chain: CoreId, n_services: usize) -> Vec<CoreId> {
@@ -205,6 +331,61 @@ impl Placement {
     }
 }
 
+/// Configures a [`MultiWorld`]: active core count, machine [`Topology`],
+/// and cross-core cost. [`build`](Self::build) validates the core count
+/// against the topology.
+#[derive(Debug, Clone)]
+pub struct MultiWorldBuilder {
+    cores: Option<usize>,
+    topo: Topology,
+    xc: XCoreCost,
+}
+
+impl MultiWorldBuilder {
+    /// Use `n` cores (default: every core the topology has). Must fit
+    /// the topology at [`build`](Self::build) time.
+    #[must_use]
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = Some(n);
+        self
+    }
+
+    /// The machine shape (default: [`Topology::u500`], the paper's
+    /// single-socket quad-core).
+    #[must_use]
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topo = topo;
+        self
+    }
+
+    /// Override the cross-core surcharge calibration.
+    #[must_use]
+    pub fn xcore_cost(mut self, xc: XCoreCost) -> Self {
+        self.xc = xc;
+        self
+    }
+
+    /// Build the world, with a fresh system from `mk` per core. Panics
+    /// when the core count is zero or exceeds what the topology offers.
+    pub fn build(self, mk: impl Fn() -> Box<dyn IpcSystem>) -> MultiWorld {
+        let n = self.cores.unwrap_or_else(|| self.topo.n_cores());
+        assert!(n > 0, "a world needs at least one core");
+        assert!(
+            n <= self.topo.n_cores(),
+            "{n} cores do not fit the topology ({} sockets x {} cores/socket = {})",
+            self.topo.sockets,
+            self.topo.cores_per_socket,
+            self.topo.n_cores()
+        );
+        MultiWorld {
+            cores: (0..n).map(|_| World::new(mk())).collect(),
+            free_at: vec![0; n],
+            xc: self.xc,
+            topo: self.topo,
+        }
+    }
+}
+
 /// N per-core [`World`]s under one virtual-time discipline.
 ///
 /// Each core runs its own instance of the IPC system (warm state stays
@@ -212,42 +393,65 @@ impl Placement {
 /// starts at `max(t, free_at)`. A hop is charged to the core *serving*
 /// it; a blocked synchronous caller yields its core (that is the whole
 /// point of scale-out), so only the serving core accrues busy time.
+/// Hops between cores on different sockets pay distance-scaled
+/// surcharges and remote x-entry shard fetches (see the module docs).
 pub struct MultiWorld {
     cores: Vec<World>,
     free_at: Vec<u64>,
     xc: XCoreCost,
+    topo: Topology,
 }
 
 impl std::fmt::Debug for MultiWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiWorld")
             .field("cores", &self.cores.len())
+            .field("topology", &self.topo)
             .field("free_at", &self.free_at)
             .finish()
     }
 }
 
 impl MultiWorld {
-    /// `n_cores` worlds, each with a fresh system from `mk`.
-    pub fn new(n_cores: usize, mk: impl Fn() -> Box<dyn IpcSystem>) -> Self {
-        assert!(n_cores > 0, "a world needs at least one core");
-        MultiWorld {
-            cores: (0..n_cores).map(|_| World::new(mk())).collect(),
-            free_at: vec![0; n_cores],
+    /// Start configuring a world (see [`MultiWorldBuilder`]).
+    pub fn builder() -> MultiWorldBuilder {
+        MultiWorldBuilder {
+            cores: None,
+            topo: Topology::u500(),
             xc: XCoreCost::u500(),
         }
     }
 
+    /// `n_cores` worlds on a flat single-socket topology, each with a
+    /// fresh system from `mk`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MultiWorld::builder().cores(n).build(mk), \
+                or .topology(..) for multi-socket shapes"
+    )]
+    pub fn new(n_cores: usize, mk: impl Fn() -> Box<dyn IpcSystem>) -> Self {
+        Self::builder()
+            .topology(Topology::single_socket(n_cores.max(1)))
+            .cores(n_cores)
+            .build(mk)
+    }
+
     /// Override the cross-core surcharge.
+    #[deprecated(since = "0.2.0", note = "use MultiWorld::builder().xcore_cost(xc)")]
     #[must_use]
     pub fn with_xcore_cost(mut self, xc: XCoreCost) -> Self {
         self.xc = xc;
         self
     }
 
-    /// Number of cores.
+    /// Number of (active) cores.
     pub fn n_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// The machine topology the world runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// The world of core `i`.
@@ -265,7 +469,8 @@ impl MultiWorld {
         self.free_at[i]
     }
 
-    /// The core that frees up earliest (ties break to the lowest index).
+    /// The core that frees up earliest (ties break to the lowest index),
+    /// ignoring topology.
     pub fn least_loaded(&self) -> CoreId {
         let mut best = 0;
         for (i, &t) in self.free_at.iter().enumerate() {
@@ -274,6 +479,41 @@ impl MultiWorld {
             }
         }
         best
+    }
+
+    /// The core minimizing `free_at + distance penalty` from the client
+    /// core (core 0), ties to the lowest index: a remote-socket core
+    /// must beat a local one by more than the per-hop surcharge its
+    /// distance would add. Identical to [`least_loaded`](Self::least_loaded)
+    /// on a single-socket topology.
+    pub fn least_loaded_weighted(&self) -> CoreId {
+        let mut best = 0;
+        let mut best_score = u64::MAX;
+        for i in 0..self.cores.len() {
+            let score = self.free_at[i].saturating_add(self.placement_penalty(i));
+            if score < best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    /// The extra per-hop cycles a chain on `core` pays over an
+    /// intra-socket placement, estimated at one cache line of payload:
+    /// the distance-dependent slice of the surcharge (plus the x-entry
+    /// shard fetch for migrating/sharded systems). Zero intra-socket.
+    fn placement_penalty(&self, core: CoreId) -> u64 {
+        let dist = self.topo.core_distance(0, core);
+        if dist == 0 {
+            return 0;
+        }
+        if self.cores[core].migrating_threads() {
+            self.xc.migrating_hop_extra(self.xc.line_bytes, dist)
+                + self.cores[core].cost.xentry_shard_fetch * dist
+        } else {
+            self.xc.hop_extra_at(self.xc.line_bytes, dist) - self.xc.hop_extra(self.xc.line_bytes)
+        }
     }
 
     /// Total busy cycles over all cores (utilization numerator).
@@ -302,32 +542,131 @@ impl MultiWorld {
         acc
     }
 
+    /// `opts` with the x-entry shard distance of a `from → to` hop
+    /// filled in (0 when both cores share a socket).
+    fn shard_opts(&self, from: CoreId, to: CoreId, opts: &InvokeOpts) -> InvokeOpts {
+        opts.clone()
+            .at_shard_distance(self.topo.core_distance(from, to))
+    }
+
     fn surcharge(
         &self,
+        from: CoreId,
         to: CoreId,
-        cross: bool,
         bytes: u64,
         calls: u64,
         inv: Invocation,
     ) -> Invocation {
-        if !cross || self.cores[to].migrating_threads() {
+        if from == to {
             return inv;
         }
+        let dist = self.topo.core_distance(from, to);
+        let extra = if self.cores[to].migrating_threads() {
+            let extra = calls * self.xc.migrating_hop_extra(bytes, dist);
+            if extra == 0 {
+                // Intra-socket xcall: the §5.2 free crossing — ledger
+                // untouched, exactly the historical single-socket path.
+                return inv;
+            }
+            extra
+        } else {
+            calls * self.xc.hop_extra_at(bytes, dist)
+        };
         let mut ledger = inv.ledger;
-        ledger.charge(Phase::CrossCore, calls * self.xc.hop_extra(bytes));
+        ledger.charge(Phase::CrossCore, extra);
         Invocation::from_ledger(ledger, inv.copied_bytes)
     }
 
-    fn exec(&mut self, core: CoreId, ready: u64, cycles: u64) -> u64 {
+    fn clock(&mut self, core: CoreId, ready: u64, cycles: u64) -> u64 {
         let start = ready.max(self.free_at[core]);
         let done = start + cycles;
         self.free_at[core] = done;
         done
     }
 
+    /// The unified execution entry point: run one [`Step`] (already
+    /// resolved to core space) issued by `core` at virtual time `ready`.
+    ///
+    /// `core` is the step's origin — the client side of an IPC hop, or
+    /// the computing core itself. IPC steps serve (and charge) on the
+    /// core named by the step's `to` field; their `from`/`at` fields are
+    /// not consulted (the caller resolves services to cores, see
+    /// [`Placement::assign`]). Call legs are priced with
+    /// [`InvokeOpts::call`]; x-entry shard distance and cross-core
+    /// surcharges fall out of the topology.
+    pub fn exec(&mut self, core: CoreId, step: Step, ready: u64) -> Completion {
+        self.exec_opts(core, step, &InvokeOpts::call(), ready)
+    }
+
+    /// [`exec`](Self::exec) with explicit call-leg options.
+    fn exec_opts(&mut self, core: CoreId, step: Step, opts: &InvokeOpts, ready: u64) -> Completion {
+        match step {
+            Step::Oneway { to, bytes, .. } => {
+                let opts = self.shard_opts(core, to, opts);
+                let inv = self.cores[to].price_oneway(bytes, &opts);
+                let inv = self.surcharge(core, to, bytes, 1, inv);
+                let done = self.clock(to, ready, inv.total);
+                self.cores[to].charge_invocation(bytes, inv.clone());
+                Completion { done, inv }
+            }
+            Step::Batch {
+                to,
+                calls,
+                bytes_each,
+                ..
+            } => {
+                let opts = self.shard_opts(core, to, opts);
+                let inv = self.cores[to].price_batch(calls, bytes_each, &opts);
+                let inv = self.surcharge(core, to, bytes_each, calls, inv);
+                let done = self.clock(to, ready, inv.total);
+                self.cores[to].charge_batch(calls, calls * bytes_each, inv.clone());
+                Completion { done, inv }
+            }
+            Step::Roundtrip {
+                to,
+                request,
+                response,
+                ..
+            } => {
+                let call_opts = self.shard_opts(core, to, opts);
+                let call = self.cores[to].price_oneway(request, &call_opts);
+                let call = self.surcharge(core, to, request, 1, call);
+                let reply_opts = self.shard_opts(core, to, &InvokeOpts::reply_leg());
+                let reply = self.cores[to].price_oneway(response, &reply_opts);
+                let reply = self.surcharge(core, to, response, 1, reply);
+                let inv = call.plus(reply);
+                let done = self.clock(to, ready, inv.total);
+                self.cores[to].charge_invocation(request + response, inv.clone());
+                Completion { done, inv }
+            }
+            Step::Compute { cycles, .. } => {
+                let done = self.clock(core, ready, cycles);
+                self.cores[core].compute(cycles);
+                Completion {
+                    done,
+                    inv: Invocation::default(),
+                }
+            }
+            Step::DataPass {
+                bytes,
+                intensity_x10,
+                ..
+            } => {
+                let cycles = self.cores[core].cost.copy_cycles(bytes) * intensity_x10 / 10;
+                let done = self.clock(core, ready, cycles);
+                self.cores[core].compute(cycles);
+                Completion {
+                    done,
+                    inv: Invocation::default(),
+                }
+            }
+        }
+    }
+
     /// One one-way hop from `from`'s core to `to`'s core at virtual time
     /// `ready`, served (and charged) at `to`. Returns the completion time
-    /// and the priced invocation (cross-core surcharge included).
+    /// and the priced invocation (cross-core surcharge included). Thin
+    /// wrapper over [`exec`](Self::exec).
     pub fn exec_oneway(
         &mut self,
         from: CoreId,
@@ -336,11 +675,8 @@ impl MultiWorld {
         opts: &InvokeOpts,
         ready: u64,
     ) -> (u64, Invocation) {
-        let inv = self.cores[to].price_oneway(bytes, opts);
-        let inv = self.surcharge(to, from != to, bytes, 1, inv);
-        let done = self.exec(to, ready, inv.total);
-        self.cores[to].charge_invocation(bytes, inv.clone());
-        (done, inv)
+        let c = self.exec_opts(from, Step::Oneway { from, to, bytes }, opts, ready);
+        (c.done, c.inv)
     }
 
     /// A burst of `calls` one-way hops of `bytes_each` from `from`'s
@@ -348,7 +684,8 @@ impl MultiWorld {
     /// [`IpcSystem::invoke_batch`]): the serving core's system amortizes
     /// its per-batch work; crossing cores pays the full §5.2 surcharge
     /// *per call* — every delivery still raises its own IPI and remote
-    /// wakeup, batching amortizes none of that.
+    /// wakeup, batching amortizes none of that. Thin wrapper over
+    /// [`exec`](Self::exec).
     pub fn exec_batch(
         &mut self,
         from: CoreId,
@@ -358,16 +695,24 @@ impl MultiWorld {
         opts: &InvokeOpts,
         ready: u64,
     ) -> (u64, Invocation) {
-        let inv = self.cores[to].price_batch(calls, bytes_each, opts);
-        let inv = self.surcharge(to, from != to, bytes_each, calls, inv);
-        let done = self.exec(to, ready, inv.total);
-        self.cores[to].charge_batch(calls, calls * bytes_each, inv.clone());
-        (done, inv)
+        let c = self.exec_opts(
+            from,
+            Step::Batch {
+                from,
+                to,
+                calls,
+                bytes_each,
+            },
+            opts,
+            ready,
+        );
+        (c.done, c.inv)
     }
 
     /// A synchronous round trip from `from`'s core into `to`'s core: both
     /// legs priced by the serving core's system, each leg surcharged when
     /// the call crosses cores, the serving core busy for the whole trip.
+    /// Thin wrapper over [`exec`](Self::exec).
     pub fn exec_roundtrip(
         &mut self,
         from: CoreId,
@@ -376,26 +721,29 @@ impl MultiWorld {
         response: u64,
         ready: u64,
     ) -> (u64, Invocation) {
-        let cross = from != to;
-        let call = self.cores[to].price_oneway(request, &InvokeOpts::call());
-        let call = self.surcharge(to, cross, request, 1, call);
-        let reply = self.cores[to].price_oneway(response, &InvokeOpts::reply_leg());
-        let reply = self.surcharge(to, cross, response, 1, reply);
-        let inv = call.plus(reply);
-        let done = self.exec(to, ready, inv.total);
-        self.cores[to].charge_invocation(request + response, inv.clone());
-        (done, inv)
+        let c = self.exec(
+            from,
+            Step::Roundtrip {
+                from,
+                to,
+                request,
+                response,
+            },
+            ready,
+        );
+        (c.done, c.inv)
     }
 
-    /// Compute at `core`, starting no earlier than `ready`.
+    /// Compute at `core`, starting no earlier than `ready`. Thin wrapper
+    /// over [`exec`](Self::exec).
     pub fn exec_compute(&mut self, core: CoreId, cycles: u64, ready: u64) -> u64 {
-        let done = self.exec(core, ready, cycles);
-        self.cores[core].compute(cycles);
-        done
+        self.exec(core, Step::Compute { at: core, cycles }, ready)
+            .done
     }
 
     /// One pass over `bytes` of data at `core` (memcpy-grade work scaled
-    /// by `intensity_x10 / 10`), starting no earlier than `ready`.
+    /// by `intensity_x10 / 10`), starting no earlier than `ready`. Thin
+    /// wrapper over [`exec`](Self::exec).
     pub fn exec_data_pass(
         &mut self,
         core: CoreId,
@@ -403,8 +751,16 @@ impl MultiWorld {
         intensity_x10: u64,
         ready: u64,
     ) -> u64 {
-        let cycles = self.cores[core].cost.copy_cycles(bytes) * intensity_x10 / 10;
-        self.exec_compute(core, cycles, ready)
+        self.exec(
+            core,
+            Step::DataPass {
+                at: core,
+                bytes,
+                intensity_x10,
+            },
+            ready,
+        )
+        .done
     }
 }
 
@@ -441,6 +797,19 @@ mod tests {
         })
     }
 
+    fn migrating() -> Box<dyn IpcSystem> {
+        Box::new(Fixed {
+            base: 100,
+            migrating: true,
+        })
+    }
+
+    fn world(n: usize) -> MultiWorld {
+        MultiWorld::builder()
+            .topology(Topology::single_socket(n))
+            .build(fixed)
+    }
+
     #[test]
     fn adapter_adds_the_surcharge_into_the_ledger() {
         let mut cc = CrossCore::new(fixed());
@@ -456,10 +825,7 @@ mod tests {
 
     #[test]
     fn migrating_systems_cross_for_free() {
-        let mut cc = CrossCore::new(Box::new(Fixed {
-            base: 100,
-            migrating: true,
-        }));
+        let mut cc = CrossCore::new(migrating());
         let inv = cc.oneway(4096, &InvokeOpts::call());
         assert_eq!(inv.ledger.get(Phase::CrossCore), 0);
         // The zero-cost span is still recorded: the hop *did* cross.
@@ -480,8 +846,26 @@ mod tests {
     }
 
     #[test]
+    fn distance_scales_every_surcharge_component() {
+        let xc = XCoreCost::u500();
+        // Distance 0 is exactly the flat surcharge.
+        for bytes in [0u64, 64, 4096] {
+            assert_eq!(xc.hop_extra_at(bytes, 0), xc.hop_extra(bytes));
+            assert_eq!(xc.migrating_hop_extra(bytes, 0), 0);
+        }
+        // Distance 2 at the default numa_x10 = 5 doubles the whole hop.
+        assert_eq!(xc.hop_extra_at(4096, 2), 2 * xc.hop_extra(4096));
+        // Migrating threads pay only the cache-line distance term.
+        assert_eq!(xc.migrating_hop_extra(4096, 2), 64 * xc.line_transfer);
+        assert_eq!(xc.migrating_hop_extra(0, 2), 0);
+        // Monotone in distance.
+        assert!(xc.hop_extra_at(64, 4) > xc.hop_extra_at(64, 2));
+        assert!(xc.migrating_hop_extra(64, 4) > xc.migrating_hop_extra(64, 2));
+    }
+
+    #[test]
     fn same_core_hops_pay_no_surcharge() {
-        let mut mw = MultiWorld::new(2, fixed);
+        let mut mw = world(2);
         let (done, inv) = mw.exec_oneway(0, 0, 64, &InvokeOpts::call(), 0);
         assert_eq!(inv.ledger.get(Phase::CrossCore), 0);
         assert_eq!(done, 164);
@@ -493,8 +877,120 @@ mod tests {
     }
 
     #[test]
+    fn cross_socket_hops_pay_the_distance_scaled_surcharge() {
+        let mut mw = MultiWorld::builder()
+            .topology(Topology::dual_socket())
+            .build(fixed);
+        // Intra-socket (0 → 1): flat surcharge.
+        let (_, local) = mw.exec_oneway(0, 1, 64, &InvokeOpts::call(), 0);
+        assert_eq!(
+            local.ledger.get(Phase::CrossCore),
+            XCoreCost::u500().hop_extra(64)
+        );
+        // Cross-socket (0 → 4): distance-2 surcharge, 2x at numa_x10 = 5.
+        let (_, remote) = mw.exec_oneway(0, 4, 64, &InvokeOpts::call(), 0);
+        assert_eq!(
+            remote.ledger.get(Phase::CrossCore),
+            2 * XCoreCost::u500().hop_extra(64)
+        );
+        assert!(remote.total > local.total);
+    }
+
+    #[test]
+    fn migrating_threads_cross_sockets_for_the_line_distance_term() {
+        let mut mw = MultiWorld::builder()
+            .topology(Topology::dual_socket())
+            .build(migrating);
+        // Intra-socket: completely free, no CrossCore span at all.
+        let (_, local) = mw.exec_oneway(0, 3, 4096, &InvokeOpts::call(), 0);
+        assert!(!local
+            .ledger
+            .spans()
+            .iter()
+            .any(|(p, _)| *p == Phase::CrossCore));
+        // Cross-socket: only the cache-line distance term.
+        let (_, remote) = mw.exec_oneway(0, 4, 4096, &InvokeOpts::call(), 0);
+        assert_eq!(
+            remote.ledger.get(Phase::CrossCore),
+            XCoreCost::u500().migrating_hop_extra(4096, 2)
+        );
+        // A zero-byte migrating hop stays free even across sockets (the
+        // generic `Fixed` models no x-entry shard).
+        let (_, zero) = mw.exec_oneway(0, 4, 0, &InvokeOpts::call(), 0);
+        assert_eq!(zero.ledger.get(Phase::CrossCore), 0);
+    }
+
+    #[test]
+    fn builder_validates_the_core_count() {
+        // Fits: 2 active cores on the 4-core single socket.
+        let mw = MultiWorld::builder().cores(2).build(fixed);
+        assert_eq!(mw.n_cores(), 2);
+        assert_eq!(mw.topology(), &Topology::u500());
+        // Default: every core the topology has.
+        let mw = MultiWorld::builder()
+            .topology(Topology::dual_socket())
+            .build(fixed);
+        assert_eq!(mw.n_cores(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit the topology")]
+    fn builder_rejects_more_cores_than_the_topology_has() {
+        let _ = MultiWorld::builder().cores(5).build(fixed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn builder_rejects_zero_cores() {
+        let _ = MultiWorld::builder().cores(0).build(fixed);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_the_builder() {
+        // The one-release compatibility shim: `new(n, mk)` is the
+        // single-socket builder, hop for hop.
+        let mut old = MultiWorld::new(2, fixed);
+        let mut new = MultiWorld::builder()
+            .topology(Topology::single_socket(2))
+            .build(fixed);
+        let (d_old, i_old) = old.exec_oneway(0, 1, 64, &InvokeOpts::call(), 0);
+        let (d_new, i_new) = new.exec_oneway(0, 1, 64, &InvokeOpts::call(), 0);
+        assert_eq!((d_old, i_old), (d_new, i_new));
+        let xc = XCoreCost {
+            numa_x10: 0,
+            ..XCoreCost::u500()
+        };
+        let shimmed = MultiWorld::new(2, fixed).with_xcore_cost(xc.clone());
+        let built = MultiWorld::builder()
+            .topology(Topology::single_socket(2))
+            .xcore_cost(xc)
+            .build(fixed);
+        assert_eq!(shimmed.xc, built.xc);
+    }
+
+    #[test]
+    fn unified_exec_matches_the_wrappers() {
+        let step = Step::Roundtrip {
+            from: 0,
+            to: 1,
+            request: 10,
+            response: 20,
+        };
+        let mut a = world(2);
+        let c = a.exec(0, step, 0);
+        let mut b = world(2);
+        let (done, inv) = b.exec_roundtrip(0, 1, 10, 20, 0);
+        assert_eq!((c.done, c.inv), (done, inv));
+        // Compute steps complete with an empty invocation.
+        let c = a.exec(1, Step::Compute { at: 1, cycles: 50 }, 0);
+        assert_eq!(c.inv, Invocation::default());
+        assert_eq!(c.done, a.free_at(1));
+    }
+
+    #[test]
     fn cores_are_fifo_servers() {
-        let mut mw = MultiWorld::new(2, fixed);
+        let mut mw = world(2);
         // Two 100-cycle computes both ready at t=0 on core 0: the second
         // queues behind the first.
         assert_eq!(mw.exec_compute(0, 100, 0), 100);
@@ -507,7 +1003,7 @@ mod tests {
 
     #[test]
     fn least_loaded_prefers_the_idle_core() {
-        let mut mw = MultiWorld::new(3, fixed);
+        let mut mw = world(3);
         mw.exec_compute(0, 500, 0);
         mw.exec_compute(1, 200, 0);
         assert_eq!(mw.least_loaded(), 2);
@@ -516,8 +1012,29 @@ mod tests {
     }
 
     #[test]
+    fn weighted_least_loaded_trades_distance_against_queue_depth() {
+        let mut mw = MultiWorld::builder()
+            .topology(Topology::dual_socket())
+            .build(fixed);
+        // All idle: socket-0 cores win outright (core 0 by tie-break).
+        assert_eq!(mw.least_loaded_weighted(), 0);
+        // Load up socket 0 lightly: the remote socket is idle but must
+        // beat the local queue by more than its distance penalty.
+        for c in 0..4 {
+            mw.exec_compute(c, 10, 0);
+        }
+        assert_eq!(mw.least_loaded_weighted(), 0, "10 cycles < the penalty");
+        assert_eq!(mw.least_loaded(), 4, "the naive policy jumps sockets");
+        // Pile enough work on socket 0 and the remote socket pays off.
+        for c in 0..4 {
+            mw.exec_compute(c, 1_000_000, 0);
+        }
+        assert_eq!(mw.least_loaded_weighted(), 4);
+    }
+
+    #[test]
     fn placement_policies_map_services() {
-        let mw = MultiWorld::new(4, fixed);
+        let mw = world(4);
         assert_eq!(Placement::SameCore.assign(7, 3, &mw), vec![0, 0, 0]);
         assert_eq!(
             Placement::Pinned(vec![0, 1, 2, 3]).assign(0, 4, &mw),
@@ -530,11 +1047,35 @@ mod tests {
     }
 
     #[test]
+    fn assign_never_exceeds_the_core_count() {
+        // Regression: the 1-core/many-services corner must map every
+        // service (and every policy) to core 0, never out of range.
+        let mut mw = world(1);
+        mw.exec_compute(0, 100, 0);
+        for policy in [
+            Placement::SameCore,
+            Placement::Pinned(vec![7, 3, 9, 2, 11]),
+            Placement::RoundRobin,
+            Placement::LeastLoaded,
+        ] {
+            for r in 0..5 {
+                let map = policy.assign(r, 5, &mw);
+                assert_eq!(map.len(), 5, "{}", policy.label());
+                assert!(
+                    map.iter().all(|&c| c < mw.n_cores()),
+                    "{} assigned out-of-range core: {map:?}",
+                    policy.label()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cross_core_surcharge_is_per_call_in_a_batch() {
         // `Fixed` has no IpcLogic phase, so the default amortization
         // amortizes nothing: a batch of n costs exactly n oneway calls —
         // and crossing cores must still pay n full surcharges.
-        let mut mw = MultiWorld::new(2, fixed);
+        let mut mw = world(2);
         let n = 8u64;
         let (_, inv) = mw.exec_batch(0, 1, n, 64, &InvokeOpts::call(), 0);
         assert_eq!(
@@ -562,7 +1103,7 @@ mod tests {
 
     #[test]
     fn roundtrip_charges_the_serving_core() {
-        let mut mw = MultiWorld::new(2, fixed);
+        let mut mw = world(2);
         let (done, inv) = mw.exec_roundtrip(0, 1, 10, 20, 0);
         // Two legs of 100 + bytes, each surcharged.
         let extra = XCoreCost::u500();

@@ -257,9 +257,8 @@ impl SegRegistry {
 
     /// Free a segment, returning its frames to `alloc`. Paged segments
     /// only return their *table* frame here; the kernel (which can read
-    /// the table) returns the data frames via
-    /// [`SegRegistry::free_paged_frames`]-style iteration before calling
-    /// this.
+    /// the table) returns the data frames by iterating the page table
+    /// before calling this.
     pub fn free(&mut self, alloc: &mut FrameAlloc, h: SegHandle) {
         let info = &mut self.segs[h.0 as usize];
         if info.owner == SegOwner::Freed {

@@ -59,7 +59,7 @@ fn main() {
     for mk in mechanisms {
         for window in [1usize, 4, 16] {
             for batch in [1u64, 8, 64] {
-                let mut mw = MultiWorld::new(2, mk);
+                let mut mw = MultiWorld::builder().cores(2).build(mk);
                 let r = load::run_windowed(
                     &mut mw,
                     &Placement::RoundRobin,

@@ -40,7 +40,7 @@ fn main() {
             .map(|&len| chain_steps("/index.html", len, true, mk().supports_handover()))
             .collect();
         for policy in &policies {
-            let mut mw = MultiWorld::new(4, mk);
+            let mut mw = MultiWorld::builder().cores(4).build(mk);
             let r = load::run(&mut mw, policy, CHAIN_SERVICES, &recipes, &spec);
             println!(
                 "{:12} {:12} {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>6.0}%",
