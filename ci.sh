@@ -13,13 +13,18 @@ echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
 
 echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+# cast_possible_truncation stays advisory: the cycle model truncates
+# deliberately in many places; the lint is for new code review, not a gate.
+cargo clippy --workspace --all-targets -- -D warnings -A clippy::cast-possible-truncation
 
 echo "== rustdoc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "== tests =="
 cargo test -q --workspace
+
+echo "== static verifier (recipes + crafted refutations + ledger lint) =="
+cargo run --release -p xpc-bench --bin verify
 
 echo "== figures (+ BENCH_figures.json phase dump) =="
 cargo run --release -p xpc-bench --bin figures -- --json all > /dev/null

@@ -53,6 +53,7 @@ fn main() {
         let pipeline = experiments::pipeline::json_section();
         let ablations = experiments::ablations::json_section();
         let numa = experiments::numa::json_section();
+        let verify = experiments::verify::json_section();
         let doc = sweep::json_dump(
             &rows,
             &[("fig5", fig5)],
@@ -61,6 +62,7 @@ fn main() {
                 ("pipeline", pipeline),
                 ("ablations", ablations),
                 ("numa", numa),
+                ("verify", verify),
             ],
         );
         let path = "BENCH_figures.json";

@@ -1,0 +1,35 @@
+//! CI gate: run the static verifier over every figure recipe set, the
+//! crafted misconfigurations, and the full roster's ledgers.
+//!
+//! ```text
+//! cargo run -p xpc-bench --bin verify
+//! ```
+//!
+//! Exits non-zero if any figure recipe or roster ledger yields a
+//! finding, or if a crafted misconfiguration is *not* refuted with the
+//! exact `Cause` the engine would trap with.
+
+use xpc_bench::experiments::verify;
+
+fn main() {
+    let rows = verify::results();
+    let mut bad = 0usize;
+    for r in &rows {
+        let status = if r.ok { "ok " } else { "FAIL" };
+        println!(
+            "{status} [{:9}] {:40} expected {:18} got {:18} ({} findings)",
+            r.group, r.subject, r.expected, r.verdict, r.findings
+        );
+        if !r.ok {
+            bad += 1;
+        }
+    }
+    println!(
+        "\n{} checks: {} ok, {bad} failed",
+        rows.len(),
+        rows.len() - bad
+    );
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

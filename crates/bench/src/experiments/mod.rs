@@ -17,6 +17,7 @@ pub mod table4;
 pub mod table5;
 pub mod table6;
 pub mod table7;
+pub mod verify;
 
 /// A regenerated table or figure.
 #[derive(Debug, Clone)]
@@ -91,6 +92,7 @@ pub fn all() -> Vec<Experiment> {
         ("scale", scale::run),
         ("pipeline", pipeline::run),
         ("numa", numa::run),
+        ("verify", verify::run),
     ]
 }
 
@@ -112,7 +114,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_20_experiments() {
-        assert_eq!(all().len(), 20);
+    fn registry_has_all_21_experiments() {
+        assert_eq!(all().len(), 21);
     }
 }

@@ -107,6 +107,7 @@ pub fn results() -> Vec<(&'static str, LoadReport)> {
     for mk in mechanisms() {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
+        super::verify::gate("NUMA", CHAIN_SERVICES, &recipes);
         for (label, topo) in topologies() {
             for policy in policies() {
                 let mut mw = MultiWorld::builder().topology(topo.clone()).build(mk);

@@ -77,6 +77,8 @@ pub fn recipe(batch: u64) -> Vec<Step> {
 /// `(batch, report)` (the window is in the report).
 pub fn results() -> Vec<(u64, LoadReport)> {
     let spec = spec();
+    let all_bursts: Vec<Vec<Step>> = BATCHES.iter().map(|&b| recipe(b)).collect();
+    super::verify::gate("Pipeline", 2, &all_bursts);
     let mut out = Vec::new();
     for mk in mechanisms() {
         for &window in &WINDOWS {

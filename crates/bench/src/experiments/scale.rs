@@ -53,6 +53,7 @@ pub fn results() -> Vec<LoadReport> {
     for mk in mechanisms() {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
+        super::verify::gate("Scale-out", CHAIN_SERVICES, &recipes);
         for policy in policies() {
             // The single-socket u500 preset: byte-identical to the
             // pre-topology 4-core world.

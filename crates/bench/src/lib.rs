@@ -15,6 +15,8 @@
 //! `cargo run -p xpc-bench --bin figures -- all` prints every table and
 //! figure; `EXPERIMENTS.md` records paper-vs-measured.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 pub mod sweep;

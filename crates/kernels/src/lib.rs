@@ -9,6 +9,8 @@
 //! exactly how the paper ports one workload across six systems and then
 //! reports per-phase breakdowns (Table 1, Figure 5).
 
+#![forbid(unsafe_code)]
+
 pub mod binder;
 pub mod historical;
 pub mod parcel;

@@ -11,6 +11,8 @@
 //! The store is log-structured: rows append to a table file; an in-memory
 //! index maps keys to (offset, length). Updates append new versions.
 
+#![forbid(unsafe_code)]
+
 pub mod db;
 pub mod driver;
 

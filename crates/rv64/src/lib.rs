@@ -29,6 +29,8 @@
 //! assert_eq!(m.core.cpu.x(reg::A0), 42);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod asm;
 pub mod cache;
 pub mod config;

@@ -19,6 +19,8 @@
 //! IPC hop comes from the active [`simos::IpcSystem`], so the same
 //! service code reproduces all five systems of Figure 7/8.
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod blockdev;
 pub mod filecache;

@@ -31,6 +31,8 @@
 //! * [`load`] — a deterministic closed-loop traffic generator reporting
 //!   throughput and p50/p95/p99 latency from per-request ledgers.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod ipc;
 pub mod ledger;

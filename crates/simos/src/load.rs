@@ -287,7 +287,9 @@ pub fn run_windowed(
         }
         let t0 = avail[c];
         let recipe = &recipes[rng.below(recipes.len() as u64) as usize];
-        let map = policy.assign(r, n_services, mw);
+        let map = policy
+            .assign(r, n_services, mw)
+            .expect("placement rejected the core map");
         let (done, req_ledger, calls) = run_request_inner(mw, &map, recipe, t0, attribute_queue);
         ledger.merge(&req_ledger);
         ipc_calls += calls;
@@ -506,7 +508,9 @@ mod tests {
             }
             let t0 = ready[c];
             let recipe = &recipes[rng.below(recipes.len() as u64) as usize];
-            let map = policy.assign(r, n_services, mw);
+            let map = policy
+                .assign(r, n_services, mw)
+                .expect("placement rejected the core map");
             let (done, req_ledger) = run_request(mw, &map, recipe, t0);
             ledger.merge(&req_ledger);
             latencies.push(done - t0);

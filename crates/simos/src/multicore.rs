@@ -34,6 +34,7 @@ use crate::ipc::{EngineCacheStats, IpcSystem};
 use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 use crate::topology::Topology;
 use crate::world::World;
+use std::fmt;
 
 /// Index of a core in a [`MultiWorld`].
 pub type CoreId = usize;
@@ -296,16 +297,30 @@ impl Placement {
     /// Map the `n_services` services of request `r` to cores. Service 0
     /// is the client; it always sits on core 0. Every returned index is
     /// strictly below `mw.n_cores()`.
-    pub fn assign(&self, r: u64, n_services: usize, mw: &MultiWorld) -> Vec<CoreId> {
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError`] when a pinned map covers fewer services than
+    /// the recipe uses, or when a policy produces a core index outside
+    /// the world. Both used to be `assert!`/`debug_assert!`; release
+    /// builds would silently mis-price every hop of a mis-mapped chain
+    /// instead of rejecting it.
+    pub fn assign(
+        &self,
+        r: u64,
+        n_services: usize,
+        mw: &MultiWorld,
+    ) -> Result<Vec<CoreId>, PlacementError> {
         let n = mw.n_cores();
-        let map = match self {
+        let map: Vec<CoreId> = match self {
             Placement::SameCore => vec![0; n_services],
             Placement::Pinned(map) => {
-                assert!(
-                    map.len() >= n_services,
-                    "pinned map covers {} of {n_services} services",
-                    map.len()
-                );
+                if map.len() < n_services {
+                    return Err(PlacementError::PinnedMapTooShort {
+                        have: map.len(),
+                        need: n_services,
+                    });
+                }
                 map[..n_services].iter().map(|&c| c % n).collect()
             }
             Placement::RoundRobin => {
@@ -314,12 +329,14 @@ impl Placement {
             }
             Placement::LeastLoaded => Self::chain_on(mw.least_loaded_weighted(), n_services),
         };
-        debug_assert!(
-            map.iter().all(|&c| c < n),
-            "{}: assigned a core index >= {n}: {map:?}",
-            self.label()
-        );
-        map
+        if let Some(&bad) = map.iter().find(|&&c| c >= n) {
+            return Err(PlacementError::CoreOutOfRange {
+                policy: self.label(),
+                core: bad,
+                n_cores: n,
+            });
+        }
+        Ok(map)
     }
 
     fn chain_on(chain: CoreId, n_services: usize) -> Vec<CoreId> {
@@ -330,6 +347,50 @@ impl Placement {
         map
     }
 }
+
+/// A [`Placement`] could not produce a valid service → core map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// `Placement::Pinned` lists fewer cores than the recipe has
+    /// services.
+    PinnedMapTooShort {
+        /// Cores the pinned map covers.
+        have: usize,
+        /// Services the recipe needs placed.
+        need: usize,
+    },
+    /// A policy produced a core index outside the world.
+    CoreOutOfRange {
+        /// [`Placement::label`] of the offending policy.
+        policy: &'static str,
+        /// The out-of-range index.
+        core: CoreId,
+        /// Cores the world actually has.
+        n_cores: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::PinnedMapTooShort { have, need } => {
+                write!(f, "pinned map covers {have} of {need} services")
+            }
+            PlacementError::CoreOutOfRange {
+                policy,
+                core,
+                n_cores,
+            } => {
+                write!(
+                    f,
+                    "{policy}: assigned core {core} on a {n_cores}-core world"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
 
 /// Configures a [`MultiWorld`]: active core count, machine [`Topology`],
 /// and cross-core cost. [`build`](Self::build) validates the core count
@@ -1035,15 +1096,29 @@ mod tests {
     #[test]
     fn placement_policies_map_services() {
         let mw = world(4);
-        assert_eq!(Placement::SameCore.assign(7, 3, &mw), vec![0, 0, 0]);
         assert_eq!(
-            Placement::Pinned(vec![0, 1, 2, 3]).assign(0, 4, &mw),
+            Placement::SameCore.assign(7, 3, &mw).unwrap(),
+            vec![0, 0, 0]
+        );
+        assert_eq!(
+            Placement::Pinned(vec![0, 1, 2, 3])
+                .assign(0, 4, &mw)
+                .unwrap(),
             vec![0, 1, 2, 3]
         );
         // Round robin keeps the client (service 0) on core 0.
-        assert_eq!(Placement::RoundRobin.assign(5, 3, &mw), vec![0, 1, 1]);
-        assert_eq!(Placement::RoundRobin.assign(4, 3, &mw), vec![0, 0, 0]);
-        assert_eq!(Placement::LeastLoaded.assign(0, 2, &mw), vec![0, 0]);
+        assert_eq!(
+            Placement::RoundRobin.assign(5, 3, &mw).unwrap(),
+            vec![0, 1, 1]
+        );
+        assert_eq!(
+            Placement::RoundRobin.assign(4, 3, &mw).unwrap(),
+            vec![0, 0, 0]
+        );
+        assert_eq!(
+            Placement::LeastLoaded.assign(0, 2, &mw).unwrap(),
+            vec![0, 0]
+        );
     }
 
     #[test]
@@ -1059,7 +1134,7 @@ mod tests {
             Placement::LeastLoaded,
         ] {
             for r in 0..5 {
-                let map = policy.assign(r, 5, &mw);
+                let map = policy.assign(r, 5, &mw).unwrap();
                 assert_eq!(map.len(), 5, "{}", policy.label());
                 assert!(
                     map.iter().all(|&c| c < mw.n_cores()),

@@ -27,6 +27,8 @@
 //! emulated core. See `crates/xpc-engine/tests/` and the `xpc` crate for
 //! full scenarios.
 
+#![forbid(unsafe_code)]
+
 pub mod asm_ext;
 pub mod cap;
 pub mod config;

@@ -1,0 +1,252 @@
+//! Crafted plans, one per exception class, plus a clean control.
+//!
+//! Each crafted plan is the *minimal* misconfiguration that provokes
+//! one of the five XPC exceptions, paired with the `Cause` the verifier
+//! must predict. The differential tests replay the same
+//! misconfiguration on a real [`xpc::XpcKernel`] and assert the engine
+//! traps with the identical cause; the bench `verify` experiment prints
+//! the predicted-vs-expected table.
+
+use crate::plan::{EntryDecl, Grant, Plan, SegOp, ServiceBinding};
+use rv64::trap::Cause;
+use simos::Step;
+
+/// One crafted scenario: a plan, its recipes, and the verdict the
+/// verifier must reach.
+pub struct Crafted {
+    /// Stable scenario name (kebab-case, used in tables and JSON).
+    pub label: &'static str,
+    /// The exact cause every finding must predict; `None` for the clean
+    /// control (zero findings expected).
+    pub expected: Option<Cause>,
+    /// The setup plan.
+    pub plan: Plan,
+    /// Named workload recipes run against the plan.
+    pub recipes: Vec<(String, Vec<Step>)>,
+}
+
+fn call_and_return() -> Vec<(String, Vec<Step>)> {
+    vec![(
+        "call".to_string(),
+        vec![
+            Step::Oneway {
+                from: 0,
+                to: 1,
+                bytes: 8,
+            },
+            Step::Oneway {
+                from: 1,
+                to: 0,
+                bytes: 8,
+            },
+        ],
+    )]
+}
+
+fn client_and_service() -> Plan {
+    let mut plan = Plan::new();
+    plan.threads = vec![0, 1];
+    plan.services = vec![
+        ServiceBinding {
+            thread: 0,
+            entry: None,
+        },
+        ServiceBinding {
+            thread: 1,
+            entry: Some(1),
+        },
+    ];
+    plan.entries = vec![EntryDecl {
+        id: 1,
+        owner: 1,
+        valid: true,
+    }];
+    plan
+}
+
+/// The service binds an entry id past the end of the x-entry table, so
+/// the very first bounds check refuses the call.
+pub fn invalid_x_entry() -> Crafted {
+    let mut plan = client_and_service();
+    plan.entries.clear();
+    plan.services[1].entry = Some(plan.table_entries + 976);
+    Crafted {
+        label: "out-of-bounds-entry",
+        expected: Some(Cause::InvalidXEntry),
+        plan,
+        recipes: call_and_return(),
+    }
+}
+
+/// The entry exists and is valid, but nobody ever granted the client
+/// the xcall-cap bit — the bitmap check refuses the call.
+pub fn invalid_xcall_cap() -> Crafted {
+    let plan = client_and_service();
+    Crafted {
+        label: "ungranted-xcall",
+        expected: Some(Cause::InvalidXcallCap),
+        plan,
+        recipes: call_and_return(),
+    }
+}
+
+/// The service's call graph declares it re-enters itself while serving
+/// a request; every hop pushes a linkage record, so depth is unbounded
+/// and the link stack overflows.
+pub fn invalid_linkage() -> Crafted {
+    let mut plan = client_and_service();
+    plan.grants = vec![
+        Grant::Xcall {
+            granter: 1,
+            grantee: 0,
+            entry: 1,
+        },
+        Grant::Xcall {
+            granter: 1,
+            grantee: 1,
+            entry: 1,
+        },
+    ];
+    plan.calls = vec![(0, 1), (1, 1)];
+    Crafted {
+        label: "self-recursive-service",
+        expected: Some(Cause::InvalidLinkage),
+        plan,
+        recipes: call_and_return(),
+    }
+}
+
+/// The seg plan swaps against a seg-list slot nothing was ever stashed
+/// into — the slot is invalid and `swapseg` refuses.
+pub fn swapseg_error() -> Crafted {
+    let mut plan = Plan::new();
+    plan.threads = vec![0];
+    plan.services = vec![ServiceBinding {
+        thread: 0,
+        entry: None,
+    }];
+    plan.seg_ops = vec![
+        SegOp::Alloc {
+            seg: 0,
+            owner: 0,
+            len: 4096,
+            paged: false,
+        },
+        SegOp::Install { thread: 0, seg: 0 },
+        SegOp::Swap { thread: 0, slot: 5 },
+    ];
+    Crafted {
+        label: "empty-slot-swapseg",
+        expected: Some(Cause::SwapsegError),
+        plan,
+        recipes: Vec::new(),
+    }
+}
+
+/// The mask plan widens the seg window past the installed segment —
+/// windows only shrink, so the mask write traps.
+pub fn invalid_seg_mask() -> Crafted {
+    let mut plan = Plan::new();
+    plan.threads = vec![0];
+    plan.services = vec![ServiceBinding {
+        thread: 0,
+        entry: None,
+    }];
+    plan.seg_ops = vec![
+        SegOp::Alloc {
+            seg: 0,
+            owner: 0,
+            len: 4096,
+            paged: false,
+        },
+        SegOp::Install { thread: 0, seg: 0 },
+        SegOp::Mask {
+            thread: 0,
+            offset: 0,
+            len: 8192,
+        },
+    ];
+    Crafted {
+        label: "widening-seg-mask",
+        expected: Some(Cause::InvalidSegMask),
+        plan,
+        recipes: Vec::new(),
+    }
+}
+
+/// Fully wired two-service plan: entry granted, acyclic graph, clean
+/// segment lifecycle. Zero findings, and the kernel runs it fault-free.
+pub fn clean() -> Crafted {
+    let mut plan = client_and_service();
+    plan.grants = vec![Grant::Xcall {
+        granter: 1,
+        grantee: 0,
+        entry: 1,
+    }];
+    plan.calls = vec![(0, 1)];
+    plan.seg_ops = vec![
+        SegOp::Alloc {
+            seg: 0,
+            owner: 0,
+            len: 4096,
+            paged: false,
+        },
+        SegOp::Install { thread: 0, seg: 0 },
+        SegOp::Mask {
+            thread: 0,
+            offset: 0,
+            len: 256,
+        },
+        SegOp::HandoverCall { thread: 0 },
+    ];
+    Crafted {
+        label: "clean-control",
+        expected: None,
+        plan,
+        recipes: call_and_return(),
+    }
+}
+
+/// Every crafted scenario, the five exception classes first, the clean
+/// control last.
+pub fn all_crafted() -> Vec<Crafted> {
+    vec![
+        invalid_x_entry(),
+        invalid_xcall_cap(),
+        invalid_linkage(),
+        swapseg_error(),
+        invalid_seg_mask(),
+        clean(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn each_crafted_plan_yields_exactly_its_expected_cause() {
+        for c in all_crafted() {
+            let findings = verify(&c.plan, &c.recipes);
+            match c.expected {
+                None => assert!(findings.is_empty(), "{}: {:?}", c.label, findings),
+                Some(cause) => {
+                    assert!(!findings.is_empty(), "{}: no findings", c.label);
+                    for f in &findings {
+                        assert_eq!(f.cause(), Some(cause), "{}: {f}", c.label);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = all_crafted().iter().map(|c| c.label).collect();
+        labels.sort_unstable();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+}

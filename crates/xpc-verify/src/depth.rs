@@ -1,0 +1,196 @@
+//! Check (b): worst-case call-chain depth fits the link stack.
+//!
+//! Two complementary bounds. The *recipe* bound is exact: the flow
+//! abstraction replays each `Step` sequence and counts outstanding
+//! linkage records. The *graph* bound is conservative: over the
+//! declared service call graph, a cycle means a request can re-enter a
+//! service it is already serving — the engine pushes a fresh 80-byte
+//! linkage record per hop, so depth is unbounded and the stack
+//! overflows into `InvalidLinkage` no matter its size; an acyclic graph
+//! is bounded by its longest path, which must fit the configured record
+//! capacity.
+
+use crate::finding::Finding;
+use crate::plan::{Plan, RecipeFlow};
+use rv64::trap::Cause;
+
+/// Longest-path / cycle analysis over `plan.calls`, plus the exact
+/// per-recipe depth bound.
+pub fn check(plan: &Plan, flows: &[(String, RecipeFlow)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, f) in flows {
+        if f.max_depth > plan.link_capacity_records {
+            findings.push(Finding::trap(
+                Cause::InvalidLinkage,
+                format!("recipe {name}"),
+                format!(
+                    "needs {} outstanding linkage records; the link stack holds {}",
+                    f.max_depth, plan.link_capacity_records
+                ),
+            ));
+        }
+    }
+    let n = plan.services.len().max(
+        plan.calls
+            .iter()
+            .map(|&(a, b)| a.max(b) + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    match longest_path(n, &plan.calls) {
+        GraphDepth::Cyclic(cycle) => {
+            let path = cycle
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join("→");
+            findings.push(Finding::trap(
+                Cause::InvalidLinkage,
+                "service call graph",
+                format!("cycle {path} makes link-stack depth unbounded"),
+            ));
+        }
+        GraphDepth::Bounded(depth) => {
+            if depth > plan.link_capacity_records {
+                findings.push(Finding::trap(
+                    Cause::InvalidLinkage,
+                    "service call graph",
+                    format!(
+                        "longest call chain is {depth} records; the link stack holds {}",
+                        plan.link_capacity_records
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Result of the call-graph depth analysis.
+enum GraphDepth {
+    /// A cycle exists; the vertices of one witness cycle.
+    Cyclic(Vec<usize>),
+    /// Acyclic: the longest path, counted in edges (= linkage records).
+    Bounded(u64),
+}
+
+/// Iterative DFS with colors; memoizes longest path from each vertex.
+fn longest_path(n: usize, edges: &[(usize, usize)]) -> GraphDepth {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut best = vec![0u64; n];
+    for root in 0..n {
+        if color[root] != 0 {
+            continue;
+        }
+        // Stack of (vertex, next child index).
+        let mut stack = vec![(root, 0usize)];
+        color[root] = 1;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < adj[v].len() {
+                let w = adj[v][*next];
+                *next += 1;
+                match color[w] {
+                    0 => {
+                        color[w] = 1;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // Back edge: extract the witness cycle from the
+                        // DFS stack.
+                        let start = stack.iter().position(|&(x, _)| x == w).unwrap_or(0);
+                        let mut cycle: Vec<usize> =
+                            stack[start..].iter().map(|&(x, _)| x).collect();
+                        cycle.push(w);
+                        return GraphDepth::Cyclic(cycle);
+                    }
+                    _ => {
+                        best[v] = best[v].max(best[w] + 1);
+                    }
+                }
+            } else {
+                color[v] = 2;
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    best[p] = best[p].max(best[v] + 1);
+                }
+            }
+        }
+    }
+    GraphDepth::Bounded(best.into_iter().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::flow;
+    use simos::Step;
+
+    #[test]
+    fn self_recursive_entry_is_flagged_cyclic() {
+        let mut plan = Plan::new();
+        plan.calls = vec![(1, 1)];
+        let f = check(&plan, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cause(), Some(Cause::InvalidLinkage));
+        assert!(f[0].detail.contains("cycle"));
+    }
+
+    #[test]
+    fn mutual_recursion_is_flagged_cyclic() {
+        let mut plan = Plan::new();
+        plan.calls = vec![(0, 1), (1, 2), (2, 1)];
+        let f = check(&plan, &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("cycle"));
+    }
+
+    #[test]
+    fn acyclic_chain_within_capacity_is_clean() {
+        let mut plan = Plan::new();
+        plan.calls = vec![(0, 1), (1, 2), (2, 3)];
+        assert!(check(&plan, &[]).is_empty());
+    }
+
+    #[test]
+    fn long_acyclic_chain_past_capacity_is_flagged() {
+        let mut plan = Plan::new();
+        let cap = plan.link_capacity_records as usize;
+        plan.calls = (0..=cap).map(|i| (i, i + 1)).collect();
+        let f = check(&plan, &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("longest call chain"));
+    }
+
+    #[test]
+    fn recipe_deeper_than_the_stack_is_flagged() {
+        let mut plan = Plan::new();
+        plan.link_capacity_records = 2;
+        let recipe = vec![
+            Step::Oneway {
+                from: 0,
+                to: 1,
+                bytes: 8,
+            },
+            Step::Oneway {
+                from: 1,
+                to: 2,
+                bytes: 8,
+            },
+            Step::Oneway {
+                from: 2,
+                to: 3,
+                bytes: 8,
+            },
+        ];
+        let flows = vec![("deep".to_string(), flow(&recipe))];
+        let f = check(&plan, &flows);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cause(), Some(Cause::InvalidLinkage));
+        assert!(f[0].site.contains("deep"));
+    }
+}

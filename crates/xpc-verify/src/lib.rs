@@ -1,0 +1,115 @@
+//! Static IPC-protocol verifier for the XPC stack.
+//!
+//! The paper's security argument rests on five hardware exceptions
+//! (invalid x-entry, invalid xcall-cap, invalid linkage, swapseg error,
+//! invalid seg-mask) that the engine raises *at run time*. This crate
+//! proves — or refutes — the same properties *before* anything runs: an
+//! abstract interpreter takes a declarative setup [`Plan`] (processes,
+//! x-entry registrations, grant edges, relay-segment lifecycles) plus
+//! workload recipes ([`simos::load::Step`] sequences) and checks:
+//!
+//! * **(a) capability reachability** ([`caps`]) — every `xcall` target
+//!   in-bounds of the x-entry table and reachable in the xcall-cap
+//!   bitmap lattice, transitively through grant-cap edges;
+//! * **(b) link-stack depth** ([`depth`]) — worst-case call-chain depth
+//!   over the service call graph fits the configured link stack, with
+//!   cycle detection for unbounded recursion;
+//! * **(c) segment ownership** ([`segs`]) — relay segments keep
+//!   single-owner semantics along every `swapseg`/handover
+//!   interleaving, and seg-mask windows only shrink;
+//! * **(d) ledger hygiene** ([`lint`]) — every [`simos`] `Invocation` a
+//!   kernel model produces decomposes exactly into its phase ledger.
+//!
+//! Every [`Finding`] carries a [`Verdict`] typed by the
+//! [`rv64::trap::Cause`] the runtime would trap with, so static
+//! diagnostics and dynamic faults speak the same vocabulary — the
+//! differential tests assert they agree, class by class.
+
+#![forbid(unsafe_code)]
+
+pub mod caps;
+pub mod crafted;
+pub mod depth;
+pub mod finding;
+pub mod lint;
+pub mod plan;
+pub mod segs;
+
+pub use finding::{Finding, Verdict};
+pub use plan::{flow, CallSite, EntryDecl, Grant, Plan, RecipeFlow, SegOp, ServiceBinding};
+
+use simos::Step;
+
+/// Run every static check — capability reachability, link-stack depth,
+/// segment ownership — over a plan and its named recipes, returning all
+/// findings (empty means *proved clean*).
+pub fn verify(plan: &Plan, recipes: &[(String, Vec<Step>)]) -> Vec<Finding> {
+    let flows: Vec<(String, RecipeFlow)> = recipes
+        .iter()
+        .map(|(name, recipe)| (name.clone(), plan::flow(recipe)))
+        .collect();
+    let mut findings = caps::check(plan, &flows);
+    findings.extend(depth::check(plan, &flows));
+    findings.extend(segs::check(plan));
+    findings
+}
+
+/// Pre-flight gate for the bench experiments: derive the canonical
+/// [`Plan::for_recipes`] setup an `n_services` deployment implies and
+/// verify the recipes against it. `Err` carries the findings; figures
+/// refuse to run an unverifiable recipe.
+pub fn preflight(n_services: usize, recipes: &[(String, Vec<Step>)]) -> Result<(), Vec<Finding>> {
+    let raw: Vec<Vec<Step>> = recipes.iter().map(|(_, r)| r.clone()).collect();
+    let plan = Plan::for_recipes(n_services, &raw);
+    let findings = verify(&plan, recipes);
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(findings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preflight_accepts_a_simple_service_chain() {
+        let recipes = vec![(
+            "chain".to_string(),
+            vec![
+                Step::Oneway {
+                    from: 0,
+                    to: 1,
+                    bytes: 64,
+                },
+                Step::Roundtrip {
+                    from: 1,
+                    to: 2,
+                    request: 16,
+                    response: 64,
+                },
+                Step::Oneway {
+                    from: 1,
+                    to: 0,
+                    bytes: 64,
+                },
+            ],
+        )];
+        assert!(preflight(3, &recipes).is_ok());
+    }
+
+    #[test]
+    fn preflight_rejects_a_recipe_calling_an_unbound_service() {
+        let recipes = vec![(
+            "rogue".to_string(),
+            vec![Step::Oneway {
+                from: 0,
+                to: 9,
+                bytes: 8,
+            }],
+        )];
+        let err = preflight(3, &recipes).unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

@@ -1,0 +1,469 @@
+//! Check (c): relay segments obey single-owner semantics along every
+//! `swapseg`/handover interleaving.
+//!
+//! The abstract domain is a per-segment **ownership automaton**:
+//!
+//! ```text
+//!           Alloc            Install           HandoverCall
+//!   (none) ───────▶ Loose ───────────▶ Installed ───────────▶ Revoked
+//!                     ▲  ╲ Stash          │  ▲
+//!                     │   ╲               ▼  │ Swap (slot must
+//!                     │    ▶ Stashed ◀────┘  │  hold a segment)
+//!                     └──────── Free ▶ Freed
+//! ```
+//!
+//! plus a per-thread seg-reg window that may only **shrink** (§4.4
+//! "Message Shrink"): once a mask narrows the window, no later mask may
+//! widen it, and on paged segments masks stay page-granular. Ownership
+//! violations — double-install, stash into an occupied slot, swapping
+//! an empty slot, use-after-revoke, use-after-free — predict
+//! [`Cause::SwapsegError`]; window violations predict
+//! [`Cause::InvalidSegMask`], matching what `XpcEngine::exec_swapseg`
+//! and the `XPC_SEG_MASK_LEN` CSR write would trap with.
+
+use crate::finding::Finding;
+use crate::plan::{Plan, SegOp};
+use rv64::trap::Cause;
+use std::collections::HashMap;
+
+/// Mask granularity on paged relay segments (the relay page table maps
+/// whole pages, so sub-page windows cannot be expressed).
+const PAGE: u64 = 4096;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegState {
+    /// Owned by a thread, not installed anywhere.
+    Loose(usize),
+    /// Live in a thread's seg-reg.
+    Installed(usize),
+    /// Parked in a process seg-list slot.
+    Stashed(usize, u64),
+    /// Handed over along an xcall; the original owner lost it.
+    Revoked,
+    /// Frames returned; any further touch is use-after-free.
+    Freed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    seg: usize,
+    lo: u64,
+    hi: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SegMeta {
+    len: u64,
+    paged: bool,
+}
+
+/// Walk the plan's seg-op sequence through the automaton. An op that
+/// violates the automaton is recorded and **skipped** (its state effect
+/// does not apply), so one bad op does not cascade into noise.
+pub fn check(plan: &Plan) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut states: HashMap<usize, SegState> = HashMap::new();
+    let mut metas: HashMap<usize, SegMeta> = HashMap::new();
+    let mut regs: HashMap<usize, Window> = HashMap::new();
+    let mut slots: HashMap<(usize, u64), usize> = HashMap::new();
+    for (i, op) in plan.seg_ops.iter().enumerate() {
+        let site = format!("seg-op {i}");
+        match *op {
+            SegOp::Alloc {
+                seg,
+                owner,
+                len,
+                paged,
+            } => {
+                if states.contains_key(&seg) {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!("segment {seg} allocated twice"),
+                    ));
+                    continue;
+                }
+                states.insert(seg, SegState::Loose(owner));
+                metas.insert(seg, SegMeta { len, paged });
+            }
+            SegOp::Install { thread, seg } => {
+                match states.get(&seg) {
+                    None | Some(SegState::Freed) => {
+                        findings.push(Finding::trap(
+                            Cause::SwapsegError,
+                            site,
+                            format!("install of freed or never-allocated segment {seg}"),
+                        ));
+                        continue;
+                    }
+                    Some(SegState::Revoked) => {
+                        findings.push(Finding::trap(
+                            Cause::SwapsegError,
+                            site,
+                            format!("segment {seg} was handed over; use-after-revoke"),
+                        ));
+                        continue;
+                    }
+                    Some(SegState::Installed(t)) => {
+                        findings.push(Finding::trap(
+                            Cause::SwapsegError,
+                            site,
+                            format!("segment {seg} already installed in thread {t}'s seg-reg"),
+                        ));
+                        continue;
+                    }
+                    Some(SegState::Stashed(p, s)) => {
+                        findings.push(Finding::trap(
+                            Cause::SwapsegError,
+                            site,
+                            format!("segment {seg} is stashed in slot {s} of process {p}; swapseg retrieves it"),
+                        ));
+                        continue;
+                    }
+                    Some(SegState::Loose(o)) if *o != thread => {
+                        findings.push(Finding::trap(
+                            Cause::SwapsegError,
+                            site,
+                            format!("thread {thread} does not own segment {seg} (thread {o} does)"),
+                        ));
+                        continue;
+                    }
+                    Some(SegState::Loose(_)) => {}
+                }
+                if regs.contains_key(&thread) {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!(
+                            "thread {thread}'s seg-reg already holds a segment (double-install)"
+                        ),
+                    ));
+                    continue;
+                }
+                let len = metas[&seg].len;
+                states.insert(seg, SegState::Installed(thread));
+                regs.insert(
+                    thread,
+                    Window {
+                        seg,
+                        lo: 0,
+                        hi: len,
+                    },
+                );
+            }
+            SegOp::Stash { thread, slot, seg } => {
+                if slot >= plan.seg_list_slots {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!(
+                            "slot {slot} out of range (seg-list holds {} slots)",
+                            plan.seg_list_slots
+                        ),
+                    ));
+                    continue;
+                }
+                let process = plan.threads.get(thread).copied().unwrap_or(thread);
+                match states.get(&seg) {
+                    Some(SegState::Loose(o)) if *o == thread => {}
+                    Some(SegState::Revoked) => {
+                        findings.push(Finding::trap(
+                            Cause::SwapsegError,
+                            site,
+                            format!("segment {seg} was handed over; use-after-revoke"),
+                        ));
+                        continue;
+                    }
+                    _ => {
+                        findings.push(Finding::trap(
+                            Cause::SwapsegError,
+                            site,
+                            format!("thread {thread} cannot stash segment {seg}: not a loose segment it owns"),
+                        ));
+                        continue;
+                    }
+                }
+                if let Some(&occupant) = slots.get(&(process, slot)) {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!("slot {slot} already holds segment {occupant}"),
+                    ));
+                    continue;
+                }
+                states.insert(seg, SegState::Stashed(process, slot));
+                slots.insert((process, slot), seg);
+            }
+            SegOp::Swap { thread, slot } => {
+                if slot >= plan.seg_list_slots {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!(
+                            "slot {slot} out of range (seg-list holds {} slots)",
+                            plan.seg_list_slots
+                        ),
+                    ));
+                    continue;
+                }
+                let process = plan.threads.get(thread).copied().unwrap_or(thread);
+                let Some(&incoming) = slots.get(&(process, slot)) else {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!("swapseg with empty slot {slot}"),
+                    ));
+                    continue;
+                };
+                let outgoing = regs.remove(&thread);
+                slots.remove(&(process, slot));
+                if let Some(w) = outgoing {
+                    states.insert(w.seg, SegState::Stashed(process, slot));
+                    slots.insert((process, slot), w.seg);
+                }
+                states.insert(incoming, SegState::Installed(thread));
+                let len = metas[&incoming].len;
+                regs.insert(
+                    thread,
+                    Window {
+                        seg: incoming,
+                        lo: 0,
+                        hi: len,
+                    },
+                );
+            }
+            SegOp::Mask {
+                thread,
+                offset,
+                len,
+            } => {
+                let Some(w) = regs.get_mut(&thread) else {
+                    findings.push(Finding::trap(
+                        Cause::InvalidSegMask,
+                        site,
+                        format!("thread {thread} masks with no segment installed"),
+                    ));
+                    continue;
+                };
+                let Some(end) = offset.checked_add(len) else {
+                    findings.push(Finding::trap(
+                        Cause::InvalidSegMask,
+                        site,
+                        format!("mask [{offset}, {offset}+{len}) wraps the address space"),
+                    ));
+                    continue;
+                };
+                if offset < w.lo || end > w.hi {
+                    findings.push(Finding::trap(
+                        Cause::InvalidSegMask,
+                        site,
+                        format!(
+                            "mask [{offset}, {end}) escapes the current window [{}, {}); windows only shrink",
+                            w.lo, w.hi
+                        ),
+                    ));
+                    continue;
+                }
+                if metas[&w.seg].paged && (offset % PAGE != 0 || len % PAGE != 0) {
+                    findings.push(Finding::trap(
+                        Cause::InvalidSegMask,
+                        site,
+                        format!("mask [{offset}, {end}) is not page-granular on a paged segment"),
+                    ));
+                    continue;
+                }
+                w.lo = offset;
+                w.hi = end;
+            }
+            SegOp::HandoverCall { thread } => {
+                let Some(w) = regs.remove(&thread) else {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!("thread {thread} hands over with an empty seg-reg"),
+                    ));
+                    continue;
+                };
+                states.insert(w.seg, SegState::Revoked);
+            }
+            SegOp::Free { thread, seg } => match states.get(&seg) {
+                Some(SegState::Loose(o)) if *o == thread => {
+                    states.insert(seg, SegState::Freed);
+                }
+                Some(SegState::Installed(t)) if *t == thread => {
+                    regs.remove(&thread);
+                    states.insert(seg, SegState::Freed);
+                }
+                Some(SegState::Freed) => {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!("segment {seg} freed twice"),
+                    ));
+                }
+                Some(SegState::Revoked) => {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!("segment {seg} was handed over; use-after-revoke"),
+                    ));
+                }
+                _ => {
+                    findings.push(Finding::trap(
+                        Cause::SwapsegError,
+                        site,
+                        format!("thread {thread} frees segment {seg} it does not hold"),
+                    ));
+                }
+            },
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_with(ops: Vec<SegOp>) -> Plan {
+        let mut plan = Plan::new();
+        plan.threads = vec![0, 1];
+        plan.seg_ops = ops;
+        plan
+    }
+
+    fn alloc(seg: usize, owner: usize) -> SegOp {
+        SegOp::Alloc {
+            seg,
+            owner,
+            len: 8192,
+            paged: false,
+        }
+    }
+
+    #[test]
+    fn clean_stash_swap_lifecycle_has_no_findings() {
+        let plan = plan_with(vec![
+            alloc(0, 0),
+            alloc(1, 0),
+            SegOp::Install { thread: 0, seg: 0 },
+            SegOp::Stash {
+                thread: 0,
+                slot: 3,
+                seg: 1,
+            },
+            SegOp::Mask {
+                thread: 0,
+                offset: 0,
+                len: 4096,
+            },
+            SegOp::Swap { thread: 0, slot: 3 },
+            SegOp::Swap { thread: 0, slot: 3 },
+            SegOp::HandoverCall { thread: 0 },
+        ]);
+        assert!(check(&plan).is_empty());
+    }
+
+    #[test]
+    fn empty_slot_swap_is_swapseg_error() {
+        let plan = plan_with(vec![alloc(0, 0), SegOp::Swap { thread: 0, slot: 7 }]);
+        let f = check(&plan);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cause(), Some(Cause::SwapsegError));
+        assert!(f[0].detail.contains("empty slot"));
+    }
+
+    #[test]
+    fn double_install_is_swapseg_error() {
+        let plan = plan_with(vec![
+            alloc(0, 0),
+            alloc(1, 0),
+            SegOp::Install { thread: 0, seg: 0 },
+            SegOp::Install { thread: 0, seg: 1 },
+        ]);
+        let f = check(&plan);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("double-install"));
+    }
+
+    #[test]
+    fn use_after_handover_is_swapseg_error() {
+        let plan = plan_with(vec![
+            alloc(0, 0),
+            SegOp::Install { thread: 0, seg: 0 },
+            SegOp::HandoverCall { thread: 0 },
+            SegOp::Free { thread: 0, seg: 0 },
+        ]);
+        let f = check(&plan);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("use-after-revoke"));
+    }
+
+    #[test]
+    fn widening_mask_is_invalid_seg_mask() {
+        let plan = plan_with(vec![
+            alloc(0, 0),
+            SegOp::Install { thread: 0, seg: 0 },
+            SegOp::Mask {
+                thread: 0,
+                offset: 1024,
+                len: 1024,
+            },
+            SegOp::Mask {
+                thread: 0,
+                offset: 0,
+                len: 8192,
+            },
+        ]);
+        let f = check(&plan);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cause(), Some(Cause::InvalidSegMask));
+        assert!(f[0].detail.contains("only shrink"));
+    }
+
+    #[test]
+    fn sub_page_mask_on_paged_segment_is_invalid_seg_mask() {
+        let plan = plan_with(vec![
+            SegOp::Alloc {
+                seg: 0,
+                owner: 0,
+                len: 8192,
+                paged: true,
+            },
+            SegOp::Install { thread: 0, seg: 0 },
+            SegOp::Mask {
+                thread: 0,
+                offset: 512,
+                len: 4096,
+            },
+        ]);
+        let f = check(&plan);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cause(), Some(Cause::InvalidSegMask));
+        assert!(f[0].detail.contains("page-granular"));
+    }
+
+    #[test]
+    fn overflowing_mask_is_caught_not_wrapped() {
+        let plan = plan_with(vec![
+            alloc(0, 0),
+            SegOp::Install { thread: 0, seg: 0 },
+            SegOp::Mask {
+                thread: 0,
+                offset: u64::MAX - 8,
+                len: 64,
+            },
+        ]);
+        let f = check(&plan);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("wraps"));
+    }
+
+    #[test]
+    fn foreign_free_is_swapseg_error() {
+        let plan = plan_with(vec![alloc(0, 0), SegOp::Free { thread: 1, seg: 0 }]);
+        let f = check(&plan);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("does not hold"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Differential tests: the static verdict on each crafted plan must be
+//! the **same `Cause`** a real `XpcKernel`/`XpcEngine` raises when the
+//! equivalent misconfiguration actually runs — and the clean control
+//! must both verify clean and run fault-free.
+//!
+//! Each test replays one crafted scenario from
+//! [`xpc_verify::crafted`] on the emulator: same entry ids, same
+//! missing grants, same segment plans, real guest code.
+
+use rv64::trap::Cause;
+use rv64::{reg, Assembler};
+use xpc::kernel::{syscall, KernelEvent, XpcKernel, XpcKernelConfig};
+use xpc::layout::USER_CODE_VA;
+use xpc_engine::layout::{LINK_RECORD_BYTES, LINK_STACK_BYTES};
+use xpc_engine::{csr_map, XpcAsm};
+use xpc_verify::{crafted, verify};
+
+/// The single cause the verifier statically predicts for a crafted
+/// scenario (asserting there is at least one finding and they agree).
+fn static_cause(c: &crafted::Crafted) -> Cause {
+    let findings = verify(&c.plan, &c.recipes);
+    assert!(!findings.is_empty(), "{}: no static findings", c.label);
+    let cause = findings[0].cause().expect("trap-typed verdict");
+    for f in &findings {
+        assert_eq!(f.cause(), Some(cause), "{}: mixed causes", c.label);
+    }
+    assert_eq!(Some(cause), c.expected, "{}: wrong class", c.label);
+    cause
+}
+
+/// Run the entered thread and return the fault cause it must raise.
+fn run_to_fault(k: &mut XpcKernel) -> Cause {
+    match k.run(50_000_000).unwrap() {
+        KernelEvent::Fault { cause, .. } => cause,
+        other => panic!("expected a fault, got {other:?}"),
+    }
+}
+
+fn exit_syscall(a: &mut Assembler) {
+    a.li(reg::A7, syscall::EXIT as i64);
+    a.ecall();
+}
+
+#[test]
+fn out_of_bounds_entry_diffs_to_invalid_x_entry() {
+    let c = crafted::invalid_x_entry();
+    let predicted = static_cause(&c);
+
+    // Runtime: xcall the same out-of-table entry id the plan binds.
+    let entry_id = c.plan.services[1].entry.unwrap();
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p = k.create_process().unwrap();
+    let t = k.create_thread(p).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T6, entry_id as i64);
+    a.xcall(reg::T6);
+    exit_syscall(&mut a);
+    let va = k.load_code(p, &a.assemble()).unwrap();
+    k.enter_thread(t, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidXEntry);
+}
+
+#[test]
+fn ungranted_xcall_diffs_to_invalid_xcall_cap() {
+    let c = crafted::invalid_xcall_cap();
+    let predicted = static_cause(&c);
+
+    // Runtime: a valid registered entry, but the client never received
+    // the xcall-cap bit for it.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let ps = k.create_process().unwrap();
+    let server = k.create_thread(ps).unwrap();
+    let mut h = Assembler::new(USER_CODE_VA);
+    h.ret();
+    let hv = k.load_code(ps, &h.assemble()).unwrap();
+    let entry = k.register_entry(server, server, hv, 1).unwrap();
+
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T6, entry.0 as i64);
+    a.xcall(reg::T6);
+    exit_syscall(&mut a);
+    let va = k.load_code(pc, &a.assemble()).unwrap();
+    k.enter_thread(client, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidXcallCap);
+}
+
+#[test]
+fn self_recursive_service_diffs_to_invalid_linkage() {
+    let c = crafted::invalid_linkage();
+    let predicted = static_cause(&c);
+
+    // Runtime: the handler xcalls its own entry forever; the 8 KiB link
+    // stack fills and the engine refuses the overflowing push.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p = k.create_process().unwrap();
+    let t = k.create_thread(p).unwrap();
+    let capacity = LINK_STACK_BYTES / LINK_RECORD_BYTES;
+    let mut h = Assembler::new(USER_CODE_VA);
+    h.li(reg::T6, 1); // first registered entry id
+    h.xcall(reg::T6);
+    h.ret();
+    let hv = k.load_code(p, &h.assemble()).unwrap();
+    let entry = k.register_entry(t, t, hv, capacity + 8).unwrap();
+    k.grant_xcall(t, t, entry).unwrap();
+
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    k.grant_xcall(t, client, entry).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T6, entry.0 as i64);
+    a.xcall(reg::T6);
+    exit_syscall(&mut a);
+    let va = k.load_code(pc, &a.assemble()).unwrap();
+    k.enter_thread(client, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidLinkage);
+}
+
+#[test]
+fn empty_slot_swapseg_diffs_to_swapseg_error() {
+    let c = crafted::swapseg_error();
+    let predicted = static_cause(&c);
+
+    // Runtime: the same plan — one segment installed, then swapseg
+    // against slot 5, which nothing was ever stashed into.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p = k.create_process().unwrap();
+    let t = k.create_thread(p).unwrap();
+    let seg = k.alloc_relay_seg(t, 4096).unwrap();
+    k.install_seg(t, seg).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::A0, 5);
+    a.swapseg(reg::A0);
+    exit_syscall(&mut a);
+    let va = k.load_code(p, &a.assemble()).unwrap();
+    k.enter_thread(t, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::SwapsegError);
+}
+
+#[test]
+fn widening_mask_diffs_to_invalid_seg_mask() {
+    let c = crafted::invalid_seg_mask();
+    let predicted = static_cause(&c);
+
+    // Runtime: a 4 KiB segment installed, then a guest mask write that
+    // claims an 8 KiB window — the CSR write must trap.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p = k.create_process().unwrap();
+    let t = k.create_thread(p).unwrap();
+    let seg = k.alloc_relay_seg(t, 4096).unwrap();
+    k.install_seg(t, seg).unwrap();
+    let seg_va = k.segs.seg_reg(seg).va_base;
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T1, seg_va as i64);
+    a.csrw(csr_map::XPC_SEG_MASK_VA, reg::T1);
+    a.li(reg::T1, 8192);
+    a.csrw(csr_map::XPC_SEG_MASK_LEN, reg::T1);
+    exit_syscall(&mut a);
+    let va = k.load_code(p, &a.assemble()).unwrap();
+    k.enter_thread(t, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidSegMask);
+}
+
+#[test]
+fn clean_control_verifies_clean_and_runs_fault_free() {
+    let c = crafted::clean();
+    assert_eq!(c.expected, None);
+    let findings = verify(&c.plan, &c.recipes);
+    assert!(findings.is_empty(), "clean control flagged: {findings:?}");
+
+    // Runtime: the same wiring — entry registered, cap granted, a relay
+    // segment carried along the call — completes without any fault.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let ps = k.create_process().unwrap();
+    let server = k.create_thread(ps).unwrap();
+    let mut h = Assembler::new(USER_CODE_VA);
+    h.li(reg::A0, 7);
+    h.ret();
+    let hv = k.load_code(ps, &h.assemble()).unwrap();
+    let entry = k.register_entry(server, server, hv, 1).unwrap();
+
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    k.grant_xcall(server, client, entry).unwrap();
+    let seg = k.alloc_relay_seg(client, 4096).unwrap();
+    k.install_seg(client, seg).unwrap();
+    let seg_va = k.segs.seg_reg(seg).va_base;
+
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T1, seg_va as i64);
+    a.csrw(csr_map::XPC_SEG_MASK_VA, reg::T1);
+    a.li(reg::T1, 256); // the plan's shrink-only mask
+    a.csrw(csr_map::XPC_SEG_MASK_LEN, reg::T1);
+    a.li(reg::T6, entry.0 as i64);
+    a.xcall(reg::T6); // the plan's handover call
+    exit_syscall(&mut a);
+    let va = k.load_code(pc, &a.assemble()).unwrap();
+    k.enter_thread(client, va, &[]).unwrap();
+    let ev = k.run(50_000_000).unwrap();
+    assert_eq!(ev, KernelEvent::ThreadExit(7), "clean plan must not fault");
+}

@@ -25,6 +25,9 @@ pub enum XpcError {
     SegOverlap { va: u64, len: u64 },
     /// Per-process seg-list is full.
     SegListFull,
+    /// A segment access escapes the segment, including ranges whose
+    /// `offset + len` wraps the 64-bit space (checked, never wrapped).
+    SegOutOfBounds { seg: u64, offset: u64, len: u64 },
     /// The guest faulted in a way the scenario did not expect.
     GuestFault(String),
     /// The guest exceeded its instruction budget.
@@ -57,6 +60,12 @@ impl fmt::Display for XpcError {
                 )
             }
             XpcError::SegListFull => write!(f, "per-process seg-list full"),
+            XpcError::SegOutOfBounds { seg, offset, len } => {
+                write!(
+                    f,
+                    "access [{offset:#x}, {offset:#x}+{len:#x}) escapes relay segment {seg}"
+                )
+            }
             XpcError::GuestFault(s) => write!(f, "unexpected guest fault: {s}"),
             XpcError::Timeout => write!(f, "guest instruction budget exhausted"),
             XpcError::NoIdleContext(e) => {

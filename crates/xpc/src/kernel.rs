@@ -882,12 +882,25 @@ impl XpcKernel {
 
     /// Write guest-visible bytes into a segment (host-side convenience;
     /// handles both contiguous and paged segments).
-    pub fn write_seg(&mut self, h: SegHandle, offset: u64, bytes: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`XpcError::SegOutOfBounds`] when the range escapes the segment —
+    /// including `offset + len` values that would wrap 64-bit arithmetic
+    /// (the sum is checked, so a huge `offset` cannot sneak past the
+    /// bound by overflowing).
+    pub fn write_seg(&mut self, h: SegHandle, offset: u64, bytes: &[u8]) -> Result<(), XpcError> {
         let seg = self.segs.seg_reg(h);
-        assert!(
-            offset + bytes.len() as u64 <= seg.len,
-            "write escapes segment"
-        );
+        let in_bounds = offset
+            .checked_add(bytes.len() as u64)
+            .is_some_and(|end| end <= seg.len);
+        if !in_bounds {
+            return Err(XpcError::SegOutOfBounds {
+                seg: h.0,
+                offset,
+                len: bytes.len() as u64,
+            });
+        }
         let mut pos = 0usize;
         while pos < bytes.len() {
             let off = offset + pos as u64;
@@ -900,13 +913,28 @@ impl XpcKernel {
                 .load_bytes(pa, &bytes[pos..pos + take]);
             pos += take;
         }
+        Ok(())
     }
 
     /// Read bytes back out of a segment (host-side convenience; handles
     /// both contiguous and paged segments).
-    pub fn read_seg(&mut self, h: SegHandle, offset: u64, len: usize) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`XpcError::SegOutOfBounds`] when the range escapes the segment
+    /// (checked addition — a wrapping `offset + len` cannot bypass it).
+    pub fn read_seg(&mut self, h: SegHandle, offset: u64, len: usize) -> Result<Vec<u8>, XpcError> {
         let seg = self.segs.seg_reg(h);
-        assert!(offset + len as u64 <= seg.len, "read escapes segment");
+        let in_bounds = offset
+            .checked_add(len as u64)
+            .is_some_and(|end| end <= seg.len);
+        if !in_bounds {
+            return Err(XpcError::SegOutOfBounds {
+                seg: h.0,
+                offset,
+                len: len as u64,
+            });
+        }
         let mut out = Vec::with_capacity(len);
         let mut pos = 0usize;
         while pos < len {
@@ -917,7 +945,7 @@ impl XpcKernel {
             out.extend(self.machine.core.mem.read_bytes(pa, take));
             pos += take;
         }
-        out
+        Ok(out)
     }
 
     // ---- running ---------------------------------------------------------

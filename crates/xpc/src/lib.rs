@@ -24,6 +24,8 @@
 //! page tables, relay segments really translate ahead of the page table,
 //! and every number is a cycle count from the machine's timing model.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod handover;
 pub mod kernel;

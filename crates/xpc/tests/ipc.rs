@@ -104,7 +104,7 @@ fn relay_segment_passes_message_zero_copy() {
     assert_eq!(ev, KernelEvent::ThreadExit(120));
     // Zero-copy: the client's stores landed in the segment's physical
     // frames, and the server read the same frames.
-    assert_eq!(k.read_seg(seg, 0, 4), vec![3, 9, 27, 81]);
+    assert_eq!(k.read_seg(seg, 0, 4).unwrap(), vec![3, 9, 27, 81]);
 }
 
 #[test]

@@ -57,9 +57,9 @@ fn paged_segment_with_scattered_frames_round_trips() {
     // The window must behave exactly like contiguous memory: write a
     // pattern across page boundaries host-side, sum it guest-side.
     let payload: Vec<u8> = (0..3 * 4096u32).map(|i| (i % 7) as u8).collect();
-    k.write_seg(seg, 0, &payload);
+    k.write_seg(seg, 0, &payload).unwrap();
     assert_eq!(
-        k.read_seg(seg, 4090, 12),
+        k.read_seg(seg, 4090, 12).unwrap(),
         payload[4090..4102].to_vec(),
         "host view crosses page boundary"
     );
@@ -116,7 +116,8 @@ fn page_granular_mask_selects_the_right_page() {
     let seg_va = k.segs.seg_reg(seg).va_base;
     // Page 0 = 1s, page 1 = 2s, page 2 = 3s.
     for p in 0..3u8 {
-        k.write_seg(seg, p as u64 * 4096, &vec![p + 1; 4096]);
+        k.write_seg(seg, p as u64 * 4096, &vec![p + 1; 4096])
+            .unwrap();
     }
 
     let handler_va = k.load_code(pb, &sum_handler()).unwrap();
@@ -195,4 +196,22 @@ fn free_returns_scattered_frames() {
     let seg2 = k.alloc_relay_seg(client, 4096).unwrap();
     assert!(k.segs.check_invariants().is_ok());
     assert!(!k.segs.seg_reg(seg2).paged);
+}
+
+#[test]
+fn seg_access_with_wrapping_offset_is_a_typed_error() {
+    use xpc::error::XpcError;
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let pa = k.create_process().unwrap();
+    let t = k.create_thread(pa).unwrap();
+    let seg = k.alloc_relay_seg(t, 64).unwrap();
+    // offset + len wraps u64 — an unchecked sum would pass the bound.
+    let err = k.write_seg(seg, u64::MAX - 8, &[0u8; 32]).unwrap_err();
+    assert!(matches!(err, XpcError::SegOutOfBounds { .. }), "{err}");
+    let err = k.read_seg(seg, u64::MAX - 8, 32).unwrap_err();
+    assert!(matches!(err, XpcError::SegOutOfBounds { .. }), "{err}");
+    // A plain escape is the same typed error, and in-bounds still works.
+    assert!(k.read_seg(seg, 60, 8).is_err());
+    k.write_seg(seg, 0, &[1u8; 64]).unwrap();
+    assert_eq!(k.read_seg(seg, 0, 64).unwrap(), vec![1u8; 64]);
 }

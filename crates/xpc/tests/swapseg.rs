@@ -45,8 +45,8 @@ fn guest_swaps_between_two_segments_and_writes_both() {
     k.enter_thread(t, va, &[]).unwrap();
     let ev = k.run(1_000_000).unwrap();
     assert_eq!(ev, KernelEvent::ThreadExit(0));
-    assert_eq!(k.read_seg(seg_a, 0, 2), vec![0xAA, 0xA1]);
-    assert_eq!(k.read_seg(seg_b, 0, 1), vec![0xBB]);
+    assert_eq!(k.read_seg(seg_a, 0, 2).unwrap(), vec![0xAA, 0xA1]);
+    assert_eq!(k.read_seg(seg_b, 0, 1).unwrap(), vec![0xBB]);
     assert_eq!(k.engine().stats.swapsegs, 2);
 }
 

@@ -14,6 +14,8 @@
 //!
 //! Deterministic given a seed, so every figure regenerates bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod generator;
 pub mod rng;
 pub mod workload;

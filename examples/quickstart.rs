@@ -57,7 +57,7 @@ fn main() {
     let seg = k.alloc_relay_seg(client_thread, 16).expect("relay seg");
     k.install_seg(client_thread, seg).expect("install seg");
     let msg = b"hello xpc world!";
-    k.write_seg(seg, 0, msg);
+    k.write_seg(seg, 0, msg).expect("in bounds");
     let expected: u64 = msg.iter().map(|&b| b as u64).sum();
 
     // xpc_call(server_ID): one instruction, no kernel involved.

@@ -4,6 +4,8 @@
 //! reach the whole system through one dependency. See `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+
 pub use kernels;
 pub use minidb;
 pub use rv64;
@@ -11,4 +13,5 @@ pub use services;
 pub use simos;
 pub use xpc;
 pub use xpc_engine;
+pub use xpc_verify;
 pub use ycsb;

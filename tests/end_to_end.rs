@@ -56,7 +56,7 @@ fn sliding_window_handover_on_the_emulator() {
     k.install_seg(client, seg).unwrap();
     let seg_va = k.segs.seg_reg(seg).va_base;
     let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
-    k.write_seg(seg, 0, &payload);
+    k.write_seg(seg, 0, &payload).unwrap();
 
     // Client: for each shrink window, set the mask and call; accumulate
     // the returned partial sums in s2.
@@ -119,7 +119,7 @@ fn three_hop_chain_passes_the_same_segment() {
 
     let seg = k.alloc_relay_seg(ta, 64).unwrap();
     k.install_seg(ta, seg).unwrap();
-    k.write_seg(seg, 0, &[2u8; 64]);
+    k.write_seg(seg, 0, &[2u8; 64]).unwrap();
 
     let mut ca = Assembler::new(USER_CODE_VA);
     ca.li(reg::T6, entry_b.0 as i64);
