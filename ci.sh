@@ -13,9 +13,16 @@ echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
 
 echo "== clippy =="
-# cast_possible_truncation stays advisory: the cycle model truncates
-# deliberately in many places; the lint is for new code review, not a gate.
+# cast_possible_truncation stays advisory for most crates: the cycle
+# model truncates deliberately in many places; the lint is for new code
+# review, not a gate.
 cargo clippy --workspace --all-targets -- -D warnings -A clippy::cast-possible-truncation
+
+echo "== clippy (simos: cast_possible_truncation promoted to error) =="
+# The invocation hot path lives in simos; there every u64 -> usize (and
+# f64 -> int) crossing is either proven in-range or an explicit allow
+# with the bound stated.
+cargo clippy -p simos --all-targets -- -D warnings -D clippy::cast-possible-truncation
 
 echo "== rustdoc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
@@ -28,5 +35,12 @@ cargo run --release -p xpc-bench --bin verify
 
 echo "== figures (+ BENCH_figures.json phase dump) =="
 cargo run --release -p xpc-bench --bin figures -- --json all > /dev/null
+
+echo "== simspeed (arena steady state + sampled >= 5x pre-refactor) =="
+# The binary itself exits non-zero on slab growth after warmup or a
+# sampled-mode speedup below 5x the recorded pre-refactor baseline.
+cargo run --release -p xpc-bench --bin simspeed
+grep -q '"simspeed": {"requests"' BENCH_figures.json \
+  || { echo "ci: BENCH_figures.json is missing its simspeed section" >&2; exit 1; }
 
 echo "ci: OK"

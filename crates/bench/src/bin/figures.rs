@@ -54,6 +54,11 @@ fn main() {
         let ablations = experiments::ablations::json_section();
         let numa = experiments::numa::json_section();
         let verify = experiments::verify::json_section();
+        // Wall-clock simulator throughput; lives only in the JSON dump
+        // (never in golden.txt — the numbers are real-time, not modeled).
+        let simspeed = experiments::simspeed::json_section(&experiments::simspeed::measure(
+            experiments::simspeed::REQUESTS,
+        ));
         let doc = sweep::json_dump(
             &rows,
             &[("fig5", fig5)],
@@ -63,6 +68,7 @@ fn main() {
                 ("ablations", ablations),
                 ("numa", numa),
                 ("verify", verify),
+                ("simspeed", simspeed),
             ],
         );
         let path = "BENCH_figures.json";

@@ -1,0 +1,60 @@
+//! Simulator-throughput gate: time the three attribution hot paths over
+//! a million requests each and enforce the refactor's performance and
+//! memory contracts.
+//!
+//! ```text
+//! cargo run --release -p xpc-bench --bin simspeed
+//! ```
+//!
+//! Exits non-zero unless (a) both arenas hold steady state — zero slab
+//! growth after warmup / pre-reservation — and (b) sampled-mode
+//! throughput is at least 5x the recorded pre-refactor full-attribution
+//! baseline, both measured in this run.
+
+use xpc_bench::experiments::simspeed;
+
+/// The acceptance floor: sampled mode vs the pre-refactor driver.
+const MIN_SPEEDUP: f64 = 5.0;
+
+fn main() {
+    let r = simspeed::measure(simspeed::REQUESTS);
+    println!(
+        "simspeed over {} requests (sampling 1-in-{}):",
+        r.requests, r.sampled_every
+    );
+    println!(
+        "  pre-refactor full attribution: {:>12.0} req/s",
+        r.pre_refactor_full_rps
+    );
+    println!(
+        "  arena full attribution:        {:>12.0} req/s",
+        r.full_rps
+    );
+    println!(
+        "  sampled attribution:           {:>12.0} req/s",
+        r.sampled_rps
+    );
+    println!("  sampled / pre-refactor:        {:>12.2}x", r.speedup);
+    println!("{}", simspeed::json_section(&r));
+
+    let mut failed = false;
+    if !r.full_arena_steady {
+        eprintln!("FAIL: full-mode arena slabs grew after warmup (not steady state)");
+        failed = true;
+    }
+    if !r.sampled_arena_steady {
+        eprintln!("FAIL: sampled-mode arena outgrew its pre-reservation");
+        failed = true;
+    }
+    if r.speedup < MIN_SPEEDUP {
+        eprintln!(
+            "FAIL: sampled throughput is {:.2}x the pre-refactor baseline (need >= {MIN_SPEEDUP}x)",
+            r.speedup
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: arenas steady, sampled >= {MIN_SPEEDUP}x pre-refactor");
+}

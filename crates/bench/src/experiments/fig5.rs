@@ -42,11 +42,17 @@ pub fn invocations() -> Vec<(&'static str, Invocation)> {
 /// previous rung.
 pub fn bars() -> Vec<Fig5Bar> {
     let mut prev: Option<Invocation> = None;
+    // One diff buffer across the ladder; each bar clones only its own
+    // (tiny) delta out of the warm scratch.
+    let mut scratch: Vec<(Phase, i64)> = Vec::new();
     invocations()
         .into_iter()
         .map(|(config, inv)| {
             let delta = match &prev {
-                Some(p) => inv.ledger.diff(&p.ledger),
+                Some(p) => {
+                    inv.ledger.diff_into(&p.ledger, &mut scratch);
+                    scratch.clone()
+                }
                 None => Vec::new(),
             };
             let bar = Fig5Bar {

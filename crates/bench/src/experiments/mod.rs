@@ -11,6 +11,7 @@ pub mod fig9;
 pub mod numa;
 pub mod pipeline;
 pub mod scale;
+pub mod simspeed;
 pub mod table1;
 pub mod table3;
 pub mod table4;

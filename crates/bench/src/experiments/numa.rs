@@ -23,8 +23,8 @@ use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
 use services::http::{chain_steps, CHAIN_SERVICES};
 use simos::{
-    Invocation, InvokeOpts, IpcSystem, LoadGen, LoadReport, MultiWorld, Phase, Placement, Step,
-    Topology,
+    Attribution, Invocation, InvokeOpts, IpcSystem, LedgerArena, LoadGen, LoadReport, MultiWorld,
+    Phase, Placement, Step, SweepScratch, Topology,
 };
 
 /// Payload for the hop comparison (the paper's 4 KiB page regime, where
@@ -104,6 +104,9 @@ fn recipes(handover: bool) -> Vec<Vec<Step>> {
 pub fn results() -> Vec<(&'static str, LoadReport)> {
     let spec = LoadGen::default();
     let mut out = Vec::new();
+    // Scratch buffers and span arena shared by every grid cell.
+    let mut scratch = SweepScratch::new();
+    let mut arena = LedgerArena::new();
     for mk in mechanisms() {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
@@ -111,13 +114,15 @@ pub fn results() -> Vec<(&'static str, LoadReport)> {
         for (label, topo) in topologies() {
             for policy in policies() {
                 let mut mw = MultiWorld::builder().topology(topo.clone()).build(mk);
-                let r = simos::load::run_windowed(
+                let r = simos::load::run_windowed_with(
                     &mut mw,
                     &policy,
                     CHAIN_SERVICES,
                     &recipes,
                     &spec,
                     WINDOW,
+                    &mut scratch,
+                    Attribution::Full(&mut arena),
                 );
                 out.push((label, r));
             }

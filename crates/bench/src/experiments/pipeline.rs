@@ -11,7 +11,10 @@
 
 use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
-use simos::{CostModel, IpcSystem, LoadGen, LoadReport, MultiWorld, Placement, Step};
+use simos::{
+    Attribution, CostModel, IpcSystem, LedgerArena, LoadGen, LoadReport, MultiWorld, Placement,
+    Step, SweepScratch,
+};
 
 /// Cores in the pipeline world (client core + service core).
 pub const CORES: usize = 2;
@@ -80,17 +83,22 @@ pub fn results() -> Vec<(u64, LoadReport)> {
     let all_bursts: Vec<Vec<Step>> = BATCHES.iter().map(|&b| recipe(b)).collect();
     super::verify::gate("Pipeline", 2, &all_bursts);
     let mut out = Vec::new();
+    // Scratch buffers and span arena shared by every grid cell.
+    let mut scratch = SweepScratch::new();
+    let mut arena = LedgerArena::new();
     for mk in mechanisms() {
         for &window in &WINDOWS {
             for &batch in &BATCHES {
                 let mut mw = MultiWorld::builder().cores(CORES).build(mk);
-                let r = simos::load::run_windowed(
+                let r = simos::load::run_windowed_with(
                     &mut mw,
                     &Placement::RoundRobin,
                     2,
                     &[recipe(batch)],
                     &spec,
                     window,
+                    &mut scratch,
+                    Attribution::Full(&mut arena),
                 );
                 out.push((batch, r));
             }

@@ -9,7 +9,10 @@
 use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
 use services::http::{chain_steps, CHAIN_SERVICES};
-use simos::{IpcSystem, LoadGen, LoadReport, MultiWorld, Placement, Step};
+use simos::{
+    Attribution, IpcSystem, LedgerArena, LoadGen, LoadReport, MultiWorld, Placement, Step,
+    SweepScratch,
+};
 
 /// Cores in the scale-out world.
 pub const CORES: usize = 4;
@@ -50,6 +53,10 @@ fn recipes(handover: bool) -> Vec<Vec<Step>> {
 pub fn results() -> Vec<LoadReport> {
     let spec = LoadGen::default();
     let mut out = Vec::new();
+    // One scratch + arena across the whole grid: buffers reach steady
+    // state in the first cell and every later cell runs allocation-free.
+    let mut scratch = SweepScratch::new();
+    let mut arena = LedgerArena::new();
     for mk in mechanisms() {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
@@ -58,12 +65,15 @@ pub fn results() -> Vec<LoadReport> {
             // The single-socket u500 preset: byte-identical to the
             // pre-topology 4-core world.
             let mut mw = MultiWorld::builder().cores(CORES).build(mk);
-            out.push(simos::load::run(
+            out.push(simos::load::run_windowed_with(
                 &mut mw,
                 &policy,
                 CHAIN_SERVICES,
                 &recipes,
                 &spec,
+                1,
+                &mut scratch,
+                Attribution::Full(&mut arena),
             ));
         }
     }

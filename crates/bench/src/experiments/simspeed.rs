@@ -1,0 +1,315 @@
+//! **Simspeed** — wall-clock throughput of the simulator itself
+//! (requests priced per second of *real* time), contrasting three
+//! attribution hot paths over the same deterministic workload:
+//!
+//! * `pre-refactor` — a faithful copy of the allocating driver the arena
+//!   refactor replaced: linear min-scan issue order, a fresh core map
+//!   and a fresh [`CycleLedger`] per request, per-step `Invocation`
+//!   allocations through `MultiWorld::exec`;
+//! * `full` — [`run_windowed_with`](simos::load::run_windowed_with)
+//!   under [`Attribution::Full`]: span-exact attribution staged through
+//!   a reset-and-reuse [`LedgerArena`];
+//! * `sampled` — [`Attribution::Sampled`] at 1-in-[`SAMPLED_EVERY`]:
+//!   flat [`PhaseTotals`] per request, span ledgers retained in a
+//!   pre-reserved arena.
+//!
+//! Modeled cycles are bit-identical across the three (pinned by tests
+//! below); only wall-clock speed differs. Because the numbers are
+//! real-time measurements this experiment is deliberately **not** in the
+//! deterministic registry (`experiments::all()` / golden.txt); it ships
+//! as the `"simspeed"` section of `BENCH_figures.json` and the
+//! `simspeed` binary, whose gates CI runs.
+
+use kernels::XpcIpc;
+use simos::{
+    Attribution, CycleLedger, IpcSystem, LedgerArena, LoadGen, MultiWorld, Phase, PhaseTotals,
+    Placement, Step, SweepScratch,
+};
+use std::time::Instant;
+
+/// Requests per timed mode (the 10^6-request sweep).
+pub const REQUESTS: u64 = 1_000_000;
+
+/// Sampling stride of the sampled mode (1-in-64 requests keep spans).
+pub const SAMPLED_EVERY: u64 = 64;
+
+/// Requests used to warm the full-mode arena and scratch to steady
+/// state before capacities are captured.
+const WARMUP: u64 = 2_000;
+
+/// Closed-loop clients. Large enough that the pre-refactor driver's
+/// O(clients) issue scan costs what it did in the big sweeps, while the
+/// heap paths stay O(log clients).
+const CLIENTS: usize = 2048;
+
+/// Cores in the world (client core + service core).
+const CORES: usize = 2;
+
+/// Service-id space (service 0 is the client).
+const SERVICES: usize = 2;
+
+const SEED: u64 = 0x51f3_5eed;
+
+/// One simspeed measurement.
+#[derive(Debug, Clone)]
+pub struct SimspeedReport {
+    /// Requests priced per timed mode.
+    pub requests: u64,
+    /// Allocating pre-refactor driver, requests per wall-clock second.
+    pub pre_refactor_full_rps: f64,
+    /// Arena-backed full attribution, requests per wall-clock second.
+    pub full_rps: f64,
+    /// Sampled attribution, requests per wall-clock second.
+    pub sampled_rps: f64,
+    /// The sampling stride used.
+    pub sampled_every: u64,
+    /// Sampled throughput over the pre-refactor baseline.
+    pub speedup: f64,
+    /// Full-mode arena slabs did not grow after warmup.
+    pub full_arena_steady: bool,
+    /// Sampled-mode arena slabs never outgrew their pre-reservation.
+    pub sampled_arena_steady: bool,
+}
+
+fn mk() -> Box<dyn IpcSystem> {
+    Box::new(XpcIpc::sel4_xpc())
+}
+
+fn world() -> MultiWorld {
+    MultiWorld::builder().cores(CORES).build(mk)
+}
+
+/// The per-request work: a small call in, service-side handling, a
+/// round trip back — a few spans per request, so attribution overhead
+/// (not modeled work) dominates the wall clock.
+fn recipe() -> Vec<Step> {
+    vec![
+        Step::Oneway {
+            from: 0,
+            to: 1,
+            bytes: 64,
+        },
+        Step::Compute { at: 1, cycles: 300 },
+        Step::Roundtrip {
+            from: 1,
+            to: 0,
+            request: 16,
+            response: 256,
+        },
+    ]
+}
+
+fn spec(requests: u64) -> LoadGen {
+    LoadGen {
+        clients: CLIENTS,
+        requests,
+        seed: SEED,
+        think_cycles: 0,
+    }
+}
+
+/// The pre-refactor closed-loop driver, kept verbatim as the recorded
+/// baseline: O(clients) linear min-scan for the next issuer, a fresh
+/// `Vec<CoreId>` core map and a fresh merged [`CycleLedger`] per
+/// request, per-step `Invocation` ledger allocations inside
+/// [`simos::load::run_request`], and the latency sample collected and
+/// sorted at the end exactly as the old `run_windowed` tail did.
+/// Returns the merged ledger and the sorted latencies.
+fn pre_refactor_run(mw: &mut MultiWorld, requests: u64) -> (CycleLedger, Vec<u64>) {
+    let policy = Placement::RoundRobin;
+    let steps = recipe();
+    let mut ready = vec![0u64; CLIENTS];
+    let mut ledger = CycleLedger::new();
+    let mut latencies = Vec::with_capacity(requests as usize);
+    for r in 0..requests {
+        let mut c = 0;
+        for i in 1..ready.len() {
+            if ready[i] < ready[c] {
+                c = i;
+            }
+        }
+        let t0 = ready[c];
+        let map = policy
+            .assign(r, SERVICES, mw)
+            .expect("placement rejected the core map");
+        let (done, req_ledger) = simos::load::run_request(mw, &map, &steps, t0);
+        ledger.merge(&req_ledger);
+        latencies.push(done - t0);
+        ready[c] = done;
+    }
+    latencies.sort_unstable();
+    (ledger, latencies)
+}
+
+/// Run the three timed modes over `requests` requests each.
+pub fn measure(requests: u64) -> SimspeedReport {
+    let recipes = [recipe()];
+    let rps = |elapsed: f64| requests as f64 / elapsed.max(f64::EPSILON);
+
+    // Pre-refactor baseline (the recorded number the acceptance speedup
+    // is measured against).
+    let mut mw = world();
+    let t = Instant::now();
+    pre_refactor_run(&mut mw, requests);
+    let pre_refactor_full_rps = rps(t.elapsed().as_secs_f64());
+
+    // Arena-backed full attribution: warm the scratch + arena on a
+    // short run, capture slab capacities, then require the timed run
+    // not to move them (reset-and-reuse steady state).
+    let mut scratch = SweepScratch::new();
+    let mut arena = LedgerArena::new();
+    simos::load::run_windowed_with(
+        &mut world(),
+        &Placement::RoundRobin,
+        SERVICES,
+        &recipes,
+        &spec(WARMUP.min(requests)),
+        1,
+        &mut scratch,
+        Attribution::Full(&mut arena),
+    );
+    let warm = (arena.ledger_capacity(), arena.span_capacity());
+    let mut mw = world();
+    let t = Instant::now();
+    simos::load::run_windowed_with(
+        &mut mw,
+        &Placement::RoundRobin,
+        SERVICES,
+        &recipes,
+        &spec(requests),
+        1,
+        &mut scratch,
+        Attribution::Full(&mut arena),
+    );
+    let full_rps = rps(t.elapsed().as_secs_f64());
+    let full_arena_steady = (arena.ledger_capacity(), arena.span_capacity()) == warm;
+
+    // Sampled attribution: totals for every request, spans for
+    // 1-in-SAMPLED_EVERY, retained in an arena pre-reserved for exactly
+    // the sample it will keep.
+    let kept = requests.div_ceil(SAMPLED_EVERY) as usize;
+    let mut totals = PhaseTotals::new();
+    let mut arena = LedgerArena::with_capacity(kept, kept * Phase::COUNT);
+    let reserved = (arena.ledger_capacity(), arena.span_capacity());
+    let mut mw = world();
+    let t = Instant::now();
+    simos::load::run_windowed_with(
+        &mut mw,
+        &Placement::RoundRobin,
+        SERVICES,
+        &recipes,
+        &spec(requests),
+        1,
+        &mut scratch,
+        Attribution::Sampled {
+            every: SAMPLED_EVERY,
+            totals: &mut totals,
+            arena: &mut arena,
+        },
+    );
+    let sampled_rps = rps(t.elapsed().as_secs_f64());
+    let sampled_arena_steady = (arena.ledger_capacity(), arena.span_capacity()) == reserved;
+
+    SimspeedReport {
+        requests,
+        pre_refactor_full_rps,
+        full_rps,
+        sampled_rps,
+        sampled_every: SAMPLED_EVERY,
+        speedup: sampled_rps / pre_refactor_full_rps.max(f64::EPSILON),
+        full_arena_steady,
+        sampled_arena_steady,
+    }
+}
+
+/// The `"simspeed"` section of `BENCH_figures.json`.
+pub fn json_section(r: &SimspeedReport) -> String {
+    format!(
+        "{{\"requests\": {}, \"pre_refactor_full_rps\": {:.0}, \
+         \"full_rps\": {:.0}, \"sampled_rps\": {:.0}, \
+         \"sampled_every\": {}, \"speedup_sampled_vs_pre_refactor\": {:.2}, \
+         \"full_arena_steady\": {}, \"sampled_arena_steady\": {}}}",
+        r.requests,
+        r.pre_refactor_full_rps,
+        r.full_rps,
+        r.sampled_rps,
+        r.sampled_every,
+        r.speedup,
+        r.full_arena_steady,
+        r.sampled_arena_steady
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_paths_price_identical_cycles() {
+        // The bit-identity pin: the pre-refactor driver, the arena full
+        // path, and the sampled totals all attribute exactly the same
+        // cycles for the same workload.
+        let n = 2_000;
+        let recipes = [recipe()];
+        let mut mw = world();
+        let (legacy, _) = pre_refactor_run(&mut mw, n);
+        let mut scratch = SweepScratch::new();
+        let mut arena = LedgerArena::new();
+        let full = simos::load::run_windowed_with(
+            &mut world(),
+            &Placement::RoundRobin,
+            SERVICES,
+            &recipes,
+            &spec(n),
+            1,
+            &mut scratch,
+            Attribution::Full(&mut arena),
+        );
+        assert_eq!(
+            full.ledger, legacy,
+            "full mode == pre-refactor, span for span"
+        );
+        let mut totals = PhaseTotals::new();
+        let mut kept = LedgerArena::new();
+        simos::load::run_windowed_with(
+            &mut world(),
+            &Placement::RoundRobin,
+            SERVICES,
+            &recipes,
+            &spec(n),
+            1,
+            &mut scratch,
+            Attribution::Sampled {
+                every: SAMPLED_EVERY,
+                totals: &mut totals,
+                arena: &mut kept,
+            },
+        );
+        for p in Phase::ALL {
+            assert_eq!(totals.get(p), legacy.get(p), "{p:?}");
+        }
+        assert_eq!(kept.len() as u64, n.div_ceil(SAMPLED_EVERY));
+    }
+
+    #[test]
+    fn measure_reports_positive_rates_and_steady_arenas() {
+        // Debug-build smoke: rates are positive and both arenas hold
+        // steady state (the >= 5x speedup gate runs in release, in the
+        // `simspeed` binary CI invokes).
+        let r = measure(4_000);
+        assert!(r.pre_refactor_full_rps > 0.0);
+        assert!(r.full_rps > 0.0);
+        assert!(r.sampled_rps > 0.0);
+        assert!(
+            r.full_arena_steady,
+            "full-mode arena slabs grew after warmup"
+        );
+        assert!(
+            r.sampled_arena_steady,
+            "sampled arena outgrew its reservation"
+        );
+        let s = json_section(&r);
+        assert!(s.contains("\"sampled_every\": 64"));
+        assert!(s.contains("\"requests\": 4000"));
+    }
+}

@@ -89,28 +89,43 @@ impl BinderConfig {
 
     /// The XPC control path split into phases: the `xcall`/`xret` pair
     /// plus the thin framework shim that replaces the driver ioctl.
-    fn xpc_control(&self, cost: &CostModel) -> CycleLedger {
-        CycleLedger::new()
-            .with(Phase::Xcall, cost.xcall)
-            .with(Phase::Xret, cost.xret)
-            .with(
-                Phase::Driver,
-                self.xpc_fixed.saturating_sub(cost.xcall + cost.xret),
-            )
+    fn xpc_control_into(&self, cost: &CostModel, out: &mut CycleLedger) {
+        out.charge(Phase::Xcall, cost.xcall);
+        out.charge(Phase::Xret, cost.xret);
+        out.charge(
+            Phase::Driver,
+            self.xpc_fixed.saturating_sub(cost.xcall + cost.xret),
+        );
     }
 
     /// Phase ledger for the *buffer* path (Figure 9a).
     pub fn buffer_ledger(&self, system: BinderSystem, bytes: u64, cost: &CostModel) -> CycleLedger {
+        let mut l = CycleLedger::new();
+        self.buffer_into(system, bytes, cost, &mut l);
+        l
+    }
+
+    /// Charge the *buffer* path into `out` (the sink twin of
+    /// [`buffer_ledger`](Self::buffer_ledger), same phases and order).
+    pub fn buffer_into(
+        &self,
+        system: BinderSystem,
+        bytes: u64,
+        cost: &CostModel,
+        out: &mut CycleLedger,
+    ) {
         let touches = 2 * self.per_byte(self.touch_millicycles_per_byte, bytes);
         match system {
             BinderSystem::Binder => {
                 // ioctl + dispatch, twofold Parcel copy, surface touches.
-                CycleLedger::new()
-                    .with(Phase::Driver, self.driver_fixed)
-                    .with(Phase::Transfer, 2 * cost.copy_cycles(bytes))
-                    .with(Phase::Compute, touches)
+                out.charge(Phase::Driver, self.driver_fixed);
+                out.charge(Phase::Transfer, 2 * cost.copy_cycles(bytes));
+                out.charge(Phase::Compute, touches);
             }
-            BinderSystem::BinderXpc => self.xpc_control(cost).with(Phase::Compute, touches),
+            BinderSystem::BinderXpc => {
+                self.xpc_control_into(cost, out);
+                out.charge(Phase::Compute, touches);
+            }
             BinderSystem::AshmemXpc => {
                 unimplemented!("Ashmem-XPC is an ashmem-path system (Figure 9b)")
             }
@@ -119,19 +134,38 @@ impl BinderConfig {
 
     /// Phase ledger for the *ashmem* path (Figure 9b).
     pub fn ashmem_ledger(&self, system: BinderSystem, bytes: u64, cost: &CostModel) -> CycleLedger {
+        let mut l = CycleLedger::new();
+        self.ashmem_into(system, bytes, cost, &mut l);
+        l
+    }
+
+    /// Charge the *ashmem* path into `out` (the sink twin of
+    /// [`ashmem_ledger`](Self::ashmem_ledger), same phases and order).
+    pub fn ashmem_into(
+        &self,
+        system: BinderSystem,
+        bytes: u64,
+        cost: &CostModel,
+        out: &mut CycleLedger,
+    ) {
         let draw = self.per_byte(self.draw_millicycles_per_byte, bytes);
         match system {
-            BinderSystem::Binder => CycleLedger::new()
-                .with(Phase::Driver, self.ashmem_fixed)
-                .with(
+            BinderSystem::Binder => {
+                out.charge(Phase::Driver, self.ashmem_fixed);
+                out.charge(
                     Phase::Transfer,
                     self.per_byte(self.ashmem_copy_millicycles_per_byte, bytes),
-                )
-                .with(Phase::Compute, draw),
-            BinderSystem::AshmemXpc => CycleLedger::new()
-                .with(Phase::Driver, self.ashmem_xpc_fixed)
-                .with(Phase::Compute, draw),
-            BinderSystem::BinderXpc => self.xpc_control(cost).with(Phase::Compute, draw),
+                );
+                out.charge(Phase::Compute, draw);
+            }
+            BinderSystem::AshmemXpc => {
+                out.charge(Phase::Driver, self.ashmem_xpc_fixed);
+                out.charge(Phase::Compute, draw);
+            }
+            BinderSystem::BinderXpc => {
+                self.xpc_control_into(cost, out);
+                out.charge(Phase::Compute, draw);
+            }
         }
     }
 
@@ -182,19 +216,22 @@ impl IpcSystem for BinderIpc {
         }
     }
 
-    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        simos::ipc::oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
-        let ledger = if self.ashmem {
-            self.cfg.ashmem_ledger(self.system, bytes, &self.cost)
+        if self.ashmem {
+            self.cfg.ashmem_into(self.system, bytes, &self.cost, out);
         } else {
-            self.cfg.buffer_ledger(self.system, bytes, &self.cost)
-        };
-        let copied = match (self.system, self.ashmem) {
+            self.cfg.buffer_into(self.system, bytes, &self.cost, out);
+        }
+        match (self.system, self.ashmem) {
             (BinderSystem::Binder, false) => 2 * bytes,
             (BinderSystem::Binder, true) => bytes,
             _ => 0, // relay segment: handover, no copies
-        };
-        Invocation::from_ledger(ledger, copied)
+        }
     }
 
     fn supports_handover(&self) -> bool {
@@ -206,8 +243,11 @@ impl IpcSystem for BinderIpc {
     /// the control path (the ioctl entry and framework dispatch) but
     /// still pay per-transaction Parcel copies, surface work and the
     /// driver's per-transaction bookkeeping.
-    fn batch_amortizable(&self, first: &Invocation, _opts: &InvokeOpts) -> CycleLedger {
-        CycleLedger::new().with(Phase::Driver, first.ledger.get(Phase::Driver) / 2)
+    fn amortizable_cycles(&self, phase: Phase, first_cycles: u64, _opts: &InvokeOpts) -> u64 {
+        match phase {
+            Phase::Driver => first_cycles / 2,
+            _ => 0,
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! so its ledger lines up column-for-column with Table 1.
 
 use simos::cost::CostModel;
-use simos::ipc::IpcSystem;
+use simos::ipc::{oneway_invocation, IpcSystem};
 use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 use simos::transport::Transport;
 
@@ -41,19 +41,21 @@ impl IpcSystem for Mach {
         "Mach-3.0".into()
     }
 
-    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         // Trap + port-rights checks (heavier than seL4's logic) +
         // full scheduler pass + restore, then kernel twofold copy.
-        let mut ledger = CycleLedger::new()
-            .with(Phase::Trap, c.trap)
-            .with(Phase::IpcLogic, 2 * c.ipc_logic)
-            .with(Phase::Schedule, c.schedule)
-            .with(Phase::Switch, c.process_switch)
-            .with(Phase::Restore, c.restore);
-        let copied = Transport::TwofoldCopy.charge(&mut ledger, c, bytes, 1);
-        Invocation::from_ledger(ledger, copied)
+        out.charge(Phase::Trap, c.trap);
+        out.charge(Phase::IpcLogic, 2 * c.ipc_logic);
+        out.charge(Phase::Schedule, c.schedule);
+        out.charge(Phase::Switch, c.process_switch);
+        out.charge(Phase::Restore, c.restore);
+        Transport::TwofoldCopy.charge(out, c, bytes, 1)
     }
 }
 
@@ -85,18 +87,21 @@ impl IpcSystem for Lrpc {
         "LRPC".into()
     }
 
-    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         // Trap + binding-object validation + direct switch (no scheduler,
         // no run-queue work) + A-stack copy by the caller.
-        let ledger = CycleLedger::new()
-            .with(Phase::Trap, c.trap)
-            .with(Phase::IpcLogic, c.ipc_logic / 2)
-            .with(Phase::Switch, c.process_switch)
-            .with(Phase::Restore, c.restore)
-            .with(Phase::Transfer, c.copy_cycles(bytes));
-        Invocation::from_ledger(ledger, bytes)
+        out.charge(Phase::Trap, c.trap);
+        out.charge(Phase::IpcLogic, c.ipc_logic / 2);
+        out.charge(Phase::Switch, c.process_switch);
+        out.charge(Phase::Restore, c.restore);
+        out.charge(Phase::Transfer, c.copy_cycles(bytes));
+        bytes
     }
 }
 
@@ -134,18 +139,21 @@ impl IpcSystem for L4TempMap {
         "L4-tempmap".into()
     }
 
-    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         let mapping = if bytes > 0 { TEMP_MAP_CYCLES } else { 0 };
-        let ledger = CycleLedger::new()
-            .with(Phase::Trap, c.trap)
-            .with(Phase::IpcLogic, c.ipc_logic / 2)
-            .with(Phase::Switch, c.process_switch)
-            .with(Phase::Restore, c.restore)
-            .with(Phase::Mapping, mapping)
-            .with(Phase::Transfer, c.copy_cycles(bytes));
-        Invocation::from_ledger(ledger, bytes)
+        out.charge(Phase::Trap, c.trap);
+        out.charge(Phase::IpcLogic, c.ipc_logic / 2);
+        out.charge(Phase::Switch, c.process_switch);
+        out.charge(Phase::Restore, c.restore);
+        out.charge(Phase::Mapping, mapping);
+        out.charge(Phase::Transfer, c.copy_cycles(bytes));
+        bytes
     }
 }
 
@@ -176,16 +184,18 @@ impl IpcSystem for PpcRemap {
         "Tornado-PPC".into()
     }
 
-    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
-        let mut ledger = CycleLedger::new()
-            .with(Phase::Trap, c.trap)
-            .with(Phase::IpcLogic, c.ipc_logic / 2)
-            .with(Phase::Switch, c.process_switch)
-            .with(Phase::Restore, c.restore);
-        let copied = Transport::Remap.charge(&mut ledger, c, bytes, 1);
-        Invocation::from_ledger(ledger, copied)
+        out.charge(Phase::Trap, c.trap);
+        out.charge(Phase::IpcLogic, c.ipc_logic / 2);
+        out.charge(Phase::Switch, c.process_switch);
+        out.charge(Phase::Restore, c.restore);
+        Transport::Remap.charge(out, c, bytes, 1)
     }
 }
 

@@ -13,8 +13,8 @@
 //! Schedule on the slow path and Cross-core for the remote variant.
 
 use simos::cost::CostModel;
-use simos::ipc::IpcSystem;
-use simos::ledger::{Invocation, InvokeOpts, Phase};
+use simos::ipc::{oneway_invocation, IpcSystem};
+use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 
 /// Long-message strategy (Figure 7/8 variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,19 +98,23 @@ impl IpcSystem for Sel4 {
         }
     }
 
-    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
-        let mut ledger = c.sel4_fastpath_ledger();
+        c.sel4_fastpath_into(out);
         if bytes > REG_MSG_MAX && bytes <= BUF_MSG_MAX {
             // The slow path runs the full scheduler and endpoint logic.
-            ledger.charge(Phase::Schedule, c.slowpath_extra);
+            out.charge(Phase::Schedule, c.slowpath_extra);
         }
-        ledger.charge(Phase::Transfer, self.transfer_cycles(bytes));
+        out.charge(Phase::Transfer, self.transfer_cycles(bytes));
         if self.cross_core {
-            ledger.charge(Phase::CrossCore, c.cross_core_base);
+            out.charge(Phase::CrossCore, c.cross_core_base);
         }
-        Invocation::from_ledger(ledger, self.copies(bytes))
+        self.copies(bytes)
     }
 }
 

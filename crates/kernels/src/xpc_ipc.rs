@@ -10,7 +10,7 @@
 //! (cross-core) bands of §5.2 come from.
 
 use simos::cost::CostModel;
-use simos::ipc::{amortized_batch, EngineCacheStats, IpcSystem};
+use simos::ipc::{amortized_batch_into, oneway_invocation, EngineCacheStats, IpcSystem};
 use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 
 /// The XPC IPC model.
@@ -70,32 +70,35 @@ impl IpcSystem for XpcIpc {
         self.label.to_string()
     }
 
-    fn oneway(&mut self, _msg_len: usize, opts: &InvokeOpts) -> Invocation {
-        let ledger = if opts.reply {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, _msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+        if opts.reply {
             // Return leg: xret restores the caller's context directly
             // (the link-stack entry, not the x-entry table, so sharding
             // never touches it).
-            let mut l = CycleLedger::new().with(Phase::Xret, self.cost.xret);
+            out.charge(Phase::Xret, self.cost.xret);
             if !self.tagged_tlb {
-                l.charge(Phase::TlbRefill, self.cost.tlb_refill);
+                out.charge(Phase::TlbRefill, self.cost.tlb_refill);
             }
-            l
         } else {
-            let mut l = self.cost.xpc_oneway_ledger(self.full_ctx, self.tagged_tlb);
+            self.cost
+                .xpc_oneway_into(self.full_ctx, self.tagged_tlb, out);
             if opts.shard_dist > 0 {
                 // Sharded x-entry table: this uncached call leg resolves
                 // its x-entry from the callee socket's shard,
                 // `shard_dist` units across the interconnect.
-                l.charge(
+                out.charge(
                     Phase::ShardMiss,
                     self.cost.xentry_shard_fetch * opts.shard_dist,
                 );
                 self.stats.shard_misses += 1;
             }
-            l
-        };
+        }
         // Relay segment: the payload is handed over, never copied.
-        Invocation::from_ledger(ledger, 0)
+        0
     }
 
     fn supports_handover(&self) -> bool {
@@ -117,24 +120,28 @@ impl IpcSystem for XpcIpc {
     /// paid once per burst, not per call. Per-call TLB refill and
     /// relay-segment transfer are untouched — every call still switches
     /// address spaces and hands its payload over.
-    fn batch_amortizable(&self, first: &Invocation, _opts: &InvokeOpts) -> CycleLedger {
-        CycleLedger::new()
-            .with(Phase::Trampoline, first.ledger.get(Phase::Trampoline))
-            .with(
-                Phase::Xcall,
-                self.cost.xcall.saturating_sub(self.cost.xcall_cached),
-            )
-            .with(Phase::ShardMiss, first.ledger.get(Phase::ShardMiss))
+    fn amortizable_cycles(&self, phase: Phase, first_cycles: u64, _opts: &InvokeOpts) -> u64 {
+        match phase {
+            Phase::Trampoline | Phase::ShardMiss => first_cycles,
+            Phase::Xcall => self.cost.xcall.saturating_sub(self.cost.xcall_cached),
+            _ => 0,
+        }
     }
 
-    fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
+    fn invoke_batch_into(
+        &mut self,
+        calls: u64,
+        bytes_each: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
         // Call legs of a burst populate the engine cache once and hit it
         // on every repeat; reply legs (`xret`) never consult it.
         if calls > 1 && !opts.reply {
             self.stats.prefetches += 1;
             self.stats.cache_hits += calls - 1;
         }
-        amortized_batch(self, calls, bytes_each, opts)
+        amortized_batch_into(self, calls, bytes_each, opts, out)
     }
 
     fn engine_cache_stats(&self) -> Option<EngineCacheStats> {

@@ -7,8 +7,8 @@
 //! one-way base to ~8000 cycles on the U500 model.
 
 use simos::cost::CostModel;
-use simos::ipc::IpcSystem;
-use simos::ledger::{Invocation, InvokeOpts, Phase};
+use simos::ipc::{oneway_invocation, IpcSystem};
+use simos::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 use std::collections::VecDeque;
 
 /// The Zircon model.
@@ -51,7 +51,11 @@ impl IpcSystem for Zircon {
         }
     }
 
-    fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+    fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
+        oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         // Channel write syscall + wait + scheduler + channel read syscall,
@@ -59,19 +63,18 @@ impl IpcSystem for Zircon {
         // The one-way base splits into two syscall entries/exits plus the
         // wait-queue/scheduler remainder.
         let kernel_entries = 2 * (c.trap + c.ipc_logic + c.restore);
-        let mut ledger = simos::ledger::CycleLedger::new()
-            .with(Phase::Trap, 2 * c.trap)
-            .with(Phase::IpcLogic, 2 * c.ipc_logic)
-            .with(Phase::Restore, 2 * c.restore)
-            .with(
-                Phase::Schedule,
-                c.zircon_oneway_base.saturating_sub(kernel_entries),
-            )
-            .with(Phase::Transfer, 2 * c.copy_cycles(bytes));
+        out.charge(Phase::Trap, 2 * c.trap);
+        out.charge(Phase::IpcLogic, 2 * c.ipc_logic);
+        out.charge(Phase::Restore, 2 * c.restore);
+        out.charge(
+            Phase::Schedule,
+            c.zircon_oneway_base.saturating_sub(kernel_entries),
+        );
+        out.charge(Phase::Transfer, 2 * c.copy_cycles(bytes));
         if self.cross_core {
-            ledger.charge(Phase::CrossCore, c.cross_core_base);
+            out.charge(Phase::CrossCore, c.cross_core_base);
         }
-        Invocation::from_ledger(ledger, 2 * bytes)
+        2 * bytes
     }
 }
 

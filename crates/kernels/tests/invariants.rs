@@ -100,6 +100,9 @@ fn cross_core_adapter_grid_over_the_full_roster() {
     // plus the surcharge (zero for thread-migrating designs), the ledger
     // invariant holds, and the CrossCore span is always present.
     let xc = XCoreCost::u500();
+    // One diff buffer for the whole grid: `diff_into` re-fills it per
+    // cell, so the 12 x 10 sweep allocates it once.
+    let mut delta: Vec<(Phase, i64)> = Vec::new();
     for (mut plain, mut cross) in full_roster().into_iter().zip(full_roster_cross_core()) {
         assert_eq!(cross.name(), format!("{}+xcore", plain.name()));
         assert_eq!(cross.supports_handover(), plain.supports_handover());
@@ -129,6 +132,16 @@ fn cross_core_adapter_grid_over_the_full_roster() {
                 cross.name()
             );
             assert_eq!(wrapped.copied_bytes, inner.copied_bytes);
+            // The ledger diff decomposes the surcharge exactly: the
+            // wrapped-vs-inner delta is CrossCore and nothing else.
+            wrapped.ledger.diff_into(&inner.ledger, &mut delta);
+            let sum: i64 = delta.iter().map(|&(_, d)| d).sum();
+            assert_eq!(sum, extra as i64, "{} at {bytes}B", cross.name());
+            for &(p, d) in &delta {
+                if p != Phase::CrossCore {
+                    assert_eq!(d, 0, "{}: {p:?} must not drift", cross.name());
+                }
+            }
         }
     }
 }

@@ -106,11 +106,19 @@ impl CostModel {
     /// Table 1's first four rows as a ledger (sums to
     /// [`sel4_fastpath_base`](Self::sel4_fastpath_base)).
     pub fn sel4_fastpath_ledger(&self) -> CycleLedger {
-        CycleLedger::new()
-            .with(Phase::Trap, self.trap)
-            .with(Phase::IpcLogic, self.ipc_logic)
-            .with(Phase::Switch, self.process_switch)
-            .with(Phase::Restore, self.restore)
+        let mut l = CycleLedger::new();
+        self.sel4_fastpath_into(&mut l);
+        l
+    }
+
+    /// Charge Table 1's first four rows into `out` (the sink-path twin
+    /// of [`sel4_fastpath_ledger`](Self::sel4_fastpath_ledger), same
+    /// phases in the same order).
+    pub fn sel4_fastpath_into(&self, out: &mut CycleLedger) {
+        out.charge(Phase::Trap, self.trap);
+        out.charge(Phase::IpcLogic, self.ipc_logic);
+        out.charge(Phase::Switch, self.process_switch);
+        out.charge(Phase::Restore, self.restore);
     }
 
     /// One-way XPC cost: trampoline + xcall + TLB refill (Figure 5's
@@ -123,18 +131,25 @@ impl CostModel {
     /// The Figure 5 decomposition behind [`xpc_oneway`](Self::xpc_oneway)
     /// as a ledger: trampoline, `xcall`, and (untagged only) TLB refill.
     pub fn xpc_oneway_ledger(&self, full_ctx: bool, tagged_tlb: bool) -> CycleLedger {
+        let mut l = CycleLedger::new();
+        self.xpc_oneway_into(full_ctx, tagged_tlb, &mut l);
+        l
+    }
+
+    /// Charge the Figure 5 decomposition into `out` (the sink-path twin
+    /// of [`xpc_oneway_ledger`](Self::xpc_oneway_ledger), same phases in
+    /// the same order).
+    pub fn xpc_oneway_into(&self, full_ctx: bool, tagged_tlb: bool, out: &mut CycleLedger) {
         let tramp = if full_ctx {
             self.trampoline_full
         } else {
             self.trampoline_partial
         };
-        let mut l = CycleLedger::new()
-            .with(Phase::Trampoline, tramp)
-            .with(Phase::Xcall, self.xcall);
+        out.charge(Phase::Trampoline, tramp);
+        out.charge(Phase::Xcall, self.xcall);
         if !tagged_tlb {
-            l.charge(Phase::TlbRefill, self.tlb_refill);
+            out.charge(Phase::TlbRefill, self.tlb_refill);
         }
-        l
     }
 
     /// Convert cycles to microseconds at the model clock.

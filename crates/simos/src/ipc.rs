@@ -81,6 +81,22 @@ pub trait IpcSystem {
     /// Price one hop delivering `msg_len` bytes under `opts`.
     fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation;
 
+    /// Sink-based [`oneway`](Self::oneway): charge the hop's phases into
+    /// `out` (accumulating — `out` need not be empty) and return the
+    /// bytes copied.
+    ///
+    /// This is the zero-alloc hot path: the kernel models override it to
+    /// charge their cost constants straight into the caller's ledger (an
+    /// arena scratch, in the load generators), and implement `oneway` by
+    /// delegating to [`oneway_invocation`]. The default goes the other
+    /// way — allocate via `oneway` and merge — so stub systems that only
+    /// implement `oneway` keep working unchanged.
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+        let inv = self.oneway(msg_len, opts);
+        out.merge(&inv.ledger);
+        inv.copied_bytes
+    }
+
     /// Full round trip: a call leg carrying `request` bytes plus a reply
     /// leg carrying `response` bytes.
     fn roundtrip(&mut self, request: usize, response: usize) -> Invocation {
@@ -104,28 +120,50 @@ pub trait IpcSystem {
         false
     }
 
-    /// The slice of the *first* call's ledger that repeat calls of a
-    /// batch do **not** pay again.
+    /// The slice of one phase of the *first* call's cycles that repeat
+    /// calls of a batch do **not** pay again (`first_cycles` is the first
+    /// call's span for `phase`).
     ///
     /// The default amortizes half the kernel IPC logic (capability
     /// lookup, endpoint resolution — the part a batched submission
-    /// resolves once), which is deliberately conservative for trap-based
-    /// kernels: every repeat call still traps, switches and restores in
-    /// full. XPC variants override this to drop the trampoline entry and
-    /// the uncached x-entry fetch (the engine cache holds the entry after
-    /// call one); Binder overrides it to halve the framework driver path.
-    fn batch_amortizable(&self, first: &Invocation, _opts: &InvokeOpts) -> CycleLedger {
-        CycleLedger::new().with(Phase::IpcLogic, first.ledger.get(Phase::IpcLogic) / 2)
+    /// resolves once) and nothing else, which is deliberately
+    /// conservative for trap-based kernels: every repeat call still
+    /// traps, switches and restores in full. XPC variants override this
+    /// to drop the trampoline entry and the uncached x-entry fetch (the
+    /// engine cache holds the entry after call one); Binder overrides it
+    /// to halve the framework driver path.
+    fn amortizable_cycles(&self, phase: Phase, first_cycles: u64, _opts: &InvokeOpts) -> u64 {
+        match phase {
+            Phase::IpcLogic => first_cycles / 2,
+            _ => 0,
+        }
     }
 
     /// Price a burst of `calls` one-way invocations of `bytes_each` bytes
     /// submitted together (AnyCall-style aggregation): the first call
     /// pays the full [`oneway`](Self::oneway) cost, every repeat call
-    /// pays that minus [`batch_amortizable`](Self::batch_amortizable).
+    /// pays that minus [`amortizable_cycles`](Self::amortizable_cycles).
     /// Per-call payload transfer is never amortized — the data still has
     /// to move.
     fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
-        amortized_batch(self, calls, bytes_each, opts)
+        let mut ledger = CycleLedger::new();
+        let copied = self.invoke_batch_into(calls, bytes_each, opts, &mut ledger);
+        Invocation::from_ledger(ledger, copied)
+    }
+
+    /// Sink-based [`invoke_batch`](Self::invoke_batch): charge the
+    /// batch's phases into `out` and return the bytes copied. `out` must
+    /// be empty on entry (the batch pricing rescales the first call's
+    /// spans in place). Systems that only add side effects (stats
+    /// counting) override this and delegate to [`amortized_batch_into`].
+    fn invoke_batch_into(
+        &mut self,
+        calls: u64,
+        bytes_each: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        amortized_batch_into(self, calls, bytes_each, opts, out)
     }
 
     /// Engine-cache counters accumulated by batched submissions, for
@@ -135,10 +173,25 @@ pub trait IpcSystem {
     }
 }
 
+/// Allocate-and-return wrapper over [`IpcSystem::oneway_into`]: a fresh
+/// ledger charged through the sink path, packaged as an [`Invocation`].
+/// Kernel models that implement `oneway_into` natively implement
+/// `oneway` by delegating here, keeping one source of truth for the
+/// cost constants.
+pub fn oneway_invocation<S: IpcSystem + ?Sized>(
+    sys: &mut S,
+    msg_len: usize,
+    opts: &InvokeOpts,
+) -> Invocation {
+    let mut ledger = CycleLedger::new();
+    let copied = sys.oneway_into(msg_len, opts, &mut ledger);
+    Invocation::from_ledger(ledger, copied)
+}
+
 /// The shared first-call + amortized-repeats pricing behind
 /// [`IpcSystem::invoke_batch`]: `total(n) = first + (n - 1) * repeat`
-/// where `repeat` is the first call's ledger minus the system's
-/// [`batch_amortizable`](IpcSystem::batch_amortizable) slice, phase by
+/// where `repeat` is the first call's span minus the system's
+/// [`amortizable_cycles`](IpcSystem::amortizable_cycles) slice, phase by
 /// phase (saturating — a system can never amortize below zero).
 ///
 /// Free function (not a default-method body) so overriding impls that
@@ -149,19 +202,36 @@ pub fn amortized_batch<S: IpcSystem + ?Sized>(
     bytes_each: usize,
     opts: &InvokeOpts,
 ) -> Invocation {
-    assert!(calls >= 1, "a batch prices at least one call");
-    let first = sys.oneway(bytes_each, opts);
-    if calls == 1 {
-        return first;
-    }
-    let amort = sys.batch_amortizable(&first, opts);
     let mut ledger = CycleLedger::new();
-    for &(phase, cycles) in first.ledger.spans() {
-        let repeat = cycles.saturating_sub(amort.get(phase));
-        ledger.charge(phase, cycles + (calls - 1) * repeat);
-    }
-    let copied = first.copied_bytes * calls;
+    let copied = amortized_batch_into(sys, calls, bytes_each, opts, &mut ledger);
     Invocation::from_ledger(ledger, copied)
+}
+
+/// Sink-based [`amortized_batch`]: prices the first call through
+/// [`IpcSystem::oneway_into`], then rescales each span in place to
+/// `first + (n - 1) * (first - amortizable)`. Zero allocations when
+/// the system's `oneway_into` is native.
+///
+/// `out` must be empty on entry — the in-place rescale assumes every
+/// span in `out` belongs to the first call.
+pub fn amortized_batch_into<S: IpcSystem + ?Sized>(
+    sys: &mut S,
+    calls: u64,
+    bytes_each: usize,
+    opts: &InvokeOpts,
+    out: &mut CycleLedger,
+) -> u64 {
+    assert!(calls >= 1, "a batch prices at least one call");
+    debug_assert!(out.is_empty(), "batch pricing needs a pristine sink");
+    let copied = sys.oneway_into(bytes_each, opts, out);
+    if calls == 1 {
+        return copied;
+    }
+    out.map_cycles(|phase, cycles| {
+        let repeat = cycles.saturating_sub(sys.amortizable_cycles(phase, cycles, opts));
+        cycles + (calls - 1) * repeat
+    });
+    copied * calls
 }
 
 impl IpcSystem for Box<dyn IpcSystem> {
@@ -171,17 +241,29 @@ impl IpcSystem for Box<dyn IpcSystem> {
     fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
         (**self).oneway(msg_len, opts)
     }
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+        (**self).oneway_into(msg_len, opts, out)
+    }
     fn supports_handover(&self) -> bool {
         (**self).supports_handover()
     }
     fn migrating_threads(&self) -> bool {
         (**self).migrating_threads()
     }
-    fn batch_amortizable(&self, first: &Invocation, opts: &InvokeOpts) -> CycleLedger {
-        (**self).batch_amortizable(first, opts)
+    fn amortizable_cycles(&self, phase: Phase, first_cycles: u64, opts: &InvokeOpts) -> u64 {
+        (**self).amortizable_cycles(phase, first_cycles, opts)
     }
     fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
         (**self).invoke_batch(calls, bytes_each, opts)
+    }
+    fn invoke_batch_into(
+        &mut self,
+        calls: u64,
+        bytes_each: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        (**self).invoke_batch_into(calls, bytes_each, opts, out)
     }
     fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
         (**self).engine_cache_stats()
@@ -293,5 +375,60 @@ mod tests {
         let direct = Amortizing.invoke_batch(8, 16, &InvokeOpts::call());
         assert_eq!(b.invoke_batch(8, 16, &InvokeOpts::call()), direct);
         assert_eq!(b.engine_cache_stats(), None);
+    }
+
+    #[test]
+    fn default_oneway_into_matches_oneway() {
+        let opts = InvokeOpts::call();
+        let inv = Fixed(100).oneway(64, &opts);
+        let mut out = CycleLedger::new();
+        let copied = Fixed(100).oneway_into(64, &opts, &mut out);
+        assert_eq!(out, inv.ledger);
+        assert_eq!(copied, inv.copied_bytes);
+        // Accumulating semantics: a second hop merges, not replaces.
+        let copied2 = Fixed(100).oneway_into(64, &opts, &mut out);
+        assert_eq!(copied2, 64);
+        assert_eq!(out.get(Phase::Trap), 200);
+    }
+
+    #[test]
+    fn oneway_invocation_round_trips_the_sink_path() {
+        let opts = InvokeOpts::call();
+        assert_eq!(
+            oneway_invocation(&mut Fixed(9), 5, &opts),
+            Fixed(9).oneway(5, &opts)
+        );
+    }
+
+    #[test]
+    fn invoke_batch_into_matches_invoke_batch() {
+        let opts = InvokeOpts::call();
+        for calls in [1, 8, 64] {
+            let inv = Amortizing.invoke_batch(calls, 64, &opts);
+            let mut out = CycleLedger::new();
+            let copied = Amortizing.invoke_batch_into(calls, 64, &opts, &mut out);
+            assert_eq!(out, inv.ledger, "batch of {calls} must match");
+            assert_eq!(copied, inv.copied_bytes);
+        }
+    }
+
+    #[test]
+    fn boxed_system_forwards_sink_methods() {
+        let mut b: Box<dyn IpcSystem> = Box::new(Amortizing);
+        let mut out = CycleLedger::new();
+        let copied = b.oneway_into(16, &InvokeOpts::call(), &mut out);
+        assert_eq!(copied, 16);
+        assert_eq!(out, Amortizing.oneway(16, &InvokeOpts::call()).ledger);
+        assert_eq!(
+            b.amortizable_cycles(Phase::IpcLogic, 50, &InvokeOpts::call()),
+            25
+        );
+        out.clear();
+        let copied = b.invoke_batch_into(4, 16, &InvokeOpts::call(), &mut out);
+        assert_eq!(copied, 64);
+        assert_eq!(
+            out,
+            Amortizing.invoke_batch(4, 16, &InvokeOpts::call()).ledger
+        );
     }
 }

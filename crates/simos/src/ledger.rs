@@ -58,6 +58,9 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Number of phases (the length of [`Phase::ALL`]).
+    pub const COUNT: usize = 17;
+
     /// Every phase, in canonical (paper) order.
     pub const ALL: [Phase; 17] = [
         Phase::Trap,
@@ -78,6 +81,12 @@ impl Phase {
         Phase::Driver,
         Phase::Compute,
     ];
+
+    /// Stable dense index into [`Phase::ALL`]-ordered arrays (declaration
+    /// order matches `ALL`, so the discriminant *is* the index).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// Stable kebab-case key (JSON dumps, machine-readable output).
     pub fn key(self) -> &'static str {
@@ -184,22 +193,319 @@ impl CycleLedger {
         }
     }
 
+    /// Drop every span but keep the allocation — the reset half of the
+    /// reuse-a-scratch-ledger pattern the arena hot path runs on.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Number of recorded spans (distinct phases charged so far).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no span has been charged yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Rewrite every span's cycles in place as `f(phase, cycles)`,
+    /// keeping span order. This is how batched pricing rescales a
+    /// first-call ledger into an n-call ledger without reallocating.
+    pub fn map_cycles(&mut self, mut f: impl FnMut(Phase, u64) -> u64) {
+        for (p, c) in &mut self.spans {
+            *c = f(*p, *c);
+        }
+    }
+
     /// Per-phase delta `self - baseline` over the union of phases (this
     /// ledger's order first, then baseline-only phases). The Figure 5
     /// bars are exactly these diffs between ablation configurations.
     pub fn diff(&self, baseline: &CycleLedger) -> Vec<(Phase, i64)> {
-        let mut out: Vec<(Phase, i64)> = self
-            .spans
-            .iter()
-            .map(|&(p, c)| (p, c as i64 - baseline.get(p) as i64))
-            .collect();
+        let mut out = Vec::new();
+        self.diff_into(baseline, &mut out);
+        out
+    }
+
+    /// [`diff`](Self::diff) into a caller-provided buffer (cleared
+    /// first), so sweep grids comparing many ledger pairs can reuse one
+    /// allocation.
+    pub fn diff_into(&self, baseline: &CycleLedger, out: &mut Vec<(Phase, i64)>) {
+        out.clear();
+        out.extend(
+            self.spans
+                .iter()
+                .map(|&(p, c)| (p, c as i64 - baseline.get(p) as i64)),
+        );
         for &(p, c) in &baseline.spans {
             if self.spans.iter().all(|(q, _)| *q != p) {
                 out.push((p, -(c as i64)));
             }
         }
-        out
     }
+}
+
+/// Flat per-phase cycle totals: a `[u64; Phase::COUNT]` keyed by
+/// [`Phase::index`] (i.e. [`Phase::ALL`] order).
+///
+/// This is the sampled-attribution accumulator: adding a span is one
+/// array add — no span scan, no ordering metadata — and the result is
+/// *exact*, because per-phase totals are plain `u64` sums over the same
+/// spans a full ledger would record. Only span ordering and the
+/// presence of zero-cycle spans are dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTotals {
+    cycles: [u64; Phase::COUNT],
+}
+
+impl Default for PhaseTotals {
+    fn default() -> Self {
+        PhaseTotals {
+            cycles: [0; Phase::COUNT],
+        }
+    }
+}
+
+impl PhaseTotals {
+    /// All-zero totals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `cycles` to `phase`.
+    pub fn charge(&mut self, phase: Phase, cycles: u64) {
+        self.cycles[phase.index()] += cycles;
+    }
+
+    /// Cycles accumulated for `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.cycles[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Whether nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.iter().all(|&c| c == 0)
+    }
+
+    /// Fold a ledger's spans in.
+    pub fn add_ledger(&mut self, ledger: &CycleLedger) {
+        for &(p, c) in ledger.spans() {
+            self.charge(p, c);
+        }
+    }
+
+    /// Fold another totals array in.
+    pub fn merge(&mut self, other: &PhaseTotals) {
+        for (a, b) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Render as a [`CycleLedger`] in canonical [`Phase::ALL`] order,
+    /// keeping only non-zero phases (flat totals carry no record of
+    /// zero-cycle span presence).
+    pub fn to_ledger(&self) -> CycleLedger {
+        let mut l = CycleLedger::new();
+        for p in Phase::ALL {
+            let c = self.get(p);
+            if c > 0 {
+                l.charge(p, c);
+            }
+        }
+        l
+    }
+}
+
+/// Handle to one ledger inside a [`LedgerArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerRef(usize);
+
+/// A high-water mark of a [`LedgerArena`], for truncate-and-reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaMark {
+    ledgers: usize,
+    spans: usize,
+}
+
+/// A structure-of-arrays pool of span ledgers: phases and cycles live in
+/// two flat slabs, each ledger is a `(start, len)` range over them.
+///
+/// The invocation hot path charges into the arena instead of allocating
+/// a `CycleLedger` per request; [`truncate`](Self::truncate) /
+/// [`reset`](Self::reset) roll the slabs back without freeing, so a
+/// steady-state sweep performs zero heap allocation per request. Only
+/// the most recently begun ledger may still be charged (its span range
+/// must sit at the slab tail).
+#[derive(Debug, Clone, Default)]
+pub struct LedgerArena {
+    phases: Vec<Phase>,
+    cycles: Vec<u64>,
+    /// Per-ledger `(start, len)` into the slabs.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl LedgerArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An arena with room for `ledgers` ledgers totalling `spans` spans,
+    /// so a bounded workload (e.g. a sampled sweep keeping 1-in-N
+    /// request ledgers of at most [`Phase::COUNT`] spans each) never
+    /// grows the slabs after construction.
+    pub fn with_capacity(ledgers: usize, spans: usize) -> Self {
+        LedgerArena {
+            phases: Vec::with_capacity(spans),
+            cycles: Vec::with_capacity(spans),
+            ranges: Vec::with_capacity(ledgers),
+        }
+    }
+
+    /// Open a fresh (empty) ledger at the slab tail and return its
+    /// handle. Charging is only valid for the most recently begun
+    /// ledger.
+    pub fn begin(&mut self) -> LedgerRef {
+        let start = self.phases.len();
+        self.ranges.push((start, 0));
+        LedgerRef(self.ranges.len() - 1)
+    }
+
+    /// Charge `cycles` to `phase` in ledger `h` (accumulating per phase
+    /// and recording zero charges, exactly like [`CycleLedger::charge`]).
+    ///
+    /// # Panics
+    ///
+    /// When `h` is not the most recently begun ledger (its spans would
+    /// no longer sit at the slab tail).
+    pub fn charge(&mut self, h: LedgerRef, phase: Phase, cycles: u64) {
+        assert_eq!(
+            h.0 + 1,
+            self.ranges.len(),
+            "only the most recently begun arena ledger may be charged"
+        );
+        let (start, len) = self.ranges[h.0];
+        for i in start..start + len {
+            if self.phases[i] == phase {
+                self.cycles[i] += cycles;
+                return;
+            }
+        }
+        self.phases.push(phase);
+        self.cycles.push(cycles);
+        self.ranges[h.0].1 += 1;
+    }
+
+    /// Fold a ledger's spans into arena ledger `h`.
+    pub fn merge_ledger(&mut self, h: LedgerRef, ledger: &CycleLedger) {
+        for &(p, c) in ledger.spans() {
+            self.charge(h, p, c);
+        }
+    }
+
+    /// The spans of ledger `h`, in first-charge order.
+    pub fn spans(&self, h: LedgerRef) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        let (start, len) = self.ranges[h.0];
+        (start..start + len).map(|i| (self.phases[i], self.cycles[i]))
+    }
+
+    /// Total cycles of ledger `h`.
+    pub fn total(&self, h: LedgerRef) -> u64 {
+        let (start, len) = self.ranges[h.0];
+        self.cycles[start..start + len].iter().sum()
+    }
+
+    /// Copy ledger `h` out into an owned [`CycleLedger`].
+    pub fn to_ledger(&self, h: LedgerRef) -> CycleLedger {
+        let mut l = CycleLedger::new();
+        for (p, c) in self.spans(h) {
+            l.charge(p, c);
+        }
+        l
+    }
+
+    /// Number of ledgers currently held.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Handles to every ledger currently held, in [`begin`](Self::begin)
+    /// order (e.g. walking the retained sample after a sampled sweep).
+    pub fn handles(&self) -> impl Iterator<Item = LedgerRef> {
+        (0..self.ranges.len()).map(LedgerRef)
+    }
+
+    /// Whether the arena holds no ledgers.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Allocated span-slab capacity — the steady-state gauge: a warmed-up
+    /// sweep must not move this.
+    pub fn span_capacity(&self) -> usize {
+        self.phases.capacity()
+    }
+
+    /// Allocated ledger-table capacity (see
+    /// [`span_capacity`](Self::span_capacity)).
+    pub fn ledger_capacity(&self) -> usize {
+        self.ranges.capacity()
+    }
+
+    /// The current high-water mark, for a later
+    /// [`truncate`](Self::truncate).
+    pub fn mark(&self) -> ArenaMark {
+        ArenaMark {
+            ledgers: self.ranges.len(),
+            spans: self.phases.len(),
+        }
+    }
+
+    /// Roll back to `mark`, dropping every ledger begun since — without
+    /// freeing slab memory (the reuse half of reset-and-reuse).
+    pub fn truncate(&mut self, mark: ArenaMark) {
+        self.ranges.truncate(mark.ledgers);
+        self.phases.truncate(mark.spans);
+        self.cycles.truncate(mark.spans);
+    }
+
+    /// Drop every ledger, keep the slabs.
+    pub fn reset(&mut self) {
+        self.truncate(ArenaMark {
+            ledgers: 0,
+            spans: 0,
+        });
+    }
+}
+
+/// Where the load generators record phase attribution — the
+/// caller-provided sink of the arena hot path.
+///
+/// `Full` keeps a complete span ledger for *every* request (the arena is
+/// used as reset-and-reuse scratch, so the report ledger reproduces the
+/// pre-arena output bit for bit). `Sampled` accumulates every request
+/// into flat [`PhaseTotals`] (exact per-phase sums — see the
+/// `PhaseTotals` docs) and additionally retains a full span ledger in
+/// the arena for one request in `every`.
+pub enum Attribution<'a> {
+    /// Full span attribution for every request, staged through `arena`.
+    Full(&'a mut LedgerArena),
+    /// Flat totals for all requests; 1-in-`every` requests also keep
+    /// their span ledger in `arena`.
+    Sampled {
+        /// Keep a full span ledger for requests where
+        /// `request_index % every == 0` (`every = 0` keeps none).
+        every: u64,
+        /// The exact flat accumulator every request charges into.
+        totals: &'a mut PhaseTotals,
+        /// Retains the sampled requests' span ledgers.
+        arena: &'a mut LedgerArena,
+    },
 }
 
 /// Options for one [`IpcSystem`](crate::ipc::IpcSystem) hop.
@@ -356,5 +662,139 @@ mod tests {
             0,
         );
         assert_eq!(inv.total, inv.ledger.total());
+    }
+
+    #[test]
+    fn phase_count_and_index_match_all() {
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p:?} index must match its ALL position");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut l = CycleLedger::new()
+            .with(Phase::Trap, 1)
+            .with(Phase::Xcall, 2);
+        assert_eq!(l.len(), 2);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.total(), 0);
+    }
+
+    #[test]
+    fn map_cycles_rescales_in_place() {
+        let mut l = CycleLedger::new()
+            .with(Phase::Trap, 100)
+            .with(Phase::Transfer, 64);
+        l.map_cycles(|p, c| if p == Phase::Trap { c * 3 } else { c });
+        assert_eq!(l.get(Phase::Trap), 300);
+        assert_eq!(l.get(Phase::Transfer), 64);
+        assert_eq!(l.spans()[0].0, Phase::Trap, "span order preserved");
+    }
+
+    #[test]
+    fn diff_into_matches_diff_and_reuses_buffer() {
+        let a = CycleLedger::new()
+            .with(Phase::Xcall, 18)
+            .with(Phase::TlbRefill, 40);
+        let b = CycleLedger::new()
+            .with(Phase::Xcall, 6)
+            .with(Phase::Trampoline, 15);
+        let mut buf = vec![(Phase::Driver, -999)]; // stale content must go
+        a.diff_into(&b, &mut buf);
+        assert_eq!(buf, a.diff(&b));
+    }
+
+    #[test]
+    fn phase_totals_sum_ledgers_exactly() {
+        let a = CycleLedger::new()
+            .with(Phase::Trap, 107)
+            .with(Phase::Transfer, 0); // zero span: present in ledger, invisible in totals
+        let b = CycleLedger::new()
+            .with(Phase::Trap, 7)
+            .with(Phase::Xcall, 18);
+        let mut t = PhaseTotals::new();
+        assert!(t.is_empty());
+        t.add_ledger(&a);
+        t.add_ledger(&b);
+        assert_eq!(t.get(Phase::Trap), 114);
+        assert_eq!(t.total(), a.total() + b.total());
+        let mut u = PhaseTotals::new();
+        u.charge(Phase::Trap, 114);
+        u.charge(Phase::Xcall, 18);
+        assert_eq!(t, u);
+        // to_ledger renders canonical ALL order, non-zero phases only.
+        let l = t.to_ledger();
+        assert_eq!(l.spans(), &[(Phase::Trap, 114), (Phase::Xcall, 18)]);
+    }
+
+    #[test]
+    fn arena_charge_matches_cycle_ledger_semantics() {
+        let mut arena = LedgerArena::new();
+        let h = arena.begin();
+        arena.charge(h, Phase::Trap, 100);
+        arena.charge(h, Phase::Transfer, 0);
+        arena.charge(h, Phase::Trap, 7);
+        let l = arena.to_ledger(h);
+        let mut want = CycleLedger::new();
+        want.charge(Phase::Trap, 100);
+        want.charge(Phase::Transfer, 0);
+        want.charge(Phase::Trap, 7);
+        assert_eq!(l, want, "accumulation, zero spans, and order all match");
+        assert_eq!(arena.total(h), 107);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn arena_truncate_and_reset_keep_slab_capacity() {
+        let mut arena = LedgerArena::with_capacity(4, 4 * Phase::COUNT);
+        let cap = (arena.ledger_capacity(), arena.span_capacity());
+        let mark = arena.mark();
+        for _ in 0..4 {
+            let h = arena.begin();
+            for p in Phase::ALL {
+                arena.charge(h, p, 1);
+            }
+        }
+        assert_eq!(arena.len(), 4);
+        arena.truncate(mark);
+        assert!(arena.is_empty());
+        assert_eq!(
+            (arena.ledger_capacity(), arena.span_capacity()),
+            cap,
+            "truncate must not free or grow the slabs"
+        );
+        let h = arena.begin();
+        arena.charge(h, Phase::Xcall, 18);
+        arena.reset();
+        assert!(arena.is_empty());
+        assert_eq!((arena.ledger_capacity(), arena.span_capacity()), cap);
+    }
+
+    #[test]
+    fn arena_merge_ledger_round_trips() {
+        let src = CycleLedger::new()
+            .with(Phase::Trampoline, 76)
+            .with(Phase::Xcall, 18);
+        let mut arena = LedgerArena::new();
+        let h = arena.begin();
+        arena.merge_ledger(h, &src);
+        assert_eq!(arena.to_ledger(h), src);
+        assert_eq!(
+            arena.spans(h).collect::<Vec<_>>(),
+            vec![(Phase::Trampoline, 76), (Phase::Xcall, 18)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "most recently begun")]
+    fn arena_rejects_charging_a_closed_ledger() {
+        let mut arena = LedgerArena::new();
+        let old = arena.begin();
+        arena.charge(old, Phase::Trap, 1);
+        let _tail = arena.begin();
+        arena.charge(old, Phase::Trap, 1);
     }
 }

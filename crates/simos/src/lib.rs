@@ -43,9 +43,14 @@ pub mod transport;
 pub mod world;
 
 pub use cost::CostModel;
-pub use ipc::{amortized_batch, EngineCacheStats, IpcCost, IpcSystem};
-pub use ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
-pub use load::{LoadGen, LoadReport};
+pub use ipc::{
+    amortized_batch, amortized_batch_into, oneway_invocation, EngineCacheStats, IpcCost, IpcSystem,
+};
+pub use ledger::{
+    ArenaMark, Attribution, CycleLedger, Invocation, InvokeOpts, LedgerArena, LedgerRef, Phase,
+    PhaseTotals,
+};
+pub use load::{LoadGen, LoadReport, SweepScratch};
 pub use multicore::{
     Completion, CoreId, CrossCore, MultiWorld, MultiWorldBuilder, Placement, Step, XCoreCost,
 };

@@ -31,8 +31,10 @@
 //!   merged per-request ledger.
 
 use crate::ipc::EngineCacheStats;
-use crate::ledger::{CycleLedger, Phase};
+use crate::ledger::{Attribution, CycleLedger, LedgerArena, LedgerRef, Phase, PhaseTotals};
 use crate::multicore::{CoreId, MultiWorld, Placement};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use ycsb::rng::Rng;
 
 // Recipes are sequences of `Step`s in *service-id* space; the same enum,
@@ -138,8 +140,71 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
+    // q is in [0, 1], so the rank is bounded by len and the cast back
+    // from f64 cannot truncate.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Resolve a recipe step from service-id space to core space via `map`;
+/// from here on [`MultiWorld::exec`] / [`MultiWorld::exec_into`] do the
+/// rest.
+fn resolve_step(map: &[CoreId], step: &Step) -> Step {
+    match *step {
+        Step::Oneway { from, to, bytes } => Step::Oneway {
+            from: map[from],
+            to: map[to],
+            bytes,
+        },
+        Step::Batch {
+            from,
+            to,
+            calls,
+            bytes_each,
+        } => Step::Batch {
+            from: map[from],
+            to: map[to],
+            calls,
+            bytes_each,
+        },
+        Step::Roundtrip {
+            from,
+            to,
+            request,
+            response,
+        } => Step::Roundtrip {
+            from: map[from],
+            to: map[to],
+            request,
+            response,
+        },
+        Step::Compute { at, cycles } => Step::Compute {
+            at: map[at],
+            cycles,
+        },
+        Step::DataPass {
+            at,
+            bytes,
+            intensity_x10,
+        } => Step::DataPass {
+            at: map[at],
+            bytes,
+            intensity_x10,
+        },
+    }
+}
+
+/// The issuing core, serving core, and IPC-call count of a core-space
+/// step.
+fn step_route(resolved: &Step) -> (CoreId, CoreId, u64) {
+    match *resolved {
+        Step::Oneway { from, to, .. } | Step::Roundtrip { from, to, .. } => (from, to, 1),
+        Step::Batch {
+            from, to, calls, ..
+        } => (from, to, calls),
+        Step::Compute { at, .. } | Step::DataPass { at, .. } => (at, at, 0),
+    }
 }
 
 /// Run one request's steps starting at virtual time `t0` with services
@@ -170,57 +235,8 @@ fn run_request_inner(
     let mut ledger = CycleLedger::new();
     let mut ipc_calls = 0u64;
     for step in steps {
-        // Resolve service ids to cores; from here on the step is in core
-        // space and `MultiWorld::exec` does the rest.
-        let resolved = match *step {
-            Step::Oneway { from, to, bytes } => Step::Oneway {
-                from: map[from],
-                to: map[to],
-                bytes,
-            },
-            Step::Batch {
-                from,
-                to,
-                calls,
-                bytes_each,
-            } => Step::Batch {
-                from: map[from],
-                to: map[to],
-                calls,
-                bytes_each,
-            },
-            Step::Roundtrip {
-                from,
-                to,
-                request,
-                response,
-            } => Step::Roundtrip {
-                from: map[from],
-                to: map[to],
-                request,
-                response,
-            },
-            Step::Compute { at, cycles } => Step::Compute {
-                at: map[at],
-                cycles,
-            },
-            Step::DataPass {
-                at,
-                bytes,
-                intensity_x10,
-            } => Step::DataPass {
-                at: map[at],
-                bytes,
-                intensity_x10,
-            },
-        };
-        let (issuer, serving, calls) = match resolved {
-            Step::Oneway { from, to, .. } | Step::Roundtrip { from, to, .. } => (from, to, 1),
-            Step::Batch {
-                from, to, calls, ..
-            } => (from, to, calls),
-            Step::Compute { at, .. } | Step::DataPass { at, .. } => (at, at, 0),
-        };
+        let resolved = resolve_step(map, step);
+        let (issuer, serving, calls) = step_route(&resolved);
         if attribute_queue {
             ledger.charge(Phase::Queue, mw.free_at(serving).saturating_sub(t));
         }
@@ -230,6 +246,92 @@ fn run_request_inner(
         t = c.done;
     }
     (t, ledger, ipc_calls)
+}
+
+/// Where one request's spans go on the zero-alloc path: always into the
+/// flat totals when sampling, and into an arena ledger when this request
+/// keeps span-level detail (every request in `Full` mode, 1-in-N in
+/// `Sampled`). Charge order through this sink matches the allocating
+/// path span for span.
+struct ReqSink<'a> {
+    totals: Option<&'a mut PhaseTotals>,
+    arena: Option<(&'a mut LedgerArena, LedgerRef)>,
+}
+
+impl ReqSink<'_> {
+    fn charge(&mut self, phase: Phase, cycles: u64) {
+        if let Some(t) = &mut self.totals {
+            t.charge(phase, cycles);
+        }
+        if let Some((a, h)) = &mut self.arena {
+            a.charge(*h, phase, cycles);
+        }
+    }
+
+    fn merge(&mut self, ledger: &CycleLedger) {
+        if let Some(t) = &mut self.totals {
+            t.add_ledger(ledger);
+        }
+        if let Some((a, h)) = &mut self.arena {
+            a.merge_ledger(*h, ledger);
+        }
+    }
+}
+
+/// Zero-alloc twin of [`run_request_inner`]: steps execute through
+/// [`MultiWorld::exec_into`] with `step_ledger` as scratch and the
+/// request's spans land in `sink`. Returns `(done, ipc_calls)`.
+fn run_request_sink(
+    mw: &mut MultiWorld,
+    map: &[CoreId],
+    steps: &[Step],
+    t0: u64,
+    attribute_queue: bool,
+    step_ledger: &mut CycleLedger,
+    sink: &mut ReqSink<'_>,
+) -> (u64, u64) {
+    let mut t = t0;
+    let mut ipc_calls = 0u64;
+    for step in steps {
+        let resolved = resolve_step(map, step);
+        let (issuer, serving, calls) = step_route(&resolved);
+        if attribute_queue {
+            sink.charge(Phase::Queue, mw.free_at(serving).saturating_sub(t));
+        }
+        let done = mw.exec_into(issuer, resolved, t, step_ledger);
+        sink.merge(step_ledger);
+        ipc_calls += calls;
+        t = done;
+    }
+    (t, ipc_calls)
+}
+
+/// Reusable buffers for a load run, meant to be threaded across the
+/// cells of a sweep (mechanism × policy × window × batch) so a grid of
+/// [`run_windowed_with`] calls performs its per-request work without
+/// heap allocation: the latency sample, the per-request core map, the
+/// per-step scratch ledger, and both event queues (issue heap and
+/// per-client outstanding heaps) all reach steady-state capacity in the
+/// first cell and are reused by every later one.
+#[derive(Default)]
+pub struct SweepScratch {
+    latencies: Vec<u64>,
+    map: Vec<CoreId>,
+    step_ledger: CycleLedger,
+    /// Min-heap of `(next issue time, client index)` — pops in exactly
+    /// the historical "lowest issue-time first, ties to lowest client
+    /// index" order, replacing the O(clients) linear scan.
+    issue: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-client min-heaps of outstanding completion (+ think) times,
+    /// replacing the O(window) linear min-scan.
+    outstanding: Vec<BinaryHeap<Reverse<u64>>>,
+}
+
+impl SweepScratch {
+    /// Fresh (empty) scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Drive `spec.requests` requests from `spec.clients` closed-loop
@@ -264,51 +366,151 @@ pub fn run_windowed(
     spec: &LoadGen,
     window: usize,
 ) -> LoadReport {
+    let mut scratch = SweepScratch::new();
+    let mut arena = LedgerArena::new();
+    run_windowed_with(
+        mw,
+        policy,
+        n_services,
+        recipes,
+        spec,
+        window,
+        &mut scratch,
+        Attribution::Full(&mut arena),
+    )
+}
+
+/// [`run_windowed`] with caller-provided scratch buffers and an explicit
+/// [`Attribution`] sink — the zero-alloc hot path.
+///
+/// * `Attribution::Full` stages every request's span ledger through the
+///   arena (truncating back after folding it into the report), and the
+///   report is **bit-identical** to [`run_windowed`]'s.
+/// * `Attribution::Sampled` accumulates every request into flat
+///   [`PhaseTotals`] (per-phase totals *exactly* equal to full mode's —
+///   flat sums commute with span merging) and additionally retains the
+///   span ledger of 1-in-`every` requests in the arena. The report's
+///   `ledger` is rendered from the totals in canonical [`Phase::ALL`]
+///   order, so span *order* (and zero-cycle span presence) is the only
+///   thing sampling gives up.
+///
+/// All latency, throughput, and counter fields are identical across
+/// modes; only the report ledger's span layout differs as described.
+#[allow(clippy::too_many_arguments)] // the sweep axes are the signature
+pub fn run_windowed_with(
+    mw: &mut MultiWorld,
+    policy: &Placement,
+    n_services: usize,
+    recipes: &[Vec<Step>],
+    spec: &LoadGen,
+    window: usize,
+    scratch: &mut SweepScratch,
+    mut att: Attribution<'_>,
+) -> LoadReport {
     assert!(!recipes.is_empty(), "need at least one recipe");
     assert!(spec.clients > 0, "need at least one client");
     assert!(window > 0, "a client keeps at least one request in flight");
     let attribute_queue = window > 1;
     let mut rng = Rng::seed_from_u64(spec.seed);
-    // Per client: the earliest time it may issue its next request, and
-    // the completion (+ think) times of its outstanding requests.
-    let mut avail = vec![0u64; spec.clients];
-    let mut outstanding: Vec<Vec<u64>> = vec![Vec::new(); spec.clients];
-    let mut latencies = Vec::with_capacity(spec.requests as usize);
+    // Per client: the earliest time it may issue its next request (the
+    // issue heap), and the completion (+ think) times of its outstanding
+    // requests (one min-heap per client).
+    scratch.issue.clear();
+    for c in 0..spec.clients {
+        scratch.issue.push(Reverse((0, c)));
+    }
+    for heap in &mut scratch.outstanding {
+        heap.clear();
+    }
+    if scratch.outstanding.len() < spec.clients {
+        scratch
+            .outstanding
+            .resize_with(spec.clients, BinaryHeap::new);
+    }
+    scratch.latencies.clear();
+    scratch
+        .latencies
+        .reserve(usize::try_from(spec.requests).expect("request count fits usize"));
     let mut ledger = CycleLedger::new();
     let mut makespan = 0u64;
     let mut ipc_calls = 0u64;
     for r in 0..spec.requests {
-        // Next issuer: earliest-issuable client, ties to the lowest index.
-        let mut c = 0;
-        for i in 1..avail.len() {
-            if avail[i] < avail[c] {
-                c = i;
-            }
-        }
-        let t0 = avail[c];
-        let recipe = &recipes[rng.below(recipes.len() as u64) as usize];
-        let map = policy
-            .assign(r, n_services, mw)
+        // Next issuer: earliest-issuable client, ties to the lowest
+        // index — exactly the historical linear scan's order, since the
+        // heap pops the least `(issue time, client index)` pair.
+        let Reverse((t0, c)) = scratch.issue.pop().expect("one entry per client");
+        let pick = usize::try_from(rng.below(recipes.len() as u64)).expect("index fits usize");
+        let recipe = &recipes[pick];
+        policy
+            .assign_into(r, n_services, mw, &mut scratch.map)
             .expect("placement rejected the core map");
-        let (done, req_ledger, calls) = run_request_inner(mw, &map, recipe, t0, attribute_queue);
-        ledger.merge(&req_ledger);
+        let (done, calls) = match &mut att {
+            Attribution::Full(arena) => {
+                let mark = arena.mark();
+                let h = arena.begin();
+                let mut sink = ReqSink {
+                    totals: None,
+                    arena: Some((arena, h)),
+                };
+                let out = run_request_sink(
+                    mw,
+                    &scratch.map,
+                    recipe,
+                    t0,
+                    attribute_queue,
+                    &mut scratch.step_ledger,
+                    &mut sink,
+                );
+                // Fold the request's spans into the report ledger in
+                // first-charge order (what `merge(&req_ledger)` did),
+                // then roll the arena back for reuse.
+                for (p, cy) in arena.spans(h) {
+                    ledger.charge(p, cy);
+                }
+                arena.truncate(mark);
+                out
+            }
+            Attribution::Sampled {
+                every,
+                totals,
+                arena,
+            } => {
+                let keep = *every != 0 && r % *every == 0;
+                let h = if keep { Some(arena.begin()) } else { None };
+                let mut sink = ReqSink {
+                    totals: Some(totals),
+                    arena: h.map(|h| (&mut **arena, h)),
+                };
+                run_request_sink(
+                    mw,
+                    &scratch.map,
+                    recipe,
+                    t0,
+                    attribute_queue,
+                    &mut scratch.step_ledger,
+                    &mut sink,
+                )
+            }
+        };
         ipc_calls += calls;
-        latencies.push(done - t0);
+        scratch.latencies.push(done - t0);
         makespan = makespan.max(done);
-        outstanding[c].push(done + spec.think_cycles);
-        if outstanding[c].len() >= window {
+        scratch.outstanding[c].push(Reverse(done + spec.think_cycles));
+        let next_avail = if scratch.outstanding[c].len() >= window {
             // Window full: the next issue replaces the outstanding
             // request that completes earliest.
-            let (i, &first_done) = outstanding[c]
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &d)| d)
-                .expect("window >= 1 outstanding");
-            outstanding[c].swap_remove(i);
-            avail[c] = avail[c].max(first_done);
-        }
+            let Reverse(first_done) = scratch.outstanding[c].pop().expect("window >= 1");
+            t0.max(first_done)
+        } else {
+            t0
+        };
+        scratch.issue.push(Reverse((next_avail, c)));
     }
-    latencies.sort_unstable();
+    if let Attribution::Sampled { totals, .. } = &att {
+        ledger = totals.to_ledger();
+    }
+    scratch.latencies.sort_unstable();
+    let latencies = &scratch.latencies;
     let clock_hz = mw.core(0).cost.clock_hz;
     let mean = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
     LoadReport {
@@ -327,9 +529,9 @@ pub fn run_windowed(
             spec.requests as f64 * clock_hz as f64 / makespan as f64
         },
         mean_us: cycles_to_us(mean, clock_hz),
-        p50_us: cycles_to_us(percentile(&latencies, 0.50) as f64, clock_hz),
-        p95_us: cycles_to_us(percentile(&latencies, 0.95) as f64, clock_hz),
-        p99_us: cycles_to_us(percentile(&latencies, 0.99) as f64, clock_hz),
+        p50_us: cycles_to_us(percentile(latencies, 0.50) as f64, clock_hz),
+        p95_us: cycles_to_us(percentile(latencies, 0.95) as f64, clock_hz),
+        p99_us: cycles_to_us(percentile(latencies, 0.99) as f64, clock_hz),
         ledger,
         engine_cache: mw.engine_cache_stats(),
     }
@@ -507,7 +709,8 @@ mod tests {
                 }
             }
             let t0 = ready[c];
-            let recipe = &recipes[rng.below(recipes.len() as u64) as usize];
+            let pick = usize::try_from(rng.below(recipes.len() as u64)).expect("index fits usize");
+            let recipe = &recipes[pick];
             let map = policy
                 .assign(r, n_services, mw)
                 .expect("placement rejected the core map");
@@ -557,6 +760,98 @@ mod tests {
             run(&mut mw2, &Placement::RoundRobin, 3, &[recipe()], &spec),
             r
         );
+    }
+
+    /// The windowed driver exactly as it existed before the event-queue
+    /// refactor: an O(clients) linear min-scan picks the next issuer and
+    /// an O(window) linear min-scan picks the completion a full window
+    /// replaces. Pins the `BinaryHeap` event queues to the historical
+    /// order ("lowest time first, ties to the lowest client index").
+    fn windowed_linear_oracle(
+        mw: &mut MultiWorld,
+        policy: &Placement,
+        n_services: usize,
+        recipes: &[Vec<Step>],
+        spec: &LoadGen,
+        window: usize,
+    ) -> (Vec<u64>, CycleLedger, u64) {
+        let attribute_queue = window > 1;
+        let mut rng = ycsb::rng::Rng::seed_from_u64(spec.seed);
+        let mut avail = vec![0u64; spec.clients];
+        let mut outstanding: Vec<Vec<u64>> = vec![Vec::new(); spec.clients];
+        let mut latencies = Vec::new();
+        let mut ledger = CycleLedger::new();
+        let mut makespan = 0u64;
+        for r in 0..spec.requests {
+            let mut c = 0;
+            for i in 1..avail.len() {
+                if avail[i] < avail[c] {
+                    c = i;
+                }
+            }
+            let t0 = avail[c];
+            let pick = usize::try_from(rng.below(recipes.len() as u64)).expect("index fits usize");
+            let recipe = &recipes[pick];
+            let map = policy
+                .assign(r, n_services, mw)
+                .expect("placement rejected the core map");
+            let (done, req_ledger, _) = run_request_inner(mw, &map, recipe, t0, attribute_queue);
+            ledger.merge(&req_ledger);
+            latencies.push(done - t0);
+            makespan = makespan.max(done);
+            outstanding[c].push(done + spec.think_cycles);
+            avail[c] = if outstanding[c].len() >= window {
+                let (min_i, _) = outstanding[c]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| **t)
+                    .expect("window >= 1");
+                let first_done = outstanding[c].swap_remove(min_i);
+                t0.max(first_done)
+            } else {
+                t0
+            };
+        }
+        latencies.sort_unstable();
+        (latencies, ledger, makespan)
+    }
+
+    #[test]
+    fn heap_event_queues_match_the_linear_scan_oracle() {
+        // The determinism pin for the event-queue satellite: for every
+        // window the heap-driven run reproduces the linear-scan driver's
+        // latency percentiles, merged ledger, and makespan exactly.
+        let spec = LoadGen {
+            think_cycles: 350,
+            ..spec()
+        };
+        for window in [1usize, 4, 16] {
+            let mut oracle_mw = mw(4);
+            let (lat, ledger, makespan) = windowed_linear_oracle(
+                &mut oracle_mw,
+                &Placement::RoundRobin,
+                3,
+                &[recipe()],
+                &spec,
+                window,
+            );
+            let mut heap_mw = mw(4);
+            let r = run_windowed(
+                &mut heap_mw,
+                &Placement::RoundRobin,
+                3,
+                &[recipe()],
+                &spec,
+                window,
+            );
+            assert_eq!(r.ledger, ledger, "w={window}: same spans");
+            assert_eq!(r.makespan_cycles, makespan, "w={window}");
+            let hz = heap_mw.core(0).cost.clock_hz;
+            for (q, got) in [(0.50, r.p50_us), (0.95, r.p95_us), (0.99, r.p99_us)] {
+                let want = percentile(&lat, q) as f64 / hz as f64 * 1e6;
+                assert_eq!(got, want, "w={window} q={q}");
+            }
+        }
     }
 
     #[test]

@@ -218,15 +218,18 @@ impl IpcSystem for CrossCore {
     }
 
     fn oneway(&mut self, msg_len: usize, opts: &InvokeOpts) -> Invocation {
-        let inv = self.inner.oneway(msg_len, opts);
+        crate::ipc::oneway_invocation(self, msg_len, opts)
+    }
+
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+        let copied = self.inner.oneway_into(msg_len, opts, out);
         let extra = if self.inner.migrating_threads() {
             0
         } else {
             self.xc.hop_extra(msg_len as u64)
         };
-        let mut ledger = inv.ledger;
-        ledger.charge(Phase::CrossCore, extra);
-        Invocation::from_ledger(ledger, inv.copied_bytes)
+        out.charge(Phase::CrossCore, extra);
+        copied
     }
 
     fn supports_handover(&self) -> bool {
@@ -237,24 +240,29 @@ impl IpcSystem for CrossCore {
         self.inner.migrating_threads()
     }
 
-    fn batch_amortizable(&self, first: &Invocation, opts: &InvokeOpts) -> CycleLedger {
-        self.inner.batch_amortizable(first, opts)
+    fn amortizable_cycles(&self, phase: Phase, first_cycles: u64, opts: &InvokeOpts) -> u64 {
+        self.inner.amortizable_cycles(phase, first_cycles, opts)
     }
 
-    fn invoke_batch(&mut self, calls: u64, bytes_each: usize, opts: &InvokeOpts) -> Invocation {
+    fn invoke_batch_into(
+        &mut self,
+        calls: u64,
+        bytes_each: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
         // Delegate to the inner system (keeping its amortization *and*
         // its stats counting), then surcharge every call: batching does
         // not amortize the IPI or the remote wakeup — each cross-core
         // delivery still interrupts and wakes the target core.
-        let inv = self.inner.invoke_batch(calls, bytes_each, opts);
+        let copied = self.inner.invoke_batch_into(calls, bytes_each, opts, out);
         let extra = if self.inner.migrating_threads() {
             0
         } else {
             calls * self.xc.hop_extra(bytes_each as u64)
         };
-        let mut ledger = inv.ledger;
-        ledger.charge(Phase::CrossCore, extra);
-        Invocation::from_ledger(ledger, inv.copied_bytes)
+        out.charge(Phase::CrossCore, extra);
+        copied
     }
 
     fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
@@ -311,9 +319,25 @@ impl Placement {
         n_services: usize,
         mw: &MultiWorld,
     ) -> Result<Vec<CoreId>, PlacementError> {
+        let mut map = Vec::new();
+        self.assign_into(r, n_services, mw, &mut map)?;
+        Ok(map)
+    }
+
+    /// [`assign`](Self::assign) into a caller-provided buffer (cleared
+    /// first), so a load run placing every request reuses one map
+    /// allocation instead of building a fresh `Vec` per request.
+    pub fn assign_into(
+        &self,
+        r: u64,
+        n_services: usize,
+        mw: &MultiWorld,
+        out: &mut Vec<CoreId>,
+    ) -> Result<(), PlacementError> {
         let n = mw.n_cores();
-        let map: Vec<CoreId> = match self {
-            Placement::SameCore => vec![0; n_services],
+        out.clear();
+        match self {
+            Placement::SameCore => out.resize(n_services, 0),
             Placement::Pinned(map) => {
                 if map.len() < n_services {
                     return Err(PlacementError::PinnedMapTooShort {
@@ -321,30 +345,30 @@ impl Placement {
                         need: n_services,
                     });
                 }
-                map[..n_services].iter().map(|&c| c % n).collect()
+                out.extend(map[..n_services].iter().map(|&c| c % n));
             }
             Placement::RoundRobin => {
-                let chain = (r as usize) % n;
-                Self::chain_on(chain, n_services)
+                let chain = usize::try_from(r % n as u64).expect("core index fits usize");
+                Self::chain_on(chain, n_services, out);
             }
-            Placement::LeastLoaded => Self::chain_on(mw.least_loaded_weighted(), n_services),
-        };
-        if let Some(&bad) = map.iter().find(|&&c| c >= n) {
+            Placement::LeastLoaded => Self::chain_on(mw.least_loaded_weighted(), n_services, out),
+        }
+        if let Some(&bad) = out.iter().find(|&&c| c >= n) {
             return Err(PlacementError::CoreOutOfRange {
                 policy: self.label(),
                 core: bad,
                 n_cores: n,
             });
         }
-        Ok(map)
+        Ok(())
     }
 
-    fn chain_on(chain: CoreId, n_services: usize) -> Vec<CoreId> {
-        let mut map = vec![chain; n_services];
-        if !map.is_empty() {
-            map[0] = 0; // the client
+    fn chain_on(chain: CoreId, n_services: usize, out: &mut Vec<CoreId>) {
+        out.resize(n_services, chain);
+        // `resize` on the cleared buffer filled every slot with `chain`.
+        if let Some(first) = out.first_mut() {
+            *first = 0; // the client
         }
-        map
     }
 }
 
@@ -638,6 +662,35 @@ impl MultiWorld {
         Invocation::from_ledger(ledger, inv.copied_bytes)
     }
 
+    /// Sink-path [`surcharge`](Self::surcharge): charge the cross-core
+    /// extra for a `from → to` leg straight into `out`, replicating the
+    /// allocating path exactly — same-core legs and free intra-socket
+    /// migrating crossings leave the ledger untouched (no span), every
+    /// other crossing appends/accumulates a [`Phase::CrossCore`] span.
+    fn surcharge_into(
+        &self,
+        from: CoreId,
+        to: CoreId,
+        bytes: u64,
+        calls: u64,
+        out: &mut CycleLedger,
+    ) {
+        if from == to {
+            return;
+        }
+        let dist = self.topo.core_distance(from, to);
+        let extra = if self.cores[to].migrating_threads() {
+            let extra = calls * self.xc.migrating_hop_extra(bytes, dist);
+            if extra == 0 {
+                return;
+            }
+            extra
+        } else {
+            calls * self.xc.hop_extra_at(bytes, dist)
+        };
+        out.charge(Phase::CrossCore, extra);
+    }
+
     fn clock(&mut self, core: CoreId, ready: u64, cycles: u64) -> u64 {
         let start = ready.max(self.free_at[core]);
         let done = start + cycles;
@@ -720,6 +773,83 @@ impl MultiWorld {
                     done,
                     inv: Invocation::default(),
                 }
+            }
+        }
+    }
+
+    /// Zero-alloc twin of [`exec`](Self::exec): run one [`Step`] and
+    /// charge its phase spans into `out` (cleared first) instead of
+    /// returning an [`Invocation`]. Returns the completion time.
+    ///
+    /// Produces span-for-span the same ledger `exec` would (surcharge
+    /// ordering included) while skipping the per-step `Invocation`
+    /// allocation and the per-world event histogram — the hot path of
+    /// the arena-backed load generators. Worlds are still clocked and
+    /// their scalar counters charged via [`World::charge_spans`].
+    pub fn exec_into(
+        &mut self,
+        core: CoreId,
+        step: Step,
+        ready: u64,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        out.clear();
+        let opts = InvokeOpts::call();
+        match step {
+            Step::Oneway { to, bytes, .. } => {
+                let opts = self.shard_opts(core, to, &opts);
+                self.cores[to].price_oneway_into(bytes, &opts, out);
+                self.surcharge_into(core, to, bytes, 1, out);
+                let done = self.clock(to, ready, out.total());
+                self.cores[to].charge_spans(1, bytes, out);
+                done
+            }
+            Step::Batch {
+                to,
+                calls,
+                bytes_each,
+                ..
+            } => {
+                let opts = self.shard_opts(core, to, &opts);
+                self.cores[to].price_batch_into(calls, bytes_each, &opts, out);
+                self.surcharge_into(core, to, bytes_each, calls, out);
+                let done = self.clock(to, ready, out.total());
+                self.cores[to].charge_spans(calls, calls * bytes_each, out);
+                done
+            }
+            Step::Roundtrip {
+                to,
+                request,
+                response,
+                ..
+            } => {
+                // Sequential charging into one sink reproduces
+                // `call.plus(reply)` exactly: first-occurrence span order
+                // is call spans, call surcharge, then reply-only spans.
+                let call_opts = self.shard_opts(core, to, &opts);
+                self.cores[to].price_oneway_into(request, &call_opts, out);
+                self.surcharge_into(core, to, request, 1, out);
+                let reply_opts = self.shard_opts(core, to, &InvokeOpts::reply_leg());
+                self.cores[to].price_oneway_into(response, &reply_opts, out);
+                self.surcharge_into(core, to, response, 1, out);
+                let done = self.clock(to, ready, out.total());
+                self.cores[to].charge_spans(1, request + response, out);
+                done
+            }
+            Step::Compute { cycles, .. } => {
+                let done = self.clock(core, ready, cycles);
+                self.cores[core].compute(cycles);
+                done
+            }
+            Step::DataPass {
+                bytes,
+                intensity_x10,
+                ..
+            } => {
+                let cycles = self.cores[core].cost.copy_cycles(bytes) * intensity_x10 / 10;
+                let done = self.clock(core, ready, cycles);
+                self.cores[core].compute(cycles);
+                done
             }
         }
     }

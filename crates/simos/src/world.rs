@@ -11,6 +11,13 @@ use crate::cost::CostModel;
 use crate::ipc::{EngineCacheStats, IpcSystem};
 use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
 
+/// Byte counts cross from the u64 cycle domain into the `usize` message
+/// lengths [`IpcSystem`] takes here; on 64-bit targets the check folds
+/// to nothing.
+fn msg_len(bytes: u64) -> usize {
+    usize::try_from(bytes).expect("message length fits usize")
+}
+
 /// Accumulated accounting.
 #[derive(Debug, Clone, Default)]
 pub struct WorldStats {
@@ -125,20 +132,45 @@ impl World {
     /// leaves the core, then charges them via
     /// [`charge_invocation`](Self::charge_invocation).
     pub fn price_oneway(&mut self, bytes: u64, opts: &InvokeOpts) -> Invocation {
-        self.ipc.oneway(bytes as usize, opts)
+        self.ipc.oneway(msg_len(bytes), opts)
     }
 
     /// Price a round trip *without* charging it (see
     /// [`price_oneway`](Self::price_oneway)).
     pub fn price_roundtrip(&mut self, request: u64, response: u64) -> Invocation {
-        self.ipc.roundtrip(request as usize, response as usize)
+        self.ipc.roundtrip(msg_len(request), msg_len(response))
     }
 
     /// Price a burst of `calls` one-way hops of `bytes_each` submitted
     /// together *without* charging it (see
     /// [`IpcSystem::invoke_batch`]).
     pub fn price_batch(&mut self, calls: u64, bytes_each: u64, opts: &InvokeOpts) -> Invocation {
-        self.ipc.invoke_batch(calls, bytes_each as usize, opts)
+        self.ipc.invoke_batch(calls, msg_len(bytes_each), opts)
+    }
+
+    /// Sink-path [`price_oneway`](Self::price_oneway): charge the hop's
+    /// phases into `out` (accumulating) and return the bytes copied.
+    pub fn price_oneway_into(
+        &mut self,
+        bytes: u64,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        self.ipc.oneway_into(msg_len(bytes), opts, out)
+    }
+
+    /// Sink-path [`price_batch`](Self::price_batch): charge the batch's
+    /// phases into `out` (which must be empty — see
+    /// [`IpcSystem::invoke_batch_into`]) and return the bytes copied.
+    pub fn price_batch_into(
+        &mut self,
+        calls: u64,
+        bytes_each: u64,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        self.ipc
+            .invoke_batch_into(calls, msg_len(bytes_each), opts, out)
     }
 
     /// Engine-cache counters of the active system, when it models one.
@@ -176,6 +208,21 @@ impl World {
         self.stats.ipc_count += calls;
         self.stats.payload_bytes += payload;
         self.stats.ledger.merge(&inv.ledger);
+    }
+
+    /// Lean sink-path charge for an already-priced batch whose spans live
+    /// in a caller-owned `ledger`: advances the clock and the scalar
+    /// counters only. Deliberately skips the per-event size histogram and
+    /// the per-world merged ledger — on the arena hot path the
+    /// [`Attribution`](crate::ledger::Attribution) sink owns phase
+    /// attribution, and neither is read by the load reports.
+    pub fn charge_spans(&mut self, calls: u64, payload: u64, ledger: &CycleLedger) {
+        let total = ledger.total();
+        self.cycles += total;
+        self.stats.ipc_cycles += total;
+        self.stats.ipc_transfer_cycles += ledger.get(Phase::Transfer);
+        self.stats.ipc_count += calls;
+        self.stats.payload_bytes += payload;
     }
 
     /// Charge non-IPC compute cycles.

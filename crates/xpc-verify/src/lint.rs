@@ -9,10 +9,16 @@
 //! shapes the experiments use (one-way call and reply legs across the
 //! message-size sweep, round trips, batched submissions) and verifies
 //! the invariant on every result.
+//!
+//! Since the arena refactor the hot path prices through the *sink*
+//! methods (`oneway_into` / `invoke_batch_into`) while tables and ad-hoc
+//! callers still use the allocating ones, so the lint also runs both
+//! sides of each pair and flags any divergence — same spans in the same
+//! order, same copied bytes — as ledger drift.
 
 use crate::finding::{Finding, Verdict};
 use simos::ipc::IpcSystem;
-use simos::ledger::{Invocation, InvokeOpts};
+use simos::ledger::{CycleLedger, Invocation, InvokeOpts};
 
 /// Message sizes the lint sweeps — the experiments' sweep points plus
 /// byte-odd sizes that would expose rounding drift.
@@ -38,33 +44,74 @@ pub fn lint_invocation(system: &str, what: &str, inv: &Invocation) -> Option<Fin
     })
 }
 
+/// Lint one alloc-vs-sink pair: the sink path must reproduce the
+/// allocating path span for span (order included) and byte for byte.
+pub fn lint_sink_pair(
+    system: &str,
+    what: &str,
+    alloc: &Invocation,
+    sink: &CycleLedger,
+    sink_copied: u64,
+) -> Option<Finding> {
+    if alloc.ledger == *sink && alloc.copied_bytes == sink_copied {
+        return None;
+    }
+    Some(Finding {
+        verdict: Verdict::LedgerDrift,
+        site: format!("{system}: {what}"),
+        detail: format!(
+            "sink path diverges from allocating path: \
+             spans {:?} vs {:?}, copied {} vs {}",
+            sink.spans(),
+            alloc.ledger.spans(),
+            sink_copied,
+            alloc.copied_bytes
+        ),
+    })
+}
+
 /// Drive `sys` through the experiments' invocation shapes and lint
-/// every resulting ledger.
+/// every resulting ledger, including the sink-vs-alloc differentials.
 pub fn lint_system(sys: &mut dyn IpcSystem) -> Vec<Finding> {
     let name = sys.name();
     let mut findings = Vec::new();
     let mut note = |f: Option<Finding>| findings.extend(f);
+    let mut sink = CycleLedger::new();
     for &len in &SWEEP {
-        note(lint_invocation(
-            &name,
-            &format!("oneway({len})"),
-            &sys.oneway(len, &InvokeOpts::call()),
-        ));
-        note(lint_invocation(
-            &name,
-            &format!("reply({len})"),
-            &sys.oneway(len, &InvokeOpts::reply_leg()),
-        ));
+        for opts in [InvokeOpts::call(), InvokeOpts::reply_leg()] {
+            let leg = if opts.reply { "reply" } else { "oneway" };
+            let inv = sys.oneway(len, &opts);
+            note(lint_invocation(&name, &format!("{leg}({len})"), &inv));
+            sink.clear();
+            let copied = sys.oneway_into(len, &opts, &mut sink);
+            note(lint_sink_pair(
+                &name,
+                &format!("{leg}_into({len})"),
+                &inv,
+                &sink,
+                copied,
+            ));
+        }
         note(lint_invocation(
             &name,
             &format!("roundtrip({len})"),
             &sys.roundtrip(len, len),
         ));
         for &calls in &BATCHES {
+            let inv = sys.invoke_batch(calls, len, &InvokeOpts::call());
             note(lint_invocation(
                 &name,
                 &format!("batch({calls}x{len})"),
-                &sys.invoke_batch(calls, len, &InvokeOpts::call()),
+                &inv,
+            ));
+            sink.clear();
+            let copied = sys.invoke_batch_into(calls, len, &InvokeOpts::call(), &mut sink);
+            note(lint_sink_pair(
+                &name,
+                &format!("batch_into({calls}x{len})"),
+                &inv,
+                &sink,
+                copied,
             ));
         }
     }
@@ -109,6 +156,45 @@ mod tests {
     fn lint_system_catches_a_drifting_model() {
         let findings = lint_system(&mut Drifting);
         assert!(!findings.is_empty());
+        assert!(findings.iter().all(|f| f.verdict == Verdict::LedgerDrift));
+        // The default `oneway_into` delegates to `oneway`, so a model
+        // that only drifts its total never trips the sink differential.
+        assert!(
+            findings.iter().all(|f| !f.detail.contains("sink path")),
+            "{:?}",
+            findings.first()
+        );
+    }
+
+    /// A model whose native sink path disagrees with its allocating path
+    /// — the regression the differential lint exists to catch.
+    struct SinkDiverging;
+    impl IpcSystem for SinkDiverging {
+        fn name(&self) -> String {
+            "sink-diverging".into()
+        }
+        fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+            Invocation::from_ledger(CycleLedger::new().with(Phase::Trap, 100), msg_len as u64)
+        }
+        fn oneway_into(
+            &mut self,
+            msg_len: usize,
+            _opts: &InvokeOpts,
+            out: &mut CycleLedger,
+        ) -> u64 {
+            out.charge(Phase::Trap, 90); // ten cycles short
+            msg_len as u64
+        }
+    }
+
+    #[test]
+    fn lint_system_catches_a_diverging_sink_path() {
+        let findings = lint_system(&mut SinkDiverging);
+        assert!(!findings.is_empty());
+        assert!(findings.iter().any(|f| f.site.contains("oneway_into")));
+        // The amortized batch default prices through the broken sink, so
+        // the batch differential pair stays consistent with itself — the
+        // oneway pair is what exposes the bug.
         assert!(findings.iter().all(|f| f.verdict == Verdict::LedgerDrift));
     }
 

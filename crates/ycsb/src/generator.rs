@@ -45,7 +45,11 @@ impl ZipfianGen {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        ((self.items as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        // The float product is < items by construction; truncation toward
+        // zero is the YCSB-specified rounding.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let item = ((self.items as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        item
     }
 }
 

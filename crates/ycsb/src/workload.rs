@@ -110,7 +110,7 @@ impl WorkloadSpec {
         let latest = LatestGen::new(self.records);
         let scan_len = UniformGen::new(100);
         let mut max_insert = self.records - 1;
-        let mut ops = Vec::with_capacity(self.ops as usize);
+        let mut ops = Vec::with_capacity(usize::try_from(self.ops).expect("op count fits usize"));
         for _ in 0..self.ops {
             let p = rng.next_f64();
             let op = match self.workload {
@@ -141,7 +141,8 @@ impl WorkloadSpec {
                     if p < 0.95 {
                         Op::Scan(
                             self.key(zipf.next(&mut rng)),
-                            1 + scan_len.next(&mut rng) as usize,
+                            1 + usize::try_from(scan_len.next(&mut rng))
+                                .expect("scan length fits usize"),
                         )
                     } else {
                         max_insert += 1;
