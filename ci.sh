@@ -36,6 +36,18 @@ cargo run --release -p xpc-bench --bin verify
 echo "== figures (+ BENCH_figures.json phase dump) =="
 cargo run --release -p xpc-bench --bin figures -- --json all > /dev/null
 
+echo "== serve (open-loop knee grid, deterministic snapshot gate) =="
+# The serve section is virtual-time only, so it snapshot-gates exactly:
+# the committed figures/golden_serve.json is compared in-process by the
+# golden_serve test (run above); here we additionally assert the figures
+# binary emitted the section into BENCH_figures.json and re-render the
+# small deterministic grid end to end.
+cargo run --release -p xpc-bench --bin figures -- serve > /dev/null
+grep -q '"serve": {' BENCH_figures.json \
+  || { echo "ci: BENCH_figures.json is missing its serve section" >&2; exit 1; }
+grep -q '"knee": \[' BENCH_figures.json \
+  || { echo "ci: serve section has no knee curve" >&2; exit 1; }
+
 echo "== simspeed (arena steady state + sampled >= 5x pre-refactor) =="
 # The binary itself exits non-zero on slab growth after warmup or a
 # sampled-mode speedup below 5x the recorded pre-refactor baseline.

@@ -54,6 +54,7 @@ fn main() {
         let ablations = experiments::ablations::json_section();
         let numa = experiments::numa::json_section();
         let verify = experiments::verify::json_section();
+        let serve = experiments::serve::json_section();
         // Wall-clock simulator throughput; lives only in the JSON dump
         // (never in golden.txt — the numbers are real-time, not modeled).
         let simspeed = experiments::simspeed::json_section(&experiments::simspeed::measure(
@@ -68,6 +69,7 @@ fn main() {
                 ("ablations", ablations),
                 ("numa", numa),
                 ("verify", verify),
+                ("serve", serve),
                 ("simspeed", simspeed),
             ],
         );

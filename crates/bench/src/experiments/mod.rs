@@ -11,6 +11,7 @@ pub mod fig9;
 pub mod numa;
 pub mod pipeline;
 pub mod scale;
+pub mod serve;
 pub mod simspeed;
 pub mod table1;
 pub mod table3;
@@ -94,6 +95,7 @@ pub fn all() -> Vec<Experiment> {
         ("pipeline", pipeline::run),
         ("numa", numa::run),
         ("verify", verify::run),
+        ("serve", serve::run),
     ]
 }
 
@@ -115,7 +117,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_21_experiments() {
-        assert_eq!(all().len(), 21);
+    fn registry_has_all_22_experiments() {
+        assert_eq!(all().len(), 22);
     }
 }

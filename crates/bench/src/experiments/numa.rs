@@ -123,7 +123,8 @@ pub fn results() -> Vec<(&'static str, LoadReport)> {
                     WINDOW,
                     &mut scratch,
                     Attribution::Full(&mut arena),
-                );
+                )
+                .expect("NUMA grid cell must be runnable");
                 out.push((label, r));
             }
         }

@@ -99,7 +99,8 @@ pub fn results() -> Vec<(u64, LoadReport)> {
                     window,
                     &mut scratch,
                     Attribution::Full(&mut arena),
-                );
+                )
+                .expect("pipeline grid cell must be runnable");
                 out.push((batch, r));
             }
         }

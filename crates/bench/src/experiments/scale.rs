@@ -65,16 +65,19 @@ pub fn results() -> Vec<LoadReport> {
             // The single-socket u500 preset: byte-identical to the
             // pre-topology 4-core world.
             let mut mw = MultiWorld::builder().cores(CORES).build(mk);
-            out.push(simos::load::run_windowed_with(
-                &mut mw,
-                &policy,
-                CHAIN_SERVICES,
-                &recipes,
-                &spec,
-                1,
-                &mut scratch,
-                Attribution::Full(&mut arena),
-            ));
+            out.push(
+                simos::load::run_windowed_with(
+                    &mut mw,
+                    &policy,
+                    CHAIN_SERVICES,
+                    &recipes,
+                    &spec,
+                    1,
+                    &mut scratch,
+                    Attribution::Full(&mut arena),
+                )
+                .expect("scale grid cell must be runnable"),
+            );
         }
     }
     out

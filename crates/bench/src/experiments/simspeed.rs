@@ -167,7 +167,8 @@ pub fn measure(requests: u64) -> SimspeedReport {
         1,
         &mut scratch,
         Attribution::Full(&mut arena),
-    );
+    )
+    .expect("simspeed warmup run must be runnable");
     let warm = (arena.ledger_capacity(), arena.span_capacity());
     let mut mw = world();
     let t = Instant::now();
@@ -180,7 +181,8 @@ pub fn measure(requests: u64) -> SimspeedReport {
         1,
         &mut scratch,
         Attribution::Full(&mut arena),
-    );
+    )
+    .expect("simspeed full run must be runnable");
     let full_rps = rps(t.elapsed().as_secs_f64());
     let full_arena_steady = (arena.ledger_capacity(), arena.span_capacity()) == warm;
 
@@ -206,7 +208,8 @@ pub fn measure(requests: u64) -> SimspeedReport {
             totals: &mut totals,
             arena: &mut arena,
         },
-    );
+    )
+    .expect("simspeed sampled run must be runnable");
     let sampled_rps = rps(t.elapsed().as_secs_f64());
     let sampled_arena_steady = (arena.ledger_capacity(), arena.span_capacity()) == reserved;
 
@@ -264,7 +267,8 @@ mod tests {
             1,
             &mut scratch,
             Attribution::Full(&mut arena),
-        );
+        )
+        .expect("full-mode run must be runnable");
         assert_eq!(
             full.ledger, legacy,
             "full mode == pre-refactor, span for span"
@@ -284,7 +288,8 @@ mod tests {
                 totals: &mut totals,
                 arena: &mut kept,
             },
-        );
+        )
+        .expect("sampled run must be runnable");
         for p in Phase::ALL {
             assert_eq!(totals.get(p), legacy.get(p), "{p:?}");
         }

@@ -81,7 +81,8 @@ fn sampled_totals_equal_full_attribution_roster_wide() {
                     window,
                     &mut scratch,
                     Attribution::Full(&mut arena),
-                );
+                )
+                .expect("full run must be runnable");
                 // Full mode through an explicit sink IS run_windowed.
                 let plain = simos::load::run_windowed(
                     &mut mw(mk),
@@ -108,7 +109,8 @@ fn sampled_totals_equal_full_attribution_roster_wide() {
                             totals: &mut totals,
                             arena: &mut kept,
                         },
-                    );
+                    )
+                    .expect("sampled run must be runnable");
                     let tag = format!("{} b={batch} w={window} 1/{every}", full.system);
                     // The soundness core: flat sums commute with span
                     // merging, so sampled totals match full attribution
@@ -166,7 +168,8 @@ fn kept_ledgers_sum_back_to_the_totals() {
                 totals: &mut totals,
                 arena: &mut kept,
             },
-        );
+        )
+        .expect("sampled run must be runnable");
         let name = mk().name();
         assert_eq!(kept.len() as u64, spec.requests, "{name}");
         let mut summed = PhaseTotals::new();

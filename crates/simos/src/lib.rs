@@ -29,7 +29,12 @@
 //!   and driven through the unified [`multicore::MultiWorld::exec`], plus
 //!   NUMA-aware placement policies;
 //! * [`load`] — a deterministic closed-loop traffic generator reporting
-//!   throughput and p50/p95/p99 latency from per-request ledgers.
+//!   throughput and p50/p95/p99 latency from per-request ledgers;
+//! * [`serve`] — the open-loop sibling: seeded Poisson/bursty arrival
+//!   traces ([`serve::ArrivalTrace`]) replayed with per-tenant admission
+//!   control, SLO targets, and an autoscaling placement controller —
+//!   the layer that exposes the tail-vs-load saturation knee a closed
+//!   loop structurally cannot show.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +43,7 @@ pub mod ipc;
 pub mod ledger;
 pub mod load;
 pub mod multicore;
+pub mod serve;
 pub mod topology;
 pub mod transport;
 pub mod world;
@@ -50,9 +56,14 @@ pub use ledger::{
     ArenaMark, Attribution, CycleLedger, Invocation, InvokeOpts, LedgerArena, LedgerRef, Phase,
     PhaseTotals,
 };
-pub use load::{LoadGen, LoadReport, SweepScratch};
+pub use load::{LoadError, LoadGen, LoadReport, SweepScratch};
 pub use multicore::{
     Completion, CoreId, CrossCore, MultiWorld, MultiWorldBuilder, Placement, Step, XCoreCost,
+};
+pub use serve::{
+    Arrival, ArrivalProcess, ArrivalTrace, AutoscaleCfg, AutoscaleReport, OpenLoopGen, ServeError,
+    ServePolicy, ServeReport, ServeScratch, ServeSpec, ShedCause, TenantClass, TenantReport,
+    TraceDiff,
 };
 pub use topology::{DistanceMatrix, SocketId, Topology};
 pub use world::{World, WorldStats};

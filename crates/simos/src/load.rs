@@ -32,9 +32,10 @@
 
 use crate::ipc::EngineCacheStats;
 use crate::ledger::{Attribution, CycleLedger, LedgerArena, LedgerRef, Phase, PhaseTotals};
-use crate::multicore::{CoreId, MultiWorld, Placement};
+use crate::multicore::{CoreId, MultiWorld, Placement, PlacementError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 use ycsb::rng::Rng;
 
 // Recipes are sequences of `Step`s in *service-id* space; the same enum,
@@ -63,6 +64,56 @@ impl Default for LoadGen {
             seed: 0x59c5_bdad,
             think_cycles: 0,
         }
+    }
+}
+
+/// A load run was asked to do something structurally impossible. Raised
+/// at [`run_windowed_with`] (and [`crate::serve::serve_with`]) *entry*,
+/// before any request is priced — previously these were `assert!`s (and
+/// the empty-roster case relied on `Rng::below`'s `debug_assert!`, so a
+/// release build would draw index 0 from an empty roster and panic on
+/// the slice access downstream instead of reporting the actual problem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// The recipe roster is empty: there is nothing to draw, and
+    /// `Rng::below(0)` has no uniform value to produce.
+    EmptyRecipes,
+    /// The client population is zero — no one can ever issue.
+    NoClients,
+    /// `window = 0`: a client must keep at least one request in flight.
+    ZeroWindow,
+    /// The placement policy rejected a service → core map.
+    Placement(PlacementError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::EmptyRecipes => write!(f, "empty recipe roster: nothing to draw"),
+            LoadError::NoClients => write!(f, "zero clients: no one can issue requests"),
+            LoadError::ZeroWindow => {
+                write!(
+                    f,
+                    "window = 0: a client keeps at least one request in flight"
+                )
+            }
+            LoadError::Placement(e) => write!(f, "placement rejected the core map: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Placement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlacementError> for LoadError {
+    fn from(e: PlacementError) -> Self {
+        LoadError::Placement(e)
     }
 }
 
@@ -136,12 +187,25 @@ fn cycles_to_us(cycles: f64, clock_hz: u64) -> f64 {
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
+///
+/// Convention: the quantile `q ∈ [0, 1]` selects the 1-based rank
+/// `⌈q·n⌉`, clamped to `[1, n]` — so `q = 0.5` over 100 samples is the
+/// 50th smallest, `q = 0` the minimum, `q = 1` the maximum, and the
+/// empty slice reports 0 at every quantile. `q` outside `[0, 1]` is a
+/// contract violation (debug-asserted): `q > 1` would silently clamp to
+/// the maximum, a negative `q` to the minimum, and a NaN rank would
+/// reach the `f64 → usize` cast whose result for NaN is an
+/// implementation artifact (0) rather than a defined quantile.
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&q),
+        "percentile: q = {q} outside [0, 1] (NaN included) has no nearest-rank meaning"
+    );
     if sorted.is_empty() {
         return 0;
     }
-    // q is in [0, 1], so the rank is bounded by len and the cast back
-    // from f64 cannot truncate.
+    // q is in [0, 1] (asserted above), so the rank is bounded by len and
+    // the cast back from f64 cannot truncate.
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
@@ -253,9 +317,9 @@ fn run_request_inner(
 /// keeps span-level detail (every request in `Full` mode, 1-in-N in
 /// `Sampled`). Charge order through this sink matches the allocating
 /// path span for span.
-struct ReqSink<'a> {
-    totals: Option<&'a mut PhaseTotals>,
-    arena: Option<(&'a mut LedgerArena, LedgerRef)>,
+pub(crate) struct ReqSink<'a> {
+    pub(crate) totals: Option<&'a mut PhaseTotals>,
+    pub(crate) arena: Option<(&'a mut LedgerArena, LedgerRef)>,
 }
 
 impl ReqSink<'_> {
@@ -281,7 +345,8 @@ impl ReqSink<'_> {
 /// Zero-alloc twin of [`run_request_inner`]: steps execute through
 /// [`MultiWorld::exec_into`] with `step_ledger` as scratch and the
 /// request's spans land in `sink`. Returns `(done, ipc_calls)`.
-fn run_request_sink(
+/// Shared with the open-loop [`crate::serve`] engine.
+pub(crate) fn run_request_sink(
     mw: &mut MultiWorld,
     map: &[CoreId],
     steps: &[Step],
@@ -332,6 +397,25 @@ impl SweepScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Clear every buffer's *contents* while keeping their capacity —
+    /// called on entry by [`run_windowed_with`] so no state can leak
+    /// from one sweep cell into the next. The contamination risk this
+    /// forecloses: a large cell leaves `outstanding` with more per-client
+    /// heaps than a following smaller cell has clients, and
+    /// `resize_with` only ever *grows* the vec — so without an explicit
+    /// clear, a cell that exited abnormally (or any future driver that
+    /// forgets to drain `issue`) would replay stale issue times and
+    /// completion heaps into the next cell's schedule.
+    pub fn clear(&mut self) {
+        self.latencies.clear();
+        self.map.clear();
+        self.step_ledger.clear();
+        self.issue.clear();
+        for heap in &mut self.outstanding {
+            heap.clear();
+        }
+    }
 }
 
 /// Drive `spec.requests` requests from `spec.clients` closed-loop
@@ -368,7 +452,7 @@ pub fn run_windowed(
 ) -> LoadReport {
     let mut scratch = SweepScratch::new();
     let mut arena = LedgerArena::new();
-    run_windowed_with(
+    match run_windowed_with(
         mw,
         policy,
         n_services,
@@ -377,7 +461,10 @@ pub fn run_windowed(
         window,
         &mut scratch,
         Attribution::Full(&mut arena),
-    )
+    ) {
+        Ok(r) => r,
+        Err(e) => panic!("run_windowed: {e}"),
+    }
 }
 
 /// [`run_windowed`] with caller-provided scratch buffers and an explicit
@@ -396,6 +483,13 @@ pub fn run_windowed(
 ///
 /// All latency, throughput, and counter fields are identical across
 /// modes; only the report ledger's span layout differs as described.
+///
+/// # Errors
+///
+/// [`LoadError`] when the recipe roster is empty, the client population
+/// is zero, the window is zero, or the placement policy rejects a
+/// service → core map — all checked at entry (or, for placement, at the
+/// offending request), before/without pricing anything.
 #[allow(clippy::too_many_arguments)] // the sweep axes are the signature
 pub fn run_windowed_with(
     mw: &mut MultiWorld,
@@ -406,28 +500,33 @@ pub fn run_windowed_with(
     window: usize,
     scratch: &mut SweepScratch,
     mut att: Attribution<'_>,
-) -> LoadReport {
-    assert!(!recipes.is_empty(), "need at least one recipe");
-    assert!(spec.clients > 0, "need at least one client");
-    assert!(window > 0, "a client keeps at least one request in flight");
+) -> Result<LoadReport, LoadError> {
+    if recipes.is_empty() {
+        return Err(LoadError::EmptyRecipes);
+    }
+    if spec.clients == 0 {
+        return Err(LoadError::NoClients);
+    }
+    if window == 0 {
+        return Err(LoadError::ZeroWindow);
+    }
     let attribute_queue = window > 1;
     let mut rng = Rng::seed_from_u64(spec.seed);
+    // Cross-cell hygiene: drop every buffer's contents (capacity kept)
+    // before touching any of them, so a previous cell's issue times or
+    // outstanding heaps can never contaminate this one.
+    scratch.clear();
     // Per client: the earliest time it may issue its next request (the
     // issue heap), and the completion (+ think) times of its outstanding
     // requests (one min-heap per client).
-    scratch.issue.clear();
     for c in 0..spec.clients {
         scratch.issue.push(Reverse((0, c)));
-    }
-    for heap in &mut scratch.outstanding {
-        heap.clear();
     }
     if scratch.outstanding.len() < spec.clients {
         scratch
             .outstanding
             .resize_with(spec.clients, BinaryHeap::new);
     }
-    scratch.latencies.clear();
     scratch
         .latencies
         .reserve(usize::try_from(spec.requests).expect("request count fits usize"));
@@ -441,9 +540,7 @@ pub fn run_windowed_with(
         let Reverse((t0, c)) = scratch.issue.pop().expect("one entry per client");
         let pick = usize::try_from(rng.below(recipes.len() as u64)).expect("index fits usize");
         let recipe = &recipes[pick];
-        policy
-            .assign_into(r, n_services, mw, &mut scratch.map)
-            .expect("placement rejected the core map");
+        policy.assign_into(r, n_services, mw, &mut scratch.map)?;
         let (done, calls) = match &mut att {
             Attribution::Full(arena) => {
                 let mark = arena.mark();
@@ -513,7 +610,7 @@ pub fn run_windowed_with(
     let latencies = &scratch.latencies;
     let clock_hz = mw.core(0).cost.clock_hz;
     let mean = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
-    LoadReport {
+    Ok(LoadReport {
         system: mw.core(0).ipc_name(),
         policy: policy.label(),
         cores: mw.n_cores(),
@@ -534,7 +631,7 @@ pub fn run_windowed_with(
         p99_us: cycles_to_us(percentile(latencies, 0.99) as f64, clock_hz),
         ledger,
         engine_cache: mw.engine_cache_stats(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -670,6 +767,169 @@ mod tests {
     }
 
     #[test]
+    fn empty_recipe_roster_is_a_typed_error_not_a_draw_from_nothing() {
+        // The release-mode failure this forecloses: `Rng::below(0)`
+        // used to debug_assert only, so a release build would "draw" 0
+        // from an empty roster and panic on the slice index downstream.
+        // Now the roster is validated at entry with a typed error.
+        let mut mw = mw(2);
+        let mut scratch = SweepScratch::new();
+        let mut arena = LedgerArena::new();
+        let err = run_windowed_with(
+            &mut mw,
+            &Placement::RoundRobin,
+            3,
+            &[],
+            &spec(),
+            1,
+            &mut scratch,
+            Attribution::Full(&mut arena),
+        )
+        .unwrap_err();
+        assert_eq!(err, LoadError::EmptyRecipes);
+        assert!(err.to_string().contains("empty recipe roster"));
+    }
+
+    #[test]
+    fn zero_clients_and_zero_window_are_typed_errors() {
+        let mut mw = mw(2);
+        let mut scratch = SweepScratch::new();
+        let mut arena = LedgerArena::new();
+        let no_clients = LoadGen {
+            clients: 0,
+            ..spec()
+        };
+        let err = run_windowed_with(
+            &mut mw,
+            &Placement::RoundRobin,
+            3,
+            &[recipe()],
+            &no_clients,
+            1,
+            &mut scratch,
+            Attribution::Full(&mut arena),
+        )
+        .unwrap_err();
+        assert_eq!(err, LoadError::NoClients);
+        let err = run_windowed_with(
+            &mut mw,
+            &Placement::RoundRobin,
+            3,
+            &[recipe()],
+            &spec(),
+            0,
+            &mut scratch,
+            Attribution::Full(&mut arena),
+        )
+        .unwrap_err();
+        assert_eq!(err, LoadError::ZeroWindow);
+    }
+
+    #[test]
+    fn rejected_placement_surfaces_as_a_typed_error() {
+        let mut mw = mw(2);
+        let mut scratch = SweepScratch::new();
+        let mut arena = LedgerArena::new();
+        // A pinned map covering 1 service cannot place a 3-service recipe.
+        let err = run_windowed_with(
+            &mut mw,
+            &Placement::Pinned(vec![0]),
+            3,
+            &[recipe()],
+            &spec(),
+            1,
+            &mut scratch,
+            Attribution::Full(&mut arena),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LoadError::Placement(_)), "{err}");
+    }
+
+    #[test]
+    fn scratch_reused_across_shrinking_cells_matches_a_fresh_scratch() {
+        // Regression for cross-cell contamination: run a large cell
+        // (many clients, deep windows — every scratch buffer grows),
+        // then a small cell with the *same* scratch, and require the
+        // small cell's report to be bit-identical to one produced with
+        // a fresh scratch. Every buffer the large cell dirtied (issue
+        // heap, per-client outstanding heaps beyond the small cell's
+        // client count, latency sample) must have been cleared on entry.
+        let big = LoadGen {
+            clients: 64,
+            requests: 400,
+            seed: 9,
+            think_cycles: 10,
+        };
+        let small = LoadGen {
+            clients: 3,
+            requests: 50,
+            seed: 4,
+            think_cycles: 0,
+        };
+        let mut scratch = SweepScratch::new();
+        let mut arena = LedgerArena::new();
+        let mut mw_big = mw(4);
+        let _ = run_windowed_with(
+            &mut mw_big,
+            &Placement::RoundRobin,
+            3,
+            &[recipe()],
+            &big,
+            16,
+            &mut scratch,
+            Attribution::Full(&mut arena),
+        )
+        .unwrap();
+        let mut mw_small = mw(4);
+        let reused = run_windowed_with(
+            &mut mw_small,
+            &Placement::RoundRobin,
+            3,
+            &[recipe()],
+            &small,
+            2,
+            &mut scratch,
+            Attribution::Full(&mut arena),
+        )
+        .unwrap();
+        let mut fresh_scratch = SweepScratch::new();
+        let mut fresh_arena = LedgerArena::new();
+        let mut mw_fresh = mw(4);
+        let fresh = run_windowed_with(
+            &mut mw_fresh,
+            &Placement::RoundRobin,
+            3,
+            &[recipe()],
+            &small,
+            2,
+            &mut fresh_scratch,
+            Attribution::Full(&mut fresh_arena),
+        )
+        .unwrap();
+        assert_eq!(reused, fresh, "reused scratch must not leak state");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_q_above_one() {
+        // q = 1.5 used to clamp silently to the maximum; the nearest-rank
+        // contract now debug-asserts the quantile range.
+        let v: Vec<u64> = (1..=10).collect();
+        let _ = percentile(&v, 1.5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_nan_q() {
+        // A NaN rank would otherwise feed the f64 -> usize cast, whose
+        // NaN result (0) is an artifact, not a quantile.
+        let v: Vec<u64> = (1..=10).collect();
+        let _ = percentile(&v, f64::NAN);
+    }
+
+    #[test]
     fn percentile_edge_cases() {
         // Empty slice: 0 at every quantile.
         assert_eq!(percentile(&[], 0.0), 0);
@@ -684,6 +944,15 @@ mod tests {
         assert_eq!(percentile(&v, 1.0), 10);
         // Tiny q still lands on the first element, not out of range.
         assert_eq!(percentile(&v, 0.001), 1);
+        // Nearest-rank rounding: rank = ceil(q * n), so q just past a
+        // rank boundary steps to the next element.
+        assert_eq!(percentile(&v, 0.10), 1);
+        assert_eq!(percentile(&v, 0.1000001), 2);
+        assert_eq!(percentile(&v, 0.899), 9);
+        assert_eq!(percentile(&v, 0.901), 10);
+        // Duplicates: the rank convention reads through them unchanged.
+        assert_eq!(percentile(&[5, 5, 5, 7], 0.75), 5);
+        assert_eq!(percentile(&[5, 5, 5, 7], 0.76), 7);
     }
 
     /// The closed-loop driver exactly as it existed before the windowed

@@ -566,6 +566,31 @@ impl MultiWorld {
         best
     }
 
+    /// The core among the first `n_active` that frees up earliest (ties
+    /// to the lowest index) — the dispatch primitive of the open-loop
+    /// autoscaler ([`crate::serve`]), which grows and shrinks the active
+    /// prefix `0..n_active` of the world's cores instead of always
+    /// spreading over all of them. `n_active` is clamped to the core
+    /// count; `n_active = n_cores()` is [`least_loaded`](Self::least_loaded).
+    pub fn least_loaded_among(&self, n_active: usize) -> CoreId {
+        let n = n_active.clamp(1, self.cores.len());
+        let mut best = 0;
+        for (i, &t) in self.free_at.iter().enumerate().take(n) {
+            if t < self.free_at[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// How far behind virtual time `now` core `i`'s FIFO queue currently
+    /// runs: `free_at - now`, saturating at 0 for an idle core. This is
+    /// the observed queue-depth signal the open-loop admission control
+    /// and the autoscale feedback controller both act on.
+    pub fn backlog(&self, i: CoreId, now: u64) -> u64 {
+        self.free_at[i].saturating_sub(now)
+    }
+
     /// The core minimizing `free_at + distance penalty` from the client
     /// core (core 0), ties to the lowest index: a remote-socket core
     /// must beat a local one by more than the per-hop surcharge its

@@ -71,8 +71,20 @@ impl Xoshiro256StarStar {
     /// Uniform draw in `[0, n)` via 128-bit widening multiply
     /// (Lemire's method without the rejection step — the bias is
     /// ≤ n/2^64, irrelevant for workload generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` — `[0, 0)` is empty, so there is nothing to
+    /// draw. This holds in release builds too (it used to be a
+    /// `debug_assert!`, which silently returned 0 in release; callers
+    /// indexing a roster with that 0 would then read an element of an
+    /// empty collection downstream). Callers that want saturation
+    /// semantics must handle the empty case themselves *before*
+    /// drawing; the recipe-pick sites do this by rejecting empty
+    /// rosters with a typed error at entry (see
+    /// `simos::load::LoadError::EmptyRecipes`).
     pub fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
+        assert!(n > 0, "Rng::below(0): cannot draw from the empty range");
         ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
@@ -132,6 +144,25 @@ mod tests {
         }
         for c in counts {
             assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_panics_in_every_build() {
+        // The documented contract: `below(0)` panics (release builds
+        // included), instead of the old debug_assert that silently
+        // returned 0 and let callers index empty rosters downstream.
+        let mut r = Rng::seed_from_u64(1);
+        let _ = r.below(0);
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        // The smallest *legal* range: every draw from [0, 1) is 0.
+        let mut r = Rng::seed_from_u64(5);
+        for _ in 0..64 {
+            assert_eq!(r.below(1), 0);
         }
     }
 
