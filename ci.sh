@@ -33,6 +33,27 @@ cargo test -q --workspace
 echo "== static verifier (recipes + crafted refutations + ledger lint) =="
 cargo run --release -p xpc-bench --bin verify
 
+echo "== golden gate at 4 pool workers (byte-identical figures) =="
+# The sweep pool must not change a single byte of any rendered figure,
+# whatever XPC_BENCH_THREADS says. (The in-process golden tests pin the
+# 1-worker serial path; tests/parallel.rs diffs 2 and 8 workers; this
+# gates the shipped binary end to end at 4.)
+XPC_BENCH_THREADS=4 cargo run --release -p xpc-bench --bin figures -- all \
+  > target/ci-figures-t4.txt
+diff -u figures/golden.txt target/ci-figures-t4.txt \
+  || { echo "ci: figures output at 4 workers diverges from figures/golden.txt" >&2; exit 1; }
+
+echo "== BENCH_figures.json reproducibility (--no-simspeed, 1 vs 4 workers) =="
+# Without the wall-clock simspeed section the dump is pure virtual time,
+# so it must be byte-reproducible across worker counts.
+cargo run --release -p xpc-bench --bin figures -- --threads 1 --json --no-simspeed all \
+  > /dev/null
+cp BENCH_figures.json target/ci-bench-figures-t1.json
+XPC_BENCH_THREADS=4 cargo run --release -p xpc-bench --bin figures -- --json --no-simspeed all \
+  > /dev/null
+cmp target/ci-bench-figures-t1.json BENCH_figures.json \
+  || { echo "ci: BENCH_figures.json differs across worker counts under --no-simspeed" >&2; exit 1; }
+
 echo "== figures (+ BENCH_figures.json phase dump) =="
 cargo run --release -p xpc-bench --bin figures -- --json all > /dev/null
 
@@ -48,9 +69,12 @@ grep -q '"serve": {' BENCH_figures.json \
 grep -q '"knee": \[' BENCH_figures.json \
   || { echo "ci: serve section has no knee curve" >&2; exit 1; }
 
-echo "== simspeed (arena steady state + sampled >= 5x pre-refactor) =="
-# The binary itself exits non-zero on slab growth after warmup or a
-# sampled-mode speedup below 5x the recorded pre-refactor baseline.
+echo "== simspeed (arena steady state + sampled >= 5x + parallel sweep) =="
+# The binary itself exits non-zero on slab growth after warmup, a
+# sampled-mode speedup below 5x the recorded pre-refactor baseline, a
+# parallel grid that is not byte-identical to the serial oracle, a pool
+# worker whose arena keeps growing past its first cell, or (on machines
+# with >= 4 hardware threads) a parallel-grid speedup below 2x serial.
 cargo run --release -p xpc-bench --bin simspeed
 grep -q '"simspeed": {"requests"' BENCH_figures.json \
   || { echo "ci: BENCH_figures.json is missing its simspeed section" >&2; exit 1; }

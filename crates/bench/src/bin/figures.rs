@@ -4,19 +4,54 @@
 //! cargo run -p xpc-bench --bin figures -- all
 //! cargo run -p xpc-bench --bin figures -- table3 fig6
 //! cargo run -p xpc-bench --bin figures -- --json
+//! cargo run -p xpc-bench --bin figures -- --threads 4 --json --no-simspeed all
 //! ```
 //!
 //! `--json` additionally sweeps the full kernel-model roster and dumps
 //! per-system, per-size, per-phase cycle attributions (plus the Figure 5
-//! ablation ledgers) to `BENCH_figures.json`.
+//! ablation ledgers) to `BENCH_figures.json`. `--no-simspeed` drops the
+//! wall-clock `simspeed` section so that dump is byte-reproducible.
+//! `--threads N` pins the sweep pool's worker count (overriding
+//! `XPC_BENCH_THREADS` and the machine's parallelism); the rendered
+//! output is byte-identical at any setting.
 
 use xpc_bench::experiments;
 use xpc_bench::sweep;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_threads(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => fail(&format!("--threads wants a positive integer, got '{v}'")),
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let no_simspeed = args.iter().any(|a| a == "--no-simspeed");
+    args.retain(|a| a != "--no-simspeed");
+
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--threads=") {
+            simos::par::set_threads(Some(parse_threads(v)));
+            args.remove(i);
+        } else if args[i] == "--threads" {
+            match args.get(i + 1) {
+                Some(v) => simos::par::set_threads(Some(parse_threads(v))),
+                None => fail("--threads wants a value"),
+            }
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
 
     let registry = experiments::all();
     let keys: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -30,8 +65,11 @@ fn main() {
                 println!("{}", run().render());
             }
             None => {
+                let hint = experiments::suggest(key)
+                    .map(|s| format!(" (did you mean '{s}'?)"))
+                    .unwrap_or_default();
                 eprintln!(
-                    "unknown experiment '{key}'; available: {}",
+                    "unknown experiment '{key}'{hint}; available: {}",
                     registry
                         .iter()
                         .map(|(k, _)| *k)
@@ -49,36 +87,40 @@ fn main() {
             .into_iter()
             .map(|(name, inv)| (name.to_string(), inv))
             .collect();
-        let scale = experiments::scale::json_section();
-        let pipeline = experiments::pipeline::json_section();
-        let ablations = experiments::ablations::json_section();
-        let numa = experiments::numa::json_section();
-        let verify = experiments::verify::json_section();
-        let serve = experiments::serve::json_section();
-        // Wall-clock simulator throughput; lives only in the JSON dump
-        // (never in golden.txt — the numbers are real-time, not modeled).
-        let simspeed = experiments::simspeed::json_section(&experiments::simspeed::measure(
-            experiments::simspeed::REQUESTS,
-        ));
-        let doc = sweep::json_dump(
-            &rows,
-            &[("fig5", fig5)],
-            &[
-                ("scale", scale),
-                ("pipeline", pipeline),
-                ("ablations", ablations),
-                ("numa", numa),
-                ("verify", verify),
-                ("serve", serve),
-                ("simspeed", simspeed),
-            ],
-        );
+        let mut raw = vec![
+            ("scale", experiments::scale::json_section()),
+            ("pipeline", experiments::pipeline::json_section()),
+            ("ablations", experiments::ablations::json_section()),
+            ("numa", experiments::numa::json_section()),
+            ("verify", experiments::verify::json_section()),
+            ("serve", experiments::serve::json_section()),
+        ];
+        if !no_simspeed {
+            // Wall-clock simulator throughput; lives only in the JSON
+            // dump (never in golden.txt — the numbers are real-time,
+            // not modeled) and is suppressed by --no-simspeed when the
+            // dump itself must be byte-reproducible.
+            let serial = experiments::simspeed::measure(experiments::simspeed::REQUESTS);
+            let par = experiments::simspeed::measure_par();
+            raw.push((
+                "simspeed",
+                experiments::simspeed::json_section(&serial, &par),
+            ));
+        }
+        let doc = sweep::json_dump(&rows, &[("fig5", fig5)], &raw);
         let path = "BENCH_figures.json";
-        std::fs::write(path, &doc).expect("write BENCH_figures.json");
+        if let Err(e) = std::fs::write(path, &doc) {
+            fail(&format!("failed to write {path}: {e}"));
+        }
         eprintln!(
-            "wrote {path}: {} systems x {} sizes, phase-attributed",
+            "wrote {path}: {} systems x {} sizes, phase-attributed{}",
             rows.len(),
-            sweep::SIZES.len()
+            sweep::SIZES.len(),
+            if no_simspeed {
+                ", simspeed skipped"
+            } else {
+                ""
+            }
         );
     }
 }

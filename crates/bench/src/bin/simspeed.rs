@@ -1,23 +1,33 @@
 //! Simulator-throughput gate: time the three attribution hot paths over
-//! a million requests each and enforce the refactor's performance and
-//! memory contracts.
+//! a million requests each, plus the parallel-sweep grid, and enforce
+//! the refactors' performance and memory contracts.
 //!
 //! ```text
 //! cargo run --release -p xpc-bench --bin simspeed
 //! ```
 //!
-//! Exits non-zero unless (a) both arenas hold steady state — zero slab
-//! growth after warmup / pre-reservation — and (b) sampled-mode
-//! throughput is at least 5x the recorded pre-refactor full-attribution
-//! baseline, both measured in this run.
+//! Exits non-zero unless (a) both serial arenas hold steady state —
+//! zero slab growth after warmup / pre-reservation — and (b)
+//! sampled-mode throughput is at least 5x the recorded pre-refactor
+//! full-attribution baseline, and (c) the parallel sweep reproduces the
+//! serial oracle byte-for-byte with per-worker arenas steady. The ≥2x
+//! parallel speedup floor is enforced only when the machine actually
+//! has the gate's worker count in hardware threads — on a smaller box
+//! the speedup is recorded but a shortfall is reported, not failed
+//! (there is nothing to parallelize onto).
 
 use xpc_bench::experiments::simspeed;
 
 /// The acceptance floor: sampled mode vs the pre-refactor driver.
 const MIN_SPEEDUP: f64 = 5.0;
 
+/// The acceptance floor: parallel grid vs the serial oracle, applicable
+/// when `hw_threads >= par_threads`.
+const MIN_PAR_SPEEDUP: f64 = 2.0;
+
 fn main() {
     let r = simspeed::measure(simspeed::REQUESTS);
+    let p = simspeed::measure_par();
     println!(
         "simspeed over {} requests (sampling 1-in-{}):",
         r.requests, r.sampled_every
@@ -35,7 +45,20 @@ fn main() {
         r.sampled_rps
     );
     println!("  sampled / pre-refactor:        {:>12.2}x", r.speedup);
-    println!("{}", simspeed::json_section(&r));
+    println!(
+        "parallel sweep, {} cells x {} requests ({} hw threads):",
+        p.cells, p.requests_per_cell, p.hw_threads
+    );
+    println!(
+        "  serial grid (1 worker):        {:>12.0} req/s",
+        p.serial_grid_rps
+    );
+    println!(
+        "  parallel grid ({} workers):     {:>12.0} req/s",
+        p.threads, p.par_grid_rps
+    );
+    println!("  parallel / serial:             {:>12.2}x", p.par_speedup);
+    println!("{}", simspeed::json_section(&r, &p));
 
     let mut failed = false;
     if !r.full_arena_steady {
@@ -53,8 +76,33 @@ fn main() {
         );
         failed = true;
     }
+    if !p.identical {
+        eprintln!("FAIL: parallel grid reports differ from the serial oracle");
+        failed = true;
+    }
+    if !p.par_arena_steady {
+        eprintln!("FAIL: a pool worker's arena kept growing past its first cell");
+        failed = true;
+    }
+    if p.par_speedup < MIN_PAR_SPEEDUP {
+        if p.hw_threads >= p.threads {
+            eprintln!(
+                "FAIL: parallel grid is {:.2}x serial at {} workers (need >= {MIN_PAR_SPEEDUP}x)",
+                p.par_speedup, p.threads
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "note: parallel speedup {:.2}x below {MIN_PAR_SPEEDUP}x floor, but only {} hw \
+                 thread(s) for {} workers — floor not enforced",
+                p.par_speedup, p.hw_threads, p.threads
+            );
+        }
+    }
     if failed {
         std::process::exit(1);
     }
-    println!("OK: arenas steady, sampled >= {MIN_SPEEDUP}x pre-refactor");
+    println!(
+        "OK: arenas steady, sampled >= {MIN_SPEEDUP}x pre-refactor, parallel grid byte-identical"
+    );
 }

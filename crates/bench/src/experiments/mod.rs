@@ -72,8 +72,11 @@ impl Report {
 pub type Experiment = (&'static str, fn() -> Report);
 
 /// Every experiment, in paper order, as (key, runner).
+///
+/// Debug builds assert the keys are unique — a duplicate would make
+/// `figures <key>` silently run only the first entry.
 pub fn all() -> Vec<Experiment> {
-    vec![
+    let registry = vec![
         ("fig1a", fig1::fig1a as fn() -> Report),
         ("fig1b", fig1::fig1b),
         ("table1", table1::run),
@@ -96,7 +99,46 @@ pub fn all() -> Vec<Experiment> {
         ("numa", numa::run),
         ("verify", verify::run),
         ("serve", serve::run),
-    ]
+    ];
+    debug_assert!(
+        {
+            let mut keys: Vec<&str> = registry.iter().map(|(k, _)| *k).collect();
+            keys.sort_unstable();
+            keys.windows(2).all(|w| w[0] != w[1])
+        },
+        "experiments::all() registers a duplicate key"
+    );
+    registry
+}
+
+/// The registry key closest to `unknown` (edit distance ≤ 2), for the
+/// `figures` binary's "did you mean" hint. Ties break to the
+/// lexicographically smallest key, so the hint is deterministic.
+pub fn suggest(unknown: &str) -> Option<&'static str> {
+    all()
+        .iter()
+        .map(|&(k, _)| (edit_distance(unknown, k), k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, k)| (d, k))
+        .map(|(_, k)| k)
+}
+
+/// Plain Levenshtein distance (two-row DP) — the keys are short, so the
+/// quadratic cost is irrelevant.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -119,5 +161,34 @@ mod tests {
     #[test]
     fn registry_has_all_22_experiments() {
         assert_eq!(all().len(), 22);
+    }
+
+    #[test]
+    fn registry_keys_are_unique() {
+        // The release-build complement of the debug_assert in all().
+        let mut keys: Vec<&str> = all().iter().map(|(k, _)| *k).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate experiment key registered");
+    }
+
+    #[test]
+    fn suggest_finds_near_misses_and_rejects_gibberish() {
+        assert_eq!(suggest("scal"), Some("scale"));
+        assert_eq!(suggest("serv"), Some("serve"));
+        assert_eq!(suggest("tabel3"), Some("table3"));
+        assert_eq!(suggest("scale"), Some("scale"));
+        assert_eq!(suggest("qzxwv"), None);
+        assert_eq!(suggest(""), None, "nothing is within distance 2 of ''");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("abc", "ab"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 }

@@ -23,8 +23,8 @@ use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
 use services::http::{chain_steps, CHAIN_SERVICES};
 use simos::{
-    Attribution, Invocation, InvokeOpts, IpcSystem, LedgerArena, LoadGen, LoadReport, MultiWorld,
-    Phase, Placement, Step, SweepScratch, Topology,
+    Attribution, Invocation, InvokeOpts, IpcSystem, LoadGen, LoadReport, MultiWorld, Phase,
+    Placement, Step, Topology,
 };
 
 /// Payload for the hop comparison (the paper's 4 KiB page regime, where
@@ -53,23 +53,23 @@ pub struct Hop {
 /// Price one local-socket and one remote-socket hop for every system in
 /// the full roster, each on a fresh dual-socket world.
 pub fn hops() -> Vec<Hop> {
-    kernels::full_roster_factories()
-        .into_iter()
-        .map(|mk| {
-            let measure = |to: usize| {
-                let mut mw = MultiWorld::builder()
-                    .topology(Topology::dual_socket())
-                    .build(mk);
-                mw.exec_oneway(0, to, HOP_BYTES, &InvokeOpts::call(), 0).1
-            };
-            Hop {
-                system: mk().name(),
-                migrating: mk().migrating_threads(),
-                local: measure(1),
-                remote: measure(4),
-            }
-        })
-        .collect()
+    // One pool cell per roster system; each worker builds its worlds
+    // from the factory pointer, so no `Box<dyn IpcSystem>` crosses a
+    // thread boundary.
+    simos::par::map_cells(kernels::full_roster_factories(), |_, mk, _| {
+        let measure = |to: usize| {
+            let mut mw = MultiWorld::builder()
+                .topology(Topology::dual_socket())
+                .build(mk);
+            mw.exec_oneway(0, to, HOP_BYTES, &InvokeOpts::call(), 0).1
+        };
+        Hop {
+            system: mk().name(),
+            migrating: mk().migrating_threads(),
+            local: measure(1),
+            remote: measure(4),
+        }
+    })
 }
 
 fn mechanisms() -> Vec<Mk> {
@@ -103,33 +103,35 @@ fn recipes(handover: bool) -> Vec<Vec<Step>> {
 /// cell is `(topology_label, report)`. Deterministic (fixed seed).
 pub fn results() -> Vec<(&'static str, LoadReport)> {
     let spec = LoadGen::default();
-    let mut out = Vec::new();
-    // Scratch buffers and span arena shared by every grid cell.
-    let mut scratch = SweepScratch::new();
-    let mut arena = LedgerArena::new();
+    // Pre-flight serially, then fan the 16 (mechanism, topology,
+    // policy) cells through the pool with per-worker scratch.
+    type GridCell = (Mk, Vec<Vec<Step>>, &'static str, Topology, Placement);
+    let mut cells: Vec<GridCell> = Vec::new();
     for mk in mechanisms() {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
         super::verify::gate("NUMA", CHAIN_SERVICES, &recipes);
         for (label, topo) in topologies() {
             for policy in policies() {
-                let mut mw = MultiWorld::builder().topology(topo.clone()).build(mk);
-                let r = simos::load::run_windowed_with(
-                    &mut mw,
-                    &policy,
-                    CHAIN_SERVICES,
-                    &recipes,
-                    &spec,
-                    WINDOW,
-                    &mut scratch,
-                    Attribution::Full(&mut arena),
-                )
-                .expect("NUMA grid cell must be runnable");
-                out.push((label, r));
+                cells.push((mk, recipes.clone(), label, topo.clone(), policy));
             }
         }
     }
-    out
+    simos::par::map_cells(cells, |_, (mk, recipes, label, topo, policy), scratch| {
+        let mut mw = MultiWorld::builder().topology(topo).build(mk);
+        let r = simos::load::run_windowed_with(
+            &mut mw,
+            &policy,
+            CHAIN_SERVICES,
+            &recipes,
+            &spec,
+            WINDOW,
+            &mut scratch.sweep,
+            Attribution::Full(&mut scratch.arena),
+        )
+        .expect("NUMA grid cell must be runnable");
+        (label, r)
+    })
 }
 
 /// Regenerate the NUMA table (the load grid; the hop comparison lives in

@@ -11,10 +11,7 @@
 
 use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
-use simos::{
-    Attribution, CostModel, IpcSystem, LedgerArena, LoadGen, LoadReport, MultiWorld, Placement,
-    Step, SweepScratch,
-};
+use simos::{Attribution, CostModel, IpcSystem, LoadGen, LoadReport, MultiWorld, Placement, Step};
 
 /// Cores in the pipeline world (client core + service core).
 pub const CORES: usize = 2;
@@ -82,30 +79,31 @@ pub fn results() -> Vec<(u64, LoadReport)> {
     let spec = spec();
     let all_bursts: Vec<Vec<Step>> = BATCHES.iter().map(|&b| recipe(b)).collect();
     super::verify::gate("Pipeline", 2, &all_bursts);
-    let mut out = Vec::new();
-    // Scratch buffers and span arena shared by every grid cell.
-    let mut scratch = SweepScratch::new();
-    let mut arena = LedgerArena::new();
+    // 36 (mechanism, window, batch) cells through the pool; per-worker
+    // scratch keeps each worker's steady state allocation-free.
+    let mut cells: Vec<(Mk, usize, u64)> = Vec::new();
     for mk in mechanisms() {
         for &window in &WINDOWS {
             for &batch in &BATCHES {
-                let mut mw = MultiWorld::builder().cores(CORES).build(mk);
-                let r = simos::load::run_windowed_with(
-                    &mut mw,
-                    &Placement::RoundRobin,
-                    2,
-                    &[recipe(batch)],
-                    &spec,
-                    window,
-                    &mut scratch,
-                    Attribution::Full(&mut arena),
-                )
-                .expect("pipeline grid cell must be runnable");
-                out.push((batch, r));
+                cells.push((mk, window, batch));
             }
         }
     }
-    out
+    simos::par::map_cells(cells, |_, (mk, window, batch), scratch| {
+        let mut mw = MultiWorld::builder().cores(CORES).build(mk);
+        let r = simos::load::run_windowed_with(
+            &mut mw,
+            &Placement::RoundRobin,
+            2,
+            &[recipe(batch)],
+            &spec,
+            window,
+            &mut scratch.sweep,
+            Attribution::Full(&mut scratch.arena),
+        )
+        .expect("pipeline grid cell must be runnable");
+        (batch, r)
+    })
 }
 
 /// Completed IPC calls per second of virtual time.

@@ -9,10 +9,7 @@
 use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
 use services::http::{chain_steps, CHAIN_SERVICES};
-use simos::{
-    Attribution, IpcSystem, LedgerArena, LoadGen, LoadReport, MultiWorld, Placement, Step,
-    SweepScratch,
-};
+use simos::{Attribution, IpcSystem, LoadGen, LoadReport, MultiWorld, Placement, Step};
 
 /// Cores in the scale-out world.
 pub const CORES: usize = 4;
@@ -49,38 +46,39 @@ fn recipes(handover: bool) -> Vec<Vec<Step>> {
 }
 
 /// Run the full (mechanism × policy) grid. Deterministic: the generator
-/// seed is fixed, so every call returns bit-identical reports.
+/// seed is fixed and every cell re-seeds from it, so every call — at any
+/// pool worker count — returns bit-identical reports.
 pub fn results() -> Vec<LoadReport> {
     let spec = LoadGen::default();
-    let mut out = Vec::new();
-    // One scratch + arena across the whole grid: buffers reach steady
-    // state in the first cell and every later cell runs allocation-free.
-    let mut scratch = SweepScratch::new();
-    let mut arena = LedgerArena::new();
+    // Pre-flight serially (the gate panics with figure context), then
+    // fan the 16 (mechanism, policy) cells through the pool. Each
+    // worker reuses one scratch + arena across the cells it draws, so
+    // steady state stays allocation-free per worker.
+    let mut cells: Vec<(Mk, Vec<Vec<Step>>, Placement)> = Vec::new();
     for mk in mechanisms() {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
         super::verify::gate("Scale-out", CHAIN_SERVICES, &recipes);
         for policy in policies() {
-            // The single-socket u500 preset: byte-identical to the
-            // pre-topology 4-core world.
-            let mut mw = MultiWorld::builder().cores(CORES).build(mk);
-            out.push(
-                simos::load::run_windowed_with(
-                    &mut mw,
-                    &policy,
-                    CHAIN_SERVICES,
-                    &recipes,
-                    &spec,
-                    1,
-                    &mut scratch,
-                    Attribution::Full(&mut arena),
-                )
-                .expect("scale grid cell must be runnable"),
-            );
+            cells.push((mk, recipes.clone(), policy));
         }
     }
-    out
+    simos::par::map_cells(cells, |_, (mk, recipes, policy), scratch| {
+        // The single-socket u500 preset: byte-identical to the
+        // pre-topology 4-core world.
+        let mut mw = MultiWorld::builder().cores(CORES).build(mk);
+        simos::load::run_windowed_with(
+            &mut mw,
+            &policy,
+            CHAIN_SERVICES,
+            &recipes,
+            &spec,
+            1,
+            &mut scratch.sweep,
+            Attribution::Full(&mut scratch.arena),
+        )
+        .expect("scale grid cell must be runnable")
+    })
 }
 
 /// Regenerate the scale-out table.

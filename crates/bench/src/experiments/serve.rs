@@ -197,44 +197,60 @@ pub struct KneeCell {
 }
 
 /// The knee grid: mechanism × topology × offered load, same seed at
-/// every ρ. Deterministic.
+/// every ρ. Deterministic at any pool worker count: calibration runs as
+/// its own pool phase (periods depend only on the (mechanism, topology)
+/// pair), then the ρ cells fan out with the period pinned per cell.
 pub fn knee_results() -> Vec<KneeCell> {
     let spec = knee_spec();
-    let mut scratch = ServeScratch::new();
-    let mut arena = LedgerArena::new();
-    let mut out = Vec::new();
+    // Phase A: per-(mechanism, topology) capacity calibration.
+    let mut calib: Vec<(Mk, Vec<Vec<Step>>, &'static str, Topology)> = Vec::new();
     for mk in mechanisms() {
         let handover = mk().supports_handover();
         let recipes = recipes(handover);
         super::verify::gate("Serve", CHAIN_SERVICES, &recipes);
         for (label, topo) in topologies() {
-            let period = calibrate_capacity_period(&topo, mk, &recipes);
-            for rho_x10 in RHO_X10 {
-                let mean = interarrival(period, rho_x10);
-                let n_recipes = u32::try_from(recipes.len()).expect("roster fits u32");
-                let trace = poisson(mean)
-                    .trace(REQUESTS, n_recipes)
-                    .expect("knee trace spec is valid");
-                let mut mw = world(&topo, mk);
-                let r = run_cell(
-                    &mut mw,
-                    &ServePolicy::Static(Placement::RoundRobin),
-                    &recipes,
-                    &trace,
-                    &spec,
-                    &mut scratch,
-                    &mut arena,
-                );
-                out.push(KneeCell {
-                    topology: label,
-                    rho_x10,
-                    capacity_period_cycles: period,
-                    report: r,
-                });
-            }
+            calib.push((mk, recipes.clone(), label, topo));
         }
     }
-    out
+    let calibrated = simos::par::map_cells(calib, |_, (mk, recipes, label, topo), _| {
+        let period = calibrate_capacity_period(&topo, mk, &recipes);
+        (mk, recipes, label, topo, period)
+    });
+    // Phase B: the 48 (mechanism, topology, ρ) serve cells, each
+    // carrying its calibrated period and offered ρ.
+    type RhoCell = (Mk, Vec<Vec<Step>>, &'static str, Topology, u64, u64);
+    let mut cells: Vec<RhoCell> = Vec::new();
+    for (mk, recipes, label, topo, period) in calibrated {
+        for rho_x10 in RHO_X10 {
+            cells.push((mk, recipes.clone(), label, topo.clone(), period, rho_x10));
+        }
+    }
+    simos::par::map_cells(
+        cells,
+        |_, (mk, recipes, label, topo, period, rho_x10), cs| {
+            let mean = interarrival(period, rho_x10);
+            let n_recipes = u32::try_from(recipes.len()).expect("roster fits u32");
+            let trace = poisson(mean)
+                .trace(REQUESTS, n_recipes)
+                .expect("knee trace spec is valid");
+            let mut mw = world(&topo, mk);
+            let r = run_cell(
+                &mut mw,
+                &ServePolicy::Static(Placement::RoundRobin),
+                &recipes,
+                &trace,
+                &spec,
+                &mut cs.serve,
+                &mut cs.arena,
+            );
+            KneeCell {
+                topology: label,
+                rho_x10,
+                capacity_period_cycles: period,
+                report: r,
+            }
+        },
+    )
 }
 
 /// One admission-sweep cell: an overloaded world under a given tenant
@@ -260,32 +276,29 @@ pub fn admission_results() -> Vec<AdmissionCell> {
     let trace = poisson(mean)
         .trace(REQUESTS, n_recipes)
         .expect("admission trace spec is valid");
-    let mut scratch = ServeScratch::new();
-    let mut arena = LedgerArena::new();
-    ADMISSION_CAPS
-        .iter()
-        .map(|&queue_cap| {
-            let spec = ServeSpec {
-                tenants: TENANTS,
-                classes: vec![TenantClass {
-                    queue_cap,
-                    slo_p99_us: SLO_P99_US,
-                }],
-                backlog_cap_cycles: 0,
-            };
-            let mut mw = world(&topo, mk);
-            let report = run_cell(
-                &mut mw,
-                &ServePolicy::Static(Placement::RoundRobin),
-                &recipes,
-                &trace,
-                &spec,
-                &mut scratch,
-                &mut arena,
-            );
-            AdmissionCell { queue_cap, report }
-        })
-        .collect()
+    // The cap cells share one calibrated trace by reference; the pool
+    // closure only reads it.
+    simos::par::map_cells(ADMISSION_CAPS.to_vec(), |_, queue_cap, cs| {
+        let spec = ServeSpec {
+            tenants: TENANTS,
+            classes: vec![TenantClass {
+                queue_cap,
+                slo_p99_us: SLO_P99_US,
+            }],
+            backlog_cap_cycles: 0,
+        };
+        let mut mw = world(&topo, mk);
+        let report = run_cell(
+            &mut mw,
+            &ServePolicy::Static(Placement::RoundRobin),
+            &recipes,
+            &trace,
+            &spec,
+            &mut cs.serve,
+            &mut cs.arena,
+        );
+        AdmissionCell { queue_cap, report }
+    })
 }
 
 /// One bursty-vs-Poisson cell.
@@ -302,16 +315,20 @@ pub struct BurstyCell {
 pub fn bursty_results() -> Vec<BurstyCell> {
     let topo = Topology::u500();
     let spec = knee_spec();
-    let mut scratch = ServeScratch::new();
-    let mut arena = LedgerArena::new();
-    let mut out = Vec::new();
+    // One pool cell per mechanism (each calibrates, then serves its
+    // Poisson/on-off pair in order); flattening preserves the serial
+    // row order because reduction is index-ordered.
+    let mut mechs: Vec<(Mk, Vec<Vec<Step>>)> = Vec::new();
     for mk in mechanisms() {
         let recipes = recipes(mk().supports_handover());
         super::verify::gate("Serve-bursty", CHAIN_SERVICES, &recipes);
+        mechs.push((mk, recipes));
+    }
+    simos::par::map_cells(mechs, |_, (mk, recipes), cs| {
         let period = calibrate_capacity_period(&topo, mk, &recipes);
         let mean = interarrival(period, 8);
         let n_recipes = u32::try_from(recipes.len()).expect("roster fits u32");
-        for (label, process) in [
+        [
             ("poisson", ArrivalProcess::Poisson),
             (
                 "on-off",
@@ -320,7 +337,9 @@ pub fn bursty_results() -> Vec<BurstyCell> {
                     accel_x10: 60,
                 },
             ),
-        ] {
+        ]
+        .into_iter()
+        .map(|(label, process)| {
             let trace = OpenLoopGen {
                 process,
                 ..poisson(mean)
@@ -334,16 +353,19 @@ pub fn bursty_results() -> Vec<BurstyCell> {
                 &recipes,
                 &trace,
                 &spec,
-                &mut scratch,
-                &mut arena,
+                &mut cs.serve,
+                &mut cs.arena,
             );
-            out.push(BurstyCell {
+            BurstyCell {
                 process: label,
                 report,
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// One autoscale cell (controller or static baseline).
@@ -378,17 +400,14 @@ pub fn autoscale_results() -> Vec<AutoscaleCell> {
         grow_backlog_cycles: 4 * period,
         shrink_backlog_cycles: period / 4,
     };
-    let mut scratch = ServeScratch::new();
-    let mut arena = LedgerArena::new();
-    [
+    let policies = vec![
         ("autoscale", ServePolicy::Autoscale(cfg)),
         (
             "static:round-robin",
             ServePolicy::Static(Placement::RoundRobin),
         ),
-    ]
-    .into_iter()
-    .map(|(label, policy)| {
+    ];
+    simos::par::map_cells(policies, |_, (label, policy), cs| {
         let mut mw = world(&topo, mk);
         let report = run_cell(
             &mut mw,
@@ -396,15 +415,14 @@ pub fn autoscale_results() -> Vec<AutoscaleCell> {
             &recipes,
             &trace,
             &spec,
-            &mut scratch,
-            &mut arena,
+            &mut cs.serve,
+            &mut cs.arena,
         );
         AutoscaleCell {
             policy: label,
             report,
         }
     })
-    .collect()
 }
 
 fn fmt_rho(rho_x10: u64) -> String {

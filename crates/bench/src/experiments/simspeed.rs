@@ -14,17 +14,23 @@
 //!   pre-reserved arena.
 //!
 //! Modeled cycles are bit-identical across the three (pinned by tests
-//! below); only wall-clock speed differs. Because the numbers are
-//! real-time measurements this experiment is deliberately **not** in the
-//! deterministic registry (`experiments::all()` / golden.txt); it ships
-//! as the `"simspeed"` section of `BENCH_figures.json` and the
-//! `simspeed` binary, whose gates CI runs.
+//! below); only wall-clock speed differs. A fourth measurement times the
+//! **parallel sweep**: a grid of independent seeded cells fanned through
+//! [`simos::par`] at one worker (the pinned serial oracle) and at
+//! [`PAR_THREADS`] workers, asserting the reports byte-identical and the
+//! per-worker arenas steady while recording the wall-clock speedup.
+//! Because the numbers are real-time measurements this experiment is
+//! deliberately **not** in the deterministic registry
+//! (`experiments::all()` / golden.txt); it ships as the `"simspeed"`
+//! section of `BENCH_figures.json` (suppressed by `figures
+//! --no-simspeed`) and the `simspeed` binary, whose gates CI runs.
 
 use kernels::XpcIpc;
 use simos::{
-    Attribution, CycleLedger, IpcSystem, LedgerArena, LoadGen, MultiWorld, Phase, PhaseTotals,
-    Placement, Step, SweepScratch,
+    Attribution, CycleLedger, IpcSystem, LedgerArena, LoadGen, LoadReport, MultiWorld, Phase,
+    PhaseTotals, Placement, Step, SweepScratch,
 };
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 /// Requests per timed mode (the 10^6-request sweep).
@@ -225,13 +231,155 @@ pub fn measure(requests: u64) -> SimspeedReport {
     }
 }
 
-/// The `"simspeed"` section of `BENCH_figures.json`.
-pub fn json_section(r: &SimspeedReport) -> String {
+/// Cells in the parallel-sweep measurement: a grid of independent
+/// windowed-load cells, one [`ycsb::stream_seed`]-derived seed each.
+pub const PAR_CELLS: usize = 16;
+
+/// Requests per parallel-sweep cell.
+pub const PAR_CELL_REQUESTS: u64 = 25_000;
+
+/// Workers the parallel pass fans the grid over (the speedup gate's
+/// denominator — enforced in the `simspeed` binary only when the
+/// machine actually has this many hardware threads).
+pub const PAR_THREADS: usize = 4;
+
+/// Closed-loop clients per parallel-sweep cell (smaller than the serial
+/// modes' [`CLIENTS`]: the grid times pool dispatch + per-worker arena
+/// reuse, not the issue heap).
+const PAR_CLIENTS: usize = 256;
+
+/// One parallel-sweep measurement: the same cell grid timed at one
+/// worker (the pinned serial oracle) and at [`PAR_THREADS`] workers.
+#[derive(Debug, Clone)]
+pub struct ParReport {
+    /// Workers the parallel pass used.
+    pub threads: usize,
+    /// Hardware threads the machine reports (the speedup gate applies
+    /// only when this covers [`PAR_THREADS`]).
+    pub hw_threads: usize,
+    /// Grid cells.
+    pub cells: usize,
+    /// Requests per cell.
+    pub requests_per_cell: u64,
+    /// Grid requests per wall-clock second at one worker.
+    pub serial_grid_rps: f64,
+    /// Grid requests per wall-clock second at [`PAR_THREADS`] workers.
+    pub par_grid_rps: f64,
+    /// `par_grid_rps / serial_grid_rps`.
+    pub par_speedup: f64,
+    /// Parallel reports byte-identical to the serial oracle's.
+    pub identical: bool,
+    /// No worker's arena slabs grew after that worker's first cell
+    /// (each worker may grow exactly once, from empty, on its first
+    /// draw; every later cell must reuse the slabs).
+    pub par_arena_steady: bool,
+}
+
+/// Two recipe variants for the parallel grid, so each cell's derived
+/// seed stream visibly drives the recipe draws (the generator's seed
+/// only picks recipes — with a single recipe every seed would price the
+/// identical schedule and the distinct-streams assertion would be
+/// vacuous).
+fn par_recipes() -> Vec<Vec<Step>> {
+    vec![
+        recipe(),
+        vec![
+            Step::Oneway {
+                from: 0,
+                to: 1,
+                bytes: 1024,
+            },
+            Step::Compute { at: 1, cycles: 600 },
+            Step::Roundtrip {
+                from: 1,
+                to: 0,
+                request: 16,
+                response: 4096,
+            },
+        ],
+    ]
+}
+
+/// Time one pass of a `cells`-cell grid at `workers` workers. Returns
+/// the wall-clock rate, the per-cell reports (index order), and the
+/// per-worker arena steady-state verdict.
+fn par_grid_pass(
+    workers: usize,
+    cells: usize,
+    requests_per_cell: u64,
+) -> (f64, Vec<LoadReport>, bool) {
+    let recipes = par_recipes();
+    let seeds: Vec<u64> = (0..cells as u64)
+        .map(|i| ycsb::stream_seed(SEED, i))
+        .collect();
+    let t = Instant::now();
+    let out = simos::par::map_cells_on(workers, seeds, |_, seed, cs| {
+        let before = (cs.arena.ledger_capacity(), cs.arena.span_capacity());
+        let mut mw = world();
+        let r = simos::load::run_windowed_with(
+            &mut mw,
+            &Placement::RoundRobin,
+            SERVICES,
+            &recipes,
+            &LoadGen {
+                clients: PAR_CLIENTS,
+                requests: requests_per_cell,
+                seed,
+                think_cycles: 0,
+            },
+            1,
+            &mut cs.sweep,
+            Attribution::Full(&mut cs.arena),
+        )
+        .expect("parallel sweep cell must be runnable");
+        let grew = (cs.arena.ledger_capacity(), cs.arena.span_capacity()) != before;
+        (r, grew)
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    let total = cells as u64 * requests_per_cell;
+    let grown = out.iter().filter(|(_, grew)| *grew).count();
+    let reports = out.into_iter().map(|(r, _)| r).collect();
+    // Every cell prices the same request count over the same recipe, so
+    // a worker's slabs reach steady state on its first cell; at most
+    // `workers` first cells exist.
+    (
+        total as f64 / elapsed.max(f64::EPSILON),
+        reports,
+        grown <= workers,
+    )
+}
+
+/// Run the parallel-sweep measurement: serial oracle pass, then the
+/// [`PAR_THREADS`]-worker pass over the identical grid.
+pub fn measure_par() -> ParReport {
+    let (serial_grid_rps, serial_reports, _) = par_grid_pass(1, PAR_CELLS, PAR_CELL_REQUESTS);
+    let (par_grid_rps, par_reports, par_arena_steady) =
+        par_grid_pass(PAR_THREADS, PAR_CELLS, PAR_CELL_REQUESTS);
+    ParReport {
+        threads: PAR_THREADS,
+        hw_threads: std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+        cells: PAR_CELLS,
+        requests_per_cell: PAR_CELL_REQUESTS,
+        serial_grid_rps,
+        par_grid_rps,
+        par_speedup: par_grid_rps / serial_grid_rps.max(f64::EPSILON),
+        identical: par_reports == serial_reports,
+        par_arena_steady,
+    }
+}
+
+/// The `"simspeed"` section of `BENCH_figures.json`: the three serial
+/// attribution modes plus the parallel-sweep rows.
+pub fn json_section(r: &SimspeedReport, p: &ParReport) -> String {
     format!(
         "{{\"requests\": {}, \"pre_refactor_full_rps\": {:.0}, \
          \"full_rps\": {:.0}, \"sampled_rps\": {:.0}, \
          \"sampled_every\": {}, \"speedup_sampled_vs_pre_refactor\": {:.2}, \
-         \"full_arena_steady\": {}, \"sampled_arena_steady\": {}}}",
+         \"full_arena_steady\": {}, \"sampled_arena_steady\": {}, \
+         \"par_threads\": {}, \"hw_threads\": {}, \"par_cells\": {}, \
+         \"par_requests_per_cell\": {}, \"serial_grid_rps\": {:.0}, \
+         \"par_grid_rps\": {:.0}, \"par_speedup\": {:.2}, \
+         \"par_identical\": {}, \"par_arena_steady\": {}}}",
         r.requests,
         r.pre_refactor_full_rps,
         r.full_rps,
@@ -239,7 +387,16 @@ pub fn json_section(r: &SimspeedReport) -> String {
         r.sampled_every,
         r.speedup,
         r.full_arena_steady,
-        r.sampled_arena_steady
+        r.sampled_arena_steady,
+        p.threads,
+        p.hw_threads,
+        p.cells,
+        p.requests_per_cell,
+        p.serial_grid_rps,
+        p.par_grid_rps,
+        p.par_speedup,
+        p.identical,
+        p.par_arena_steady
     )
 }
 
@@ -313,8 +470,38 @@ mod tests {
             r.sampled_arena_steady,
             "sampled arena outgrew its reservation"
         );
-        let s = json_section(&r);
+        let (serial_grid_rps, _, _) = par_grid_pass(1, 4, 500);
+        let p = ParReport {
+            threads: PAR_THREADS,
+            hw_threads: 1,
+            cells: 4,
+            requests_per_cell: 500,
+            serial_grid_rps,
+            par_grid_rps: serial_grid_rps,
+            par_speedup: 1.0,
+            identical: true,
+            par_arena_steady: true,
+        };
+        let s = json_section(&r, &p);
         assert!(s.contains("\"sampled_every\": 64"));
         assert!(s.contains("\"requests\": 4000"));
+        assert!(s.contains("\"par_threads\": 4"));
+        assert!(s.contains("\"par_identical\": true"));
+    }
+
+    #[test]
+    fn parallel_grid_is_byte_identical_to_the_serial_oracle() {
+        // The determinism pin for the parallel-sweep measurement: the
+        // same seeded grid at 1, 2, and 4 workers yields equal reports,
+        // and every worker's arena holds steady after its first cell.
+        let (_, oracle, steady1) = par_grid_pass(1, 6, 400);
+        assert!(steady1, "serial pass: arena grew after the first cell");
+        for workers in [2, 4] {
+            let (_, got, steady) = par_grid_pass(workers, 6, 400);
+            assert_eq!(got, oracle, "workers = {workers}");
+            assert!(steady, "workers = {workers}: a worker's arena kept growing");
+        }
+        // Distinct streams really drive distinct cells.
+        assert!(oracle.windows(2).all(|w| w[0] != w[1]));
     }
 }

@@ -91,10 +91,12 @@ fn figure_recipe_sets() -> Vec<RecipeSet> {
     sets
 }
 
-/// Every verify row, in group order. Fully static and deterministic.
+/// Every verify row, in group order. Fully static and deterministic:
+/// each row group fans through the pool independently (rows depend only
+/// on their own plan/recipe set/system) and the groups concatenate in
+/// the fixed crafted → preflight → ledger order.
 pub fn results() -> Vec<Row> {
-    let mut rows = Vec::new();
-    for c in crafted::all_crafted() {
+    let mut rows = simos::par::map_cells(crafted::all_crafted(), |_, c, _| {
         let findings = verify(&c.plan, &c.recipes);
         let expected = c.expected.map_or("clean".to_string(), |cause| {
             xpc_verify::Verdict::Trap(cause).key().to_string()
@@ -108,42 +110,48 @@ pub fn results() -> Vec<Row> {
                 !findings.is_empty() && findings.iter().all(|f| f.cause() == Some(cause))
             }
         };
-        rows.push(Row {
+        Row {
             group: "crafted",
             subject: c.label.to_string(),
             expected,
             verdict,
             findings: findings.len(),
             ok,
-        });
-    }
-    for (subject, n_services, named) in figure_recipe_sets() {
-        let findings = preflight(n_services, &named).err().unwrap_or_default();
-        rows.push(Row {
-            group: "preflight",
-            subject,
-            expected: "clean".to_string(),
-            verdict: findings
-                .first()
-                .map_or("clean".to_string(), |f| f.verdict.key().to_string()),
-            findings: findings.len(),
-            ok: findings.is_empty(),
-        });
-    }
-    for factory in kernels::full_roster_factories() {
-        let mut sys = factory();
-        let findings = lint::lint_system(sys.as_mut());
-        rows.push(Row {
-            group: "ledger",
-            subject: sys.name(),
-            expected: "clean".to_string(),
-            verdict: findings
-                .first()
-                .map_or("clean".to_string(), |f| f.verdict.key().to_string()),
-            findings: findings.len(),
-            ok: findings.is_empty(),
-        });
-    }
+        }
+    });
+    rows.extend(simos::par::map_cells(
+        figure_recipe_sets(),
+        |_, (subject, n_services, named), _| {
+            let findings = preflight(n_services, &named).err().unwrap_or_default();
+            Row {
+                group: "preflight",
+                subject,
+                expected: "clean".to_string(),
+                verdict: findings
+                    .first()
+                    .map_or("clean".to_string(), |f| f.verdict.key().to_string()),
+                findings: findings.len(),
+                ok: findings.is_empty(),
+            }
+        },
+    ));
+    rows.extend(simos::par::map_cells(
+        kernels::full_roster_factories(),
+        |_, factory, _| {
+            let mut sys = factory();
+            let findings = lint::lint_system(sys.as_mut());
+            Row {
+                group: "ledger",
+                subject: sys.name(),
+                expected: "clean".to_string(),
+                verdict: findings
+                    .first()
+                    .map_or("clean".to_string(), |f| f.verdict.key().to_string()),
+                findings: findings.len(),
+                ok: findings.is_empty(),
+            }
+        },
+    ));
     rows
 }
 

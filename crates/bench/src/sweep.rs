@@ -8,7 +8,7 @@
 //! view of the ledger".
 
 use crate::experiments::Report;
-use kernels::{full_roster, Invocation, InvokeOpts, IpcSystem};
+use kernels::{Invocation, InvokeOpts, IpcSystem};
 
 /// The default message-size axis (bytes) for sweep-driven figures.
 pub const SIZES: [usize; 5] = [0, 64, 1024, 4096, 16384];
@@ -38,9 +38,21 @@ pub fn sweep(
 }
 
 /// The full 12-system roster over the default axis — the observability
-/// dump behind `figures --json`.
+/// dump behind `figures --json`. One pool cell per system: the worker
+/// builds its system from the roster *factory* (a `Send + Sync` fn
+/// pointer), so fanning out needs no `Send` bound on the systems
+/// themselves, and index-ordered reduction keeps roster order.
 pub fn roster_sweep() -> Vec<SweepRow> {
-    sweep(full_roster(), &SIZES, &InvokeOpts::call())
+    simos::par::map_cells(kernels::full_roster_factories(), |_, mk, _| {
+        let mut s = mk();
+        SweepRow {
+            system: s.name(),
+            points: SIZES
+                .iter()
+                .map(|&b| (b, s.oneway(b, &InvokeOpts::call())))
+                .collect(),
+        }
+    })
 }
 
 /// Render sweep rows as a size-by-system cycle table (the Figure 6 shape:

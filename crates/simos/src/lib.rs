@@ -34,7 +34,11 @@
 //!   traces ([`serve::ArrivalTrace`]) replayed with per-tenant admission
 //!   control, SLO targets, and an autoscaling placement controller —
 //!   the layer that exposes the tail-vs-load saturation knee a closed
-//!   loop structurally cannot show.
+//!   loop structurally cannot show;
+//! * [`par`] — a zero-dependency scoped-thread cell pool with
+//!   index-ordered reduction, so sweep grids fan out over N workers
+//!   while every rendered figure stays byte-identical to the serial
+//!   run.
 
 #![forbid(unsafe_code)]
 
@@ -43,6 +47,7 @@ pub mod ipc;
 pub mod ledger;
 pub mod load;
 pub mod multicore;
+pub mod par;
 pub mod serve;
 pub mod topology;
 pub mod transport;
@@ -60,6 +65,7 @@ pub use load::{LoadError, LoadGen, LoadReport, SweepScratch};
 pub use multicore::{
     Completion, CoreId, CrossCore, MultiWorld, MultiWorldBuilder, Placement, Step, XCoreCost,
 };
+pub use par::{map_cells, map_cells_on, set_threads, threads, with_threads, CellScratch};
 pub use serve::{
     Arrival, ArrivalProcess, ArrivalTrace, AutoscaleCfg, AutoscaleReport, OpenLoopGen, ServeError,
     ServePolicy, ServeReport, ServeScratch, ServeSpec, ShedCause, TenantClass, TenantReport,

@@ -21,5 +21,5 @@ pub mod rng;
 pub mod workload;
 
 pub use generator::{LatestGen, ScrambledZipfian, UniformGen, ZipfianGen};
-pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use rng::{stream_seed, Rng, SplitMix64, Xoshiro256StarStar};
 pub use workload::{Op, Workload, WorkloadSpec};
