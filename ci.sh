@@ -69,6 +69,23 @@ grep -q '"serve": {' BENCH_figures.json \
 grep -q '"knee": \[' BENCH_figures.json \
   || { echo "ci: serve section has no knee curve" >&2; exit 1; }
 
+echo "== fuse (fused call programs: grid + knee, golden-gated) =="
+# The fuse table is part of figures/golden.txt (gated above at 4 pool
+# workers and in-process by the golden test); here we assert the JSON
+# dump carries the section and its two views.
+grep -q '"fuse": {' BENCH_figures.json \
+  || { echo "ci: BENCH_figures.json is missing its fuse section" >&2; exit 1; }
+grep -q '"grid": \[' BENCH_figures.json \
+  || { echo "ci: fuse section has no mechanism x depth grid" >&2; exit 1; }
+grep -q '"crossings": 1' BENCH_figures.json \
+  || { echo "ci: fuse grid shows no fused single-crossing cell" >&2; exit 1; }
+
+echo "== deprecated-shim gate (the Recipe/ChainSpec redesign leaves none) =="
+if grep -rn '#\[deprecated' crates/; then
+  echo "ci: deprecated shims linger; the redesigned APIs replaced them" >&2
+  exit 1
+fi
+
 echo "== simspeed (arena steady state + sampled >= 5x + parallel sweep) =="
 # The binary itself exits non-zero on slab growth after warmup, a
 # sampled-mode speedup below 5x the recorded pre-refactor baseline, a

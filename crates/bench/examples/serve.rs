@@ -7,7 +7,7 @@
 //! ```
 
 use kernels::XpcIpc;
-use services::http::{chain_steps, CHAIN_SERVICES};
+use services::http::{chain_steps, ChainSpec, CHAIN_SERVICES};
 use simos::{
     ArrivalProcess, MultiWorld, OpenLoopGen, Placement, ServePolicy, ServeSpec, TenantClass,
     Topology,
@@ -17,7 +17,7 @@ fn main() {
     let mk = || Box::new(XpcIpc::sel4_xpc()) as Box<dyn simos::IpcSystem>;
     let recipes: Vec<_> = [1024u64, 4096, 16384]
         .iter()
-        .map(|&len| chain_steps("/index.html", len, true, true))
+        .map(|&len| chain_steps("/index.html", len, ChainSpec::default().with_handover(true)))
         .collect();
 
     // Measure this (mechanism, topology, recipe mix)'s saturation

@@ -94,6 +94,7 @@ fn main() {
             ("numa", experiments::numa::json_section()),
             ("verify", experiments::verify::json_section()),
             ("serve", experiments::serve::json_section()),
+            ("fuse", experiments::fuse::json_section()),
         ];
         if !no_simspeed {
             // Wall-clock simulator throughput; lives only in the JSON

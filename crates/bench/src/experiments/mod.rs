@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fuse;
 pub mod numa;
 pub mod pipeline;
 pub mod scale;
@@ -99,6 +100,7 @@ pub fn all() -> Vec<Experiment> {
         ("numa", numa::run),
         ("verify", verify::run),
         ("serve", serve::run),
+        ("fuse", fuse::run),
     ];
     debug_assert!(
         {
@@ -159,8 +161,8 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_22_experiments() {
-        assert_eq!(all().len(), 22);
+    fn registry_has_all_23_experiments() {
+        assert_eq!(all().len(), 23);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
-use services::http::{chain_steps, CHAIN_SERVICES};
+use services::http::{chain_steps, ChainSpec, CHAIN_SERVICES};
 use simos::{
     Attribution, Invocation, InvokeOpts, IpcSystem, LoadGen, LoadReport, MultiWorld, Phase,
     Placement, Step, Topology,
@@ -95,7 +95,13 @@ fn policies() -> Vec<Placement> {
 fn recipes(handover: bool) -> Vec<Vec<Step>> {
     [1024u64, 4096, 16384]
         .iter()
-        .map(|&len| chain_steps("/index.html", len, true, handover))
+        .map(|&len| {
+            chain_steps(
+                "/index.html",
+                len,
+                ChainSpec::default().with_handover(handover),
+            )
+        })
         .collect()
 }
 

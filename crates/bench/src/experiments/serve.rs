@@ -32,7 +32,7 @@
 
 use super::Report;
 use kernels::{Sel4, Sel4Transfer, XpcIpc, Zircon};
-use services::http::{chain_steps, CHAIN_SERVICES};
+use services::http::{chain_steps, ChainSpec, CHAIN_SERVICES};
 use simos::serve::{serve_with, ServeScratch};
 use simos::{
     ArrivalProcess, ArrivalTrace, Attribution, AutoscaleCfg, IpcSystem, LedgerArena, MultiWorld,
@@ -87,7 +87,13 @@ fn topologies() -> Vec<(&'static str, Topology)> {
 fn recipes(handover: bool) -> Vec<Vec<Step>> {
     [1024u64, 4096, 16384]
         .iter()
-        .map(|&len| chain_steps("/index.html", len, true, handover))
+        .map(|&len| {
+            chain_steps(
+                "/index.html",
+                len,
+                ChainSpec::default().with_handover(handover),
+            )
+        })
         .collect()
 }
 

@@ -21,9 +21,9 @@
 //!   its phase ledger.
 
 use super::{pipeline, Report};
-use services::http::{chain_steps, CHAIN_SERVICES};
-use simos::Step;
-use xpc_verify::{crafted, lint, preflight, verify};
+use services::http::{chain_steps, ChainSpec, CHAIN_SERVICES};
+use simos::{CallProgram, Step};
+use xpc_verify::{crafted, lint, preflight, preflight_program, verify};
 
 /// Refuse to run a figure whose recipes the verifier cannot prove
 /// clean: panics with every finding. Called by the scale / pipeline /
@@ -41,6 +41,21 @@ pub fn gate(figure: &str, n_services: usize, recipes: &[Vec<Step>]) {
             .collect::<Vec<_>>()
             .join("; ");
         panic!("{figure}: refusing to run an unverifiable recipe: {list}");
+    }
+}
+
+/// The fused sibling of [`gate`]: refuse to run a figure whose call
+/// program the verifier cannot prove clean — per-hop grant caps, the
+/// exact fused depth bound, single-owner handover. Called by the fuse
+/// grid before pricing anything.
+pub fn gate_program(figure: &str, n_services: usize, program: &CallProgram) {
+    if let Err(findings) = preflight_program(n_services, figure, program) {
+        let list = findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        panic!("{figure}: refusing to run an unverifiable program: {list}");
     }
 }
 
@@ -73,7 +88,11 @@ fn figure_recipe_sets() -> Vec<RecipeSet> {
             .map(|&len| {
                 (
                     format!("chain {len}B"),
-                    chain_steps("/index.html", len, true, handover),
+                    chain_steps(
+                        "/index.html",
+                        len,
+                        ChainSpec::default().with_handover(handover),
+                    ),
                 )
             })
             .collect();

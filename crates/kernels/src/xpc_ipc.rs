@@ -128,6 +128,38 @@ impl IpcSystem for XpcIpc {
         }
     }
 
+    /// A fused program is one submission: the first hop pays the full
+    /// `xcall` entry (trampoline + uncached fetch + TLB), and every
+    /// continuation hop chains server-to-server on the already-migrated
+    /// thread — engine-cached `xcall` (6) plus the address-space switch's
+    /// TLB refill, with no trampoline and no `xret` back to the client.
+    /// Continuation x-entries ride the engine cache, so a remote shard is
+    /// consulted only by the entry hop.
+    fn fused_hop_into(
+        &mut self,
+        hop_index: u64,
+        msg_len: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        if hop_index == 0 {
+            return self.oneway_into(msg_len, opts, out);
+        }
+        out.charge(Phase::Xcall, self.cost.xcall_cached);
+        if !self.tagged_tlb {
+            out.charge(Phase::TlbRefill, self.cost.tlb_refill);
+        }
+        self.stats.cache_hits += 1;
+        // Relay segment: handed over hop to hop, never copied.
+        0
+    }
+
+    /// The client enters the kernel-bypass path once per program — the
+    /// chained hops never return to it (crossings-per-request == 1).
+    fn fused_crossings(&self, _hops: u64) -> u64 {
+        1
+    }
+
     fn invoke_batch_into(
         &mut self,
         calls: u64,
@@ -285,6 +317,29 @@ mod tests {
         // xret has no cached variant: 8 full reply legs.
         assert_eq!(inv.total, 8 * (23 + 40));
         assert_eq!(x.engine_cache_stats(), Some(EngineCacheStats::default()));
+    }
+
+    #[test]
+    fn fused_continuation_hops_pay_only_cached_xcall_plus_tlb() {
+        let mut x = XpcIpc::sel4_xpc();
+        let mut out = CycleLedger::new();
+        // Entry hop: full uncached path (76 + 18 + 40).
+        assert_eq!(x.fused_hop_into(0, 4096, &InvokeOpts::call(), &mut out), 0);
+        assert_eq!(out.total(), 134);
+        out.clear();
+        // Continuation hop: cached xcall + TLB, no trampoline, no xret.
+        assert_eq!(x.fused_hop_into(1, 4096, &InvokeOpts::call(), &mut out), 0);
+        assert_eq!(out.get(Phase::Xcall), 6);
+        assert_eq!(out.get(Phase::TlbRefill), 40);
+        assert_eq!(out.total(), 46);
+        assert_eq!(x.engine_cache_stats().unwrap().cache_hits, 1);
+        // Even a continuation at shard distance rides the engine cache.
+        let mut remote = CycleLedger::new();
+        let opts = InvokeOpts::call().at_shard_distance(3);
+        x.fused_hop_into(2, 0, &opts, &mut remote);
+        assert_eq!(remote.get(Phase::ShardMiss), 0);
+        // The client crosses into the fabric once, regardless of depth.
+        assert_eq!(x.fused_crossings(6), 1);
     }
 
     #[test]

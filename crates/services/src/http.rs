@@ -8,7 +8,7 @@
 
 use crate::aes::AesServer;
 use crate::filecache::FileCache;
-use simos::{Step, World};
+use simos::{CallProgram, CostModel, Recipe, Step, World};
 
 /// Service index of the client in the [`chain_steps`] recipe.
 pub const SVC_CLIENT: usize = 0;
@@ -183,16 +183,62 @@ pub fn http_mixed_workload(
     (total as f64 / secs, ok, not_found)
 }
 
+/// Options for the §5.4 chain recipes ([`chain_steps`] and
+/// [`chain_program`]), replacing the former positional bool pair.
+///
+/// The default is the paper's headline configuration: encryption on
+/// (the full three-server chain of Figure 8(c)), handover off (the
+/// conservative copy pricing — opt in per mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// Route the file through the AES server (Figure 8(c)'s
+    /// encryption-enabled mode).
+    pub encrypt: bool,
+    /// Price payload legs as relay-segment handovers (16-byte control
+    /// descriptors instead of the file body). Must match
+    /// `supports_handover()` of the system the steps will run on — the
+    /// chain's control-reply shortcuts depend on it.
+    pub handover: bool,
+}
+
+impl Default for ChainSpec {
+    fn default() -> Self {
+        ChainSpec {
+            encrypt: true,
+            handover: false,
+        }
+    }
+}
+
+impl ChainSpec {
+    /// The unencrypted two-server chain (client → HTTP → cache).
+    pub fn plain() -> Self {
+        ChainSpec {
+            encrypt: false,
+            handover: false,
+        }
+    }
+
+    /// The same spec with `handover` matched to a mechanism.
+    pub fn with_handover(self, handover: bool) -> Self {
+        ChainSpec { handover, ..self }
+    }
+
+    /// The same spec with encryption toggled.
+    pub fn with_encrypt(self, encrypt: bool) -> Self {
+        ChainSpec { encrypt, ..self }
+    }
+}
+
 /// The [`HttpServer::handle`] chain as a placement-agnostic recipe: the
 /// exact sequence of hops and compute a successful `GET path` charges,
 /// attributed to [`SVC_CLIENT`]/[`SVC_HTTP`]/[`SVC_CACHE`]/[`SVC_AES`],
 /// for replay on a [`simos::MultiWorld`] under any placement policy.
 ///
-/// `handover` must match `supports_handover()` of the system the steps
-/// will run on — the chain's control-reply shortcuts depend on it (see
-/// `ipc_reply_payload` below). The anchoring test below pins this
-/// recipe to `handle()` cycle-for-cycle on a single core.
-pub fn chain_steps(path: &str, file_len: u64, encrypt: bool, handover: bool) -> Vec<Step> {
+/// The anchoring test below pins this recipe to `handle()`
+/// cycle-for-cycle on a single core.
+pub fn chain_steps(path: &str, file_len: u64, spec: ChainSpec) -> Vec<Step> {
+    let ChainSpec { encrypt, handover } = spec;
     let raw_len = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").len() as u64;
     let header_len = format!(
         "{}\r\nContent-Length: {}\r\n\r\n",
@@ -256,6 +302,41 @@ pub fn chain_steps(path: &str, file_len: u64, encrypt: bool, handover: bool) -> 
         bytes: header_len + file_len,
     });
     steps
+}
+
+/// The same chain re-expressed as a fused [`CallProgram`] (AnyCall
+/// style): the request is submitted once and chains client → HTTP →
+/// cache (→ AES) server-side, with the response as the single return
+/// leg — no intermediate returns to the client.
+///
+/// Unlike [`chain_steps`], handover is *not* a spec knob here: payload
+/// edges are declared as handover edges and each mechanism prices them
+/// per its own capability (a relay segment moves a 16-byte descriptor,
+/// a copy mechanism moves the body). `spec.handover` is ignored.
+/// Per-service data passes fold into hop compute using `cost`'s copy
+/// pricing, exactly as `Step::DataPass` would charge them.
+pub fn chain_program(path: &str, file_len: u64, spec: ChainSpec, cost: &CostModel) -> CallProgram {
+    let raw_len = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").len() as u64;
+    let header_len = format!(
+        "{}\r\nContent-Length: {}\r\n\r\n",
+        Status::Ok.line(),
+        file_len
+    )
+    .len() as u64;
+    let mut r = Recipe::new(SVC_CLIENT)
+        .hop(SVC_HTTP, raw_len)
+        .compute(200)
+        .handover(SVC_CACHE, path.len() as u64)
+        .compute(120 + cost.copy_cycles(file_len));
+    if spec.encrypt {
+        r = r
+            .handover(SVC_AES, file_len)
+            .compute(cost.copy_cycles(file_len) * 25 / 10);
+    }
+    r.compute(150)
+        .reply(header_len + file_len)
+        .build()
+        .expect("chain depth is far below MAX_PROGRAM_HOPS")
 }
 
 /// World extensions used by the chain: payload-bearing replies and
@@ -387,7 +468,10 @@ mod tests {
                 assert_eq!(st, Status::Ok);
 
                 let handover = mk().supports_handover();
-                let steps = chain_steps(path, file.len() as u64, encrypt, handover);
+                let spec = ChainSpec::default()
+                    .with_encrypt(encrypt)
+                    .with_handover(handover);
+                let steps = chain_steps(path, file.len() as u64, spec);
                 let mut mw = MultiWorld::builder().cores(1).build(mk);
                 let (done, ledger) = run_request(&mut mw, &[0; CHAIN_SERVICES], &steps, 0);
                 assert_eq!(
@@ -399,6 +483,21 @@ mod tests {
                 assert_eq!(ledger.total(), w.stats.ipc_cycles);
             }
         }
+    }
+
+    #[test]
+    fn chain_program_mirrors_the_chain_shape() {
+        let cost = simos::CostModel::u500();
+        let p = chain_program("/index.html", 4096, ChainSpec::default(), &cost);
+        assert_eq!(p.client(), SVC_CLIENT);
+        assert_eq!(p.depth(), 3, "http, cache, aes");
+        assert_eq!(p.hops()[1].service, SVC_CACHE);
+        assert!(p.hops()[1].handover, "the payload edges hand over");
+        assert!(p.hops()[2].handover);
+        assert!(!p.hops()[0].handover, "the request edge is a plain call");
+        let plain = chain_program("/index.html", 4096, ChainSpec::plain(), &cost);
+        assert_eq!(plain.depth(), 2, "no AES hop");
+        assert!(plain.response() > 4096, "header + body ride the reply");
     }
 
     #[test]

@@ -166,6 +166,39 @@ pub trait IpcSystem {
         amortized_batch_into(self, calls, bytes_each, opts, out)
     }
 
+    /// Price hop `hop_index` of a *fused call program* (AnyCall-style:
+    /// the whole chain is submitted once and executes server-side
+    /// without returning to the client between hops), charging into
+    /// `out` and returning the bytes copied.
+    ///
+    /// The default prices every hop as a full
+    /// [`oneway_into`](Self::oneway_into) — trap-based kernels enter the
+    /// kernel once per hop even when the chain is submitted as one
+    /// program, so fusion buys them nothing but the saved replies. XPC
+    /// variants override this: hop 0 pays the full trampoline entry,
+    /// every continuation hop pays only a cached `xcall` (the engine
+    /// cache holds the x-entry and the relay segment hands the payload
+    /// over in place).
+    fn fused_hop_into(
+        &mut self,
+        hop_index: u64,
+        msg_len: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        let _ = hop_index;
+        self.oneway_into(msg_len, opts, out)
+    }
+
+    /// Protection-boundary crossings a fused program of `hops` hops
+    /// costs this mechanism per request. Trap baselines enter the kernel
+    /// per hop (`hops`); XPC variants override to `1` — the program
+    /// rides a single trampoline entry and continuation hops are
+    /// user-mode `xcall`s.
+    fn fused_crossings(&self, hops: u64) -> u64 {
+        hops
+    }
+
     /// Engine-cache counters accumulated by batched submissions, for
     /// systems that model one ([`None`] otherwise).
     fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
@@ -264,6 +297,18 @@ impl IpcSystem for Box<dyn IpcSystem> {
         out: &mut CycleLedger,
     ) -> u64 {
         (**self).invoke_batch_into(calls, bytes_each, opts, out)
+    }
+    fn fused_hop_into(
+        &mut self,
+        hop_index: u64,
+        msg_len: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        (**self).fused_hop_into(hop_index, msg_len, opts, out)
+    }
+    fn fused_crossings(&self, hops: u64) -> u64 {
+        (**self).fused_crossings(hops)
     }
     fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
         (**self).engine_cache_stats()
@@ -410,6 +455,26 @@ mod tests {
             assert_eq!(out, inv.ledger, "batch of {calls} must match");
             assert_eq!(copied, inv.copied_bytes);
         }
+    }
+
+    #[test]
+    fn default_fused_hop_is_a_full_kernel_entry_at_any_index() {
+        let opts = InvokeOpts::call();
+        for hop in [0, 1, 5] {
+            let mut out = CycleLedger::new();
+            let copied = Fixed(100).fused_hop_into(hop, 64, &opts, &mut out);
+            assert_eq!(out, Fixed(100).oneway(64, &opts).ledger, "hop {hop}");
+            assert_eq!(copied, 64);
+        }
+        assert_eq!(Fixed(100).fused_crossings(5), 5, "trap baselines scale");
+    }
+
+    #[test]
+    fn boxed_system_forwards_fused_methods() {
+        let mut b: Box<dyn IpcSystem> = Box::new(Fixed(3));
+        let mut out = CycleLedger::new();
+        assert_eq!(b.fused_hop_into(1, 8, &InvokeOpts::call(), &mut out), 8);
+        assert_eq!(b.fused_crossings(4), 4);
     }
 
     #[test]

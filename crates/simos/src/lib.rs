@@ -28,6 +28,10 @@
 //!   works over *any* system), built via [`multicore::MultiWorldBuilder`]
 //!   and driven through the unified [`multicore::MultiWorld::exec`], plus
 //!   NUMA-aware placement policies;
+//! * [`program`] — fused multi-hop call programs (AnyCall-style): a
+//!   [`program::Recipe`] builder produces bounded [`program::CallProgram`]s
+//!   that a world registers and dispatches as one `Step::Fused`,
+//!   executing server-side without returning to the client between hops;
 //! * [`load`] — a deterministic closed-loop traffic generator reporting
 //!   throughput and p50/p95/p99 latency from per-request ledgers;
 //! * [`serve`] — the open-loop sibling: seeded Poisson/bursty arrival
@@ -48,6 +52,7 @@ pub mod ledger;
 pub mod load;
 pub mod multicore;
 pub mod par;
+pub mod program;
 pub mod serve;
 pub mod topology;
 pub mod transport;
@@ -66,6 +71,9 @@ pub use multicore::{
     Completion, CoreId, CrossCore, MultiWorld, MultiWorldBuilder, Placement, Step, XCoreCost,
 };
 pub use par::{map_cells, map_cells_on, set_threads, threads, with_threads, CellScratch};
+pub use program::{
+    CallProgram, Hop, ProgramError, ProgramId, Recipe, HANDOVER_DESC_BYTES, MAX_PROGRAM_HOPS,
+};
 pub use serve::{
     Arrival, ArrivalProcess, ArrivalTrace, AutoscaleCfg, AutoscaleReport, OpenLoopGen, ServeError,
     ServePolicy, ServeReport, ServeScratch, ServeSpec, ShedCause, TenantClass, TenantReport,

@@ -256,6 +256,11 @@ fn resolve_step(map: &[CoreId], step: &Step) -> Step {
             bytes,
             intensity_x10,
         },
+        // Fused programs resolve their services inside
+        // `MultiWorld::exec_fused*` (the id carries no service fields to
+        // rewrite); the request drivers intercept the variant before
+        // this resolver runs.
+        Step::Fused(id) => Step::Fused(id),
     }
 }
 
@@ -268,6 +273,10 @@ fn step_route(resolved: &Step) -> (CoreId, CoreId, u64) {
             from, to, calls, ..
         } => (from, to, calls),
         Step::Compute { at, .. } | Step::DataPass { at, .. } => (at, at, 0),
+        // Routing a fused step needs the world's program table
+        // (`MultiWorld::fused_route`); the drivers handle the variant
+        // before calling here.
+        Step::Fused(_) => unreachable!("fused steps route through MultiWorld::fused_route"),
     }
 }
 
@@ -299,6 +308,17 @@ fn run_request_inner(
     let mut ledger = CycleLedger::new();
     let mut ipc_calls = 0u64;
     for step in steps {
+        if let Step::Fused(id) = step {
+            let (issuer, serving, calls) = mw.fused_route(*id, map);
+            if attribute_queue {
+                ledger.charge(Phase::Queue, mw.free_at(serving).saturating_sub(t));
+            }
+            let c = mw.exec_fused(issuer, *id, map, t);
+            ledger.merge(&c.inv.ledger);
+            ipc_calls += calls;
+            t = c.done;
+            continue;
+        }
         let resolved = resolve_step(map, step);
         let (issuer, serving, calls) = step_route(&resolved);
         if attribute_queue {
@@ -358,6 +378,17 @@ pub(crate) fn run_request_sink(
     let mut t = t0;
     let mut ipc_calls = 0u64;
     for step in steps {
+        if let Step::Fused(id) = step {
+            let (issuer, serving, calls) = mw.fused_route(*id, map);
+            if attribute_queue {
+                sink.charge(Phase::Queue, mw.free_at(serving).saturating_sub(t));
+            }
+            let done = mw.exec_fused_into(issuer, *id, map, t, step_ledger);
+            sink.merge(step_ledger);
+            ipc_calls += calls;
+            t = done;
+            continue;
+        }
         let resolved = resolve_step(map, step);
         let (issuer, serving, calls) = step_route(&resolved);
         if attribute_queue {
@@ -1206,6 +1237,78 @@ mod tests {
         // `Fixed` amortizes nothing, so the batch costs 8 full calls.
         assert_eq!(r.ledger.get(Phase::Trap), 80 * 100);
         assert_eq!(r.engine_cache, None);
+    }
+
+    #[test]
+    fn fused_steps_drive_the_load_loop() {
+        let mut mw = mw(3);
+        let program = crate::program::Recipe::new(0)
+            .hop(1, 64)
+            .hop(2, 128)
+            .reply(16)
+            .build()
+            .unwrap();
+        let id = mw.register_program(program);
+        let fused = vec![vec![Step::Fused(id)]];
+        let spec = LoadGen {
+            clients: 2,
+            requests: 10,
+            seed: 3,
+            think_cycles: 0,
+        };
+        let r = run(&mut mw, &Placement::RoundRobin, 3, &fused, &spec);
+        assert_eq!(r.requests, 10);
+        assert_eq!(r.ipc_calls, 20, "two hops per fused request");
+        assert!(r.ledger.total() > 0);
+        assert!(r.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn windowed_fused_runs_attribute_queueing_and_match_the_sink_path() {
+        let mut mw = mw(2);
+        let program = crate::program::Recipe::new(0)
+            .hop(1, 64)
+            .reply(4096)
+            .build()
+            .unwrap();
+        let id = mw.register_program(program);
+        let fused = vec![vec![Step::Fused(id)]];
+        let r = run_windowed(&mut mw, &Placement::SameCore, 2, &fused, &spec(), 4);
+        assert!(r.ledger.get(Phase::Queue) > 0, "contention must queue");
+        // The sampled sink path reports identical totals.
+        let mut mw2 = mw2_with_program();
+        let mut scratch = SweepScratch::new();
+        let mut totals = crate::ledger::PhaseTotals::new();
+        let mut arena = LedgerArena::new();
+        let sampled = run_windowed_with(
+            &mut mw2,
+            &Placement::SameCore,
+            2,
+            &fused,
+            &spec(),
+            4,
+            &mut scratch,
+            Attribution::Sampled {
+                every: 4,
+                totals: &mut totals,
+                arena: &mut arena,
+            },
+        )
+        .unwrap();
+        assert_eq!(sampled.ledger.total(), r.ledger.total());
+        assert_eq!(sampled.ipc_calls, r.ipc_calls);
+        assert_eq!(sampled.makespan_cycles, r.makespan_cycles);
+    }
+
+    fn mw2_with_program() -> MultiWorld {
+        let mut w = mw(2);
+        let program = crate::program::Recipe::new(0)
+            .hop(1, 64)
+            .reply(4096)
+            .build()
+            .unwrap();
+        let _ = w.register_program(program);
+        w
     }
 
     #[test]

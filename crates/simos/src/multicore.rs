@@ -32,6 +32,7 @@
 use crate::cost::CostModel;
 use crate::ipc::{EngineCacheStats, IpcSystem};
 use crate::ledger::{CycleLedger, Invocation, InvokeOpts, Phase};
+use crate::program::{CallProgram, ProgramId, HANDOVER_DESC_BYTES};
 use crate::topology::Topology;
 use crate::world::World;
 use std::fmt;
@@ -42,14 +43,21 @@ pub type CoreId = usize;
 /// One step of a request recipe. In recipe space (see [`crate::load`])
 /// the `from`/`to`/`at` fields are abstract *service* indices that a
 /// [`Placement`] maps to cores per request; [`MultiWorld::exec`] takes
-/// steps already resolved to core space.
+/// steps already resolved to core space. Each variant restates that
+/// contract for its own fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
     /// A one-way IPC from `from` to `to` carrying `bytes`.
+    ///
+    /// `from`/`to` are service indices in recipe space; by the time the
+    /// step reaches [`MultiWorld::exec`] both must be core ids (the
+    /// serving core is `to`, and `from` is superseded by `exec`'s
+    /// issuing-core argument).
     Oneway {
-        /// Sending service.
+        /// Sending service (recipe space) / issuing core (core space).
         from: usize,
-        /// Receiving (and serving) service.
+        /// Receiving and serving service (recipe space) / core (core
+        /// space).
         to: usize,
         /// Payload bytes.
         bytes: u64,
@@ -57,10 +65,15 @@ pub enum Step {
     /// A burst of `calls` one-way IPCs from `from` to `to` submitted
     /// together, priced by [`crate::ipc::IpcSystem::invoke_batch`]
     /// (per-batch entry work amortized, per-call transfer not).
+    ///
+    /// `from`/`to` follow the same recipe-space → core-space contract as
+    /// [`Step::Oneway`]: service indices in a recipe, core ids at
+    /// [`MultiWorld::exec`], with `to` the serving core.
     Batch {
-        /// Sending service.
+        /// Sending service (recipe space) / issuing core (core space).
         from: usize,
-        /// Receiving (and serving) service.
+        /// Receiving and serving service (recipe space) / core (core
+        /// space).
         to: usize,
         /// Calls in the burst (>= 1).
         calls: u64,
@@ -68,10 +81,14 @@ pub enum Step {
         bytes_each: u64,
     },
     /// A synchronous round trip from `from` into `to`.
+    ///
+    /// `from`/`to` follow the same recipe-space → core-space contract as
+    /// [`Step::Oneway`]: at [`MultiWorld::exec`] the serving core `to`
+    /// prices both legs and accrues the whole trip's busy time.
     Roundtrip {
-        /// Calling service.
+        /// Calling service (recipe space) / issuing core (core space).
         from: usize,
-        /// Serving service.
+        /// Serving service (recipe space) / core (core space).
         to: usize,
         /// Request payload bytes.
         request: u64,
@@ -79,22 +96,43 @@ pub enum Step {
         response: u64,
     },
     /// Fixed compute at a service.
+    ///
+    /// `at` is a service index in recipe space; at [`MultiWorld::exec`]
+    /// the cycles are clocked and charged on the *issuing core* argument
+    /// (`at` is not consulted — the resolver already routed the step).
     Compute {
-        /// Computing service.
+        /// Computing service (recipe space) / core (core space).
         at: usize,
         /// Cycles.
         cycles: u64,
     },
     /// One pass over data at a service (`intensity_x10 / 10` ×
     /// memcpy-grade cycles per byte).
+    ///
+    /// `at` follows the same contract as [`Step::Compute`]: recipe-space
+    /// service index, resolved to the issuing core by the time
+    /// [`MultiWorld::exec`] runs it.
     DataPass {
-        /// Computing service.
+        /// Computing service (recipe space) / core (core space).
         at: usize,
         /// Bytes touched.
         bytes: u64,
         /// Cost multiplier ×10.
         intensity_x10: u64,
     },
+    /// A fused multi-hop call program (see [`crate::program`]) registered
+    /// with the world via [`MultiWorld::register_program`]: submitted
+    /// once, executed server-side hop to hop without returning to the
+    /// client, priced per the serving systems' own fusion mechanism
+    /// ([`IpcSystem::fused_hop_into`]).
+    ///
+    /// The program's `client` and per-hop `service` ids live in recipe
+    /// space when the step sits in a recipe (the load/serve drivers map
+    /// them through the request's [`Placement`] assignment);
+    /// [`MultiWorld::exec`] resolves them with the *identity* map —
+    /// service id == core id — which is this variant's form of the
+    /// already-resolved-to-core-space contract.
+    Fused(ProgramId),
 }
 
 /// The outcome of one executed [`Step`]: when it finished in virtual
@@ -263,6 +301,30 @@ impl IpcSystem for CrossCore {
         };
         out.charge(Phase::CrossCore, extra);
         copied
+    }
+
+    fn fused_hop_into(
+        &mut self,
+        hop_index: u64,
+        msg_len: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        // Same shape as `oneway_into`: the inner system prices the fused
+        // hop, then the crossing surcharge applies unless threads
+        // migrate — fusion saves kernel entries, not IPIs.
+        let copied = self.inner.fused_hop_into(hop_index, msg_len, opts, out);
+        let extra = if self.inner.migrating_threads() {
+            0
+        } else {
+            self.xc.hop_extra(msg_len as u64)
+        };
+        out.charge(Phase::CrossCore, extra);
+        copied
+    }
+
+    fn fused_crossings(&self, hops: u64) -> u64 {
+        self.inner.fused_crossings(hops)
     }
 
     fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
@@ -467,6 +529,7 @@ impl MultiWorldBuilder {
             free_at: vec![0; n],
             xc: self.xc,
             topo: self.topo,
+            programs: Vec::new(),
         }
     }
 }
@@ -485,6 +548,7 @@ pub struct MultiWorld {
     free_at: Vec<u64>,
     xc: XCoreCost,
     topo: Topology,
+    programs: Vec<CallProgram>,
 }
 
 impl std::fmt::Debug for MultiWorld {
@@ -505,28 +569,6 @@ impl MultiWorld {
             topo: Topology::u500(),
             xc: XCoreCost::u500(),
         }
-    }
-
-    /// `n_cores` worlds on a flat single-socket topology, each with a
-    /// fresh system from `mk`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use MultiWorld::builder().cores(n).build(mk), \
-                or .topology(..) for multi-socket shapes"
-    )]
-    pub fn new(n_cores: usize, mk: impl Fn() -> Box<dyn IpcSystem>) -> Self {
-        Self::builder()
-            .topology(Topology::single_socket(n_cores.max(1)))
-            .cores(n_cores)
-            .build(mk)
-    }
-
-    /// Override the cross-core surcharge.
-    #[deprecated(since = "0.2.0", note = "use MultiWorld::builder().xcore_cost(xc)")]
-    #[must_use]
-    pub fn with_xcore_cost(mut self, xc: XCoreCost) -> Self {
-        self.xc = xc;
-        self
     }
 
     /// Number of (active) cores.
@@ -650,6 +692,148 @@ impl MultiWorld {
             }
         }
         acc
+    }
+
+    /// Register a fused call program, returning the [`ProgramId`] a
+    /// [`Step::Fused`] dispatches it by. Programs are world-scoped: an
+    /// id only resolves on the world that issued it.
+    pub fn register_program(&mut self, program: CallProgram) -> ProgramId {
+        self.programs.push(program);
+        ProgramId::from_index(self.programs.len() - 1)
+    }
+
+    /// The registered program behind `id`. Panics on an id from another
+    /// world (out of range for this table).
+    pub fn program(&self, id: ProgramId) -> &CallProgram {
+        &self.programs[id.index()]
+    }
+
+    /// Number of programs registered so far.
+    pub fn n_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Route of a fused step under a service → core `map`:
+    /// `(client core, entry core, ipc calls)`. The entry core — the
+    /// first hop's — serves the whole program as one FIFO interval, and
+    /// the call count is the hop count (one `xcall`/kernel entry per
+    /// hop, however the mechanism prices it).
+    pub fn fused_route(&self, id: ProgramId, map: &[CoreId]) -> (CoreId, CoreId, u64) {
+        let p = &self.programs[id.index()];
+        let calls = u64::try_from(p.depth()).expect("hop count fits u64");
+        (map[p.client()], map[p.hops()[0].service], calls)
+    }
+
+    /// Shared fused-program pricing: charge every hop and the final
+    /// reply leg into `out` (accumulating), clock the entry core once
+    /// for the whole program, and return `(done, copied_bytes)`.
+    ///
+    /// `map` resolves the program's service ids to cores; `None` is the
+    /// identity map (ids already are core ids — `exec`'s contract).
+    ///
+    /// The model follows AnyCall's submit-once shape: the client issues
+    /// one submission to the entry service, which drives the remaining
+    /// hops server-side; control never returns to the client between
+    /// hops, and the final hop replies straight back. Every hop is
+    /// priced by *its serving core's* system (warm engine-cache state
+    /// stays where the service lives) via
+    /// [`IpcSystem::fused_hop_into`], consecutive hops on different
+    /// cores pay the §5.2 surcharge for their edge, and a handover edge
+    /// into a handover-capable system moves only a
+    /// [`HANDOVER_DESC_BYTES`] descriptor. A depth-1 program with no
+    /// handover and no compute prices span-for-span identically to the
+    /// equivalent [`Step::Roundtrip`].
+    fn fused_into_with(
+        &mut self,
+        issuer: CoreId,
+        id: ProgramId,
+        map: Option<&[CoreId]>,
+        ready: u64,
+        out: &mut CycleLedger,
+    ) -> (u64, u64) {
+        let core_of = |service: usize| -> CoreId {
+            match map {
+                Some(m) => m[service],
+                None => service,
+            }
+        };
+        let depth = self.programs[id.index()].depth();
+        let entry = core_of(self.programs[id.index()].hops()[0].service);
+        let mut prev = issuer;
+        let mut copied = 0u64;
+        let mut payload = 0u64;
+        let mut compute = 0u64;
+        let mut calls = 0u64;
+        for i in 0..depth {
+            let hop = self.programs[id.index()].hops()[i];
+            let to = core_of(hop.service);
+            let bytes = if hop.handover && self.cores[to].handover() {
+                HANDOVER_DESC_BYTES.min(hop.request)
+            } else {
+                hop.request
+            };
+            let opts = self.shard_opts(prev, to, &InvokeOpts::call());
+            copied += self.cores[to].price_fused_hop_into(calls, bytes, &opts, out);
+            self.surcharge_into(prev, to, bytes, 1, out);
+            payload += bytes;
+            compute += hop.compute;
+            calls += 1;
+            prev = to;
+        }
+        let response = self.programs[id.index()].response();
+        let reply_opts = self.shard_opts(issuer, prev, &InvokeOpts::reply_leg());
+        copied += self.cores[prev].price_oneway_into(response, &reply_opts, out);
+        self.surcharge_into(issuer, prev, response, 1, out);
+        payload += response;
+        let done = self.clock(entry, ready, out.total() + compute);
+        if compute > 0 {
+            self.cores[entry].compute(compute);
+        }
+        self.cores[entry].charge_spans(calls, payload, out);
+        (done, copied)
+    }
+
+    /// Execute a registered program under an explicit service → core
+    /// `map` (the load/serve drivers' path — [`Step::Fused`] through
+    /// [`exec`](Self::exec) uses the identity map instead). `issuer` is
+    /// the client's core; returns the completion.
+    pub fn exec_fused(
+        &mut self,
+        issuer: CoreId,
+        id: ProgramId,
+        map: &[CoreId],
+        ready: u64,
+    ) -> Completion {
+        let mut ledger = CycleLedger::new();
+        let (done, copied) = self.fused_into_with(issuer, id, Some(map), ready, &mut ledger);
+        Completion {
+            done,
+            inv: Invocation::from_ledger(ledger, copied),
+        }
+    }
+
+    /// Zero-alloc twin of [`exec_fused`](Self::exec_fused): charge the
+    /// program's spans into `out` (cleared first) and return the
+    /// completion time.
+    pub fn exec_fused_into(
+        &mut self,
+        issuer: CoreId,
+        id: ProgramId,
+        map: &[CoreId],
+        ready: u64,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        out.clear();
+        self.fused_into_with(issuer, id, Some(map), ready, out).0
+    }
+
+    /// Crossings-per-request the entry core's mechanism charges a fused
+    /// program of `id`'s depth (the `fuse` figure's headline metric;
+    /// see [`IpcSystem::fused_crossings`]).
+    pub fn fused_crossings(&self, id: ProgramId, map: &[CoreId]) -> u64 {
+        let p = &self.programs[id.index()];
+        let hops = u64::try_from(p.depth()).expect("hop count fits u64");
+        self.cores[map[p.hops()[0].service]].fused_crossings(hops)
     }
 
     /// `opts` with the x-entry shard distance of a `from → to` hop
@@ -799,6 +983,14 @@ impl MultiWorld {
                     inv: Invocation::default(),
                 }
             }
+            Step::Fused(id) => {
+                let mut ledger = CycleLedger::new();
+                let (done, copied) = self.fused_into_with(core, id, None, ready, &mut ledger);
+                Completion {
+                    done,
+                    inv: Invocation::from_ledger(ledger, copied),
+                }
+            }
         }
     }
 
@@ -876,6 +1068,7 @@ impl MultiWorld {
                 self.cores[core].compute(cycles);
                 done
             }
+            Step::Fused(id) => self.fused_into_with(core, id, None, ready, out).0,
         }
     }
 
@@ -1162,27 +1355,149 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_the_builder() {
-        // The one-release compatibility shim: `new(n, mk)` is the
-        // single-socket builder, hop for hop.
-        let mut old = MultiWorld::new(2, fixed);
-        let mut new = MultiWorld::builder()
+    fn depth_one_fused_program_prices_like_a_roundtrip() {
+        // The fused path's anchor: one hop, no handover, no compute must
+        // reproduce Step::Roundtrip span for span — ledger, completion
+        // time, and the serving core's accounting.
+        let program = crate::program::Recipe::new(0)
+            .hop(1, 10)
+            .reply(20)
+            .build()
+            .unwrap();
+        let mut fused = world(2);
+        let id = fused.register_program(program);
+        let c_fused = fused.exec(0, Step::Fused(id), 0);
+        let mut plain = world(2);
+        let c_plain = plain.exec(
+            0,
+            Step::Roundtrip {
+                from: 0,
+                to: 1,
+                request: 10,
+                response: 20,
+            },
+            0,
+        );
+        assert_eq!(c_fused.done, c_plain.done);
+        assert_eq!(c_fused.inv.ledger, c_plain.inv.ledger);
+        assert_eq!(c_fused.inv.total, c_plain.inv.total);
+        assert_eq!(fused.core(1).cycles, plain.core(1).cycles);
+        assert_eq!(fused.core(1).stats.ipc_count, 1);
+    }
+
+    #[test]
+    fn fused_exec_into_matches_fused_exec() {
+        let program = crate::program::Recipe::new(0)
+            .hop(1, 64)
+            .compute(200)
+            .hop(2, 128)
+            .reply(16)
+            .build()
+            .unwrap();
+        let mut a = world(3);
+        let id_a = a.register_program(program.clone());
+        let c = a.exec(0, Step::Fused(id_a), 0);
+        let mut b = world(3);
+        let id_b = b.register_program(program);
+        let mut out = CycleLedger::new();
+        let done = b.exec_into(0, Step::Fused(id_b), 0, &mut out);
+        assert_eq!(done, c.done);
+        assert_eq!(out, c.inv.ledger);
+        // The identity-map exec and the explicit identity map agree.
+        let mut d = world(3);
+        let id_d = d.register_program(b.program(id_b).clone());
+        let c_mapped = d.exec_fused(0, id_d, &[0, 1, 2], 0);
+        assert_eq!(c_mapped, c);
+    }
+
+    #[test]
+    fn fused_program_serves_on_the_entry_core_with_hop_count_calls() {
+        let program = crate::program::Recipe::new(0)
+            .hop(1, 64)
+            .hop(2, 64)
+            .hop(1, 64)
+            .reply(8)
+            .build()
+            .unwrap();
+        let mut mw = world(3);
+        let id = mw.register_program(program);
+        let (client, entry, calls) = mw.fused_route(id, &[0, 1, 2]);
+        assert_eq!((client, entry, calls), (0, 1, 3));
+        let c = mw.exec(0, Step::Fused(id), 0);
+        // All busy time (and the 3 ipc calls) land on the entry core.
+        assert_eq!(mw.core(1).cycles, c.inv.total);
+        assert_eq!(mw.core(1).stats.ipc_count, 3);
+        assert_eq!(mw.core(2).cycles, 0);
+        assert_eq!(mw.free_at(1), c.done);
+        assert_eq!(mw.free_at(2), 0);
+    }
+
+    #[test]
+    fn fused_compute_extends_the_clock_but_not_the_ipc_ledger() {
+        let with_compute = crate::program::Recipe::new(0)
+            .hop(1, 64)
+            .compute(500)
+            .reply(8)
+            .build()
+            .unwrap();
+        let without = crate::program::Recipe::new(0)
+            .hop(1, 64)
+            .reply(8)
+            .build()
+            .unwrap();
+        let mut a = world(2);
+        let id = a.register_program(with_compute);
+        let ca = a.exec(0, Step::Fused(id), 0);
+        let mut b = world(2);
+        let id = b.register_program(without);
+        let cb = b.exec(0, Step::Fused(id), 0);
+        assert_eq!(ca.inv.ledger, cb.inv.ledger, "compute is not IPC");
+        assert_eq!(ca.done, cb.done + 500);
+        assert_eq!(a.core(1).stats.other_cycles, 500);
+    }
+
+    #[test]
+    fn handover_edges_shrink_the_moved_bytes_only_on_capable_systems() {
+        let program = crate::program::Recipe::new(0)
+            .handover(1, 4096)
+            .reply(0)
+            .build()
+            .unwrap();
+        // `Fixed` charges Transfer = msg_len, so the moved bytes are
+        // visible in the ledger. Without handover support the edge
+        // copies all 4096 bytes...
+        let mut plain = world(2);
+        let id = plain.register_program(program.clone());
+        let c = plain.exec(0, Step::Fused(id), 0);
+        assert_eq!(c.inv.ledger.get(Phase::Transfer), 4096);
+        // ...and a handover-capable system moves only the descriptor.
+        struct HandFixed;
+        impl IpcSystem for HandFixed {
+            fn name(&self) -> String {
+                "hand-fixed".into()
+            }
+            fn oneway(&mut self, msg_len: usize, _opts: &InvokeOpts) -> Invocation {
+                Invocation::from_ledger(
+                    CycleLedger::new()
+                        .with(Phase::Trap, 100)
+                        .with(Phase::Transfer, msg_len as u64),
+                    msg_len as u64,
+                )
+            }
+            fn supports_handover(&self) -> bool {
+                true
+            }
+        }
+        let mut hand = MultiWorld::builder()
             .topology(Topology::single_socket(2))
-            .build(fixed);
-        let (d_old, i_old) = old.exec_oneway(0, 1, 64, &InvokeOpts::call(), 0);
-        let (d_new, i_new) = new.exec_oneway(0, 1, 64, &InvokeOpts::call(), 0);
-        assert_eq!((d_old, i_old), (d_new, i_new));
-        let xc = XCoreCost {
-            numa_x10: 0,
-            ..XCoreCost::u500()
-        };
-        let shimmed = MultiWorld::new(2, fixed).with_xcore_cost(xc.clone());
-        let built = MultiWorld::builder()
-            .topology(Topology::single_socket(2))
-            .xcore_cost(xc)
-            .build(fixed);
-        assert_eq!(shimmed.xc, built.xc);
+            .build(|| Box::new(HandFixed));
+        let id = hand.register_program(program);
+        let c = hand.exec(0, Step::Fused(id), 0);
+        assert_eq!(
+            c.inv.ledger.get(Phase::Transfer),
+            HANDOVER_DESC_BYTES,
+            "the relay segment carries the payload; only the descriptor moves"
+        );
     }
 
     #[test]

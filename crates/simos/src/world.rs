@@ -173,6 +173,26 @@ impl World {
             .invoke_batch_into(calls, msg_len(bytes_each), opts, out)
     }
 
+    /// Sink-path pricing of hop `hop_index` of a fused call program (see
+    /// [`IpcSystem::fused_hop_into`]): charge into `out` and return the
+    /// bytes copied.
+    pub fn price_fused_hop_into(
+        &mut self,
+        hop_index: u64,
+        bytes: u64,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) -> u64 {
+        self.ipc
+            .fused_hop_into(hop_index, msg_len(bytes), opts, out)
+    }
+
+    /// Protection-boundary crossings a fused program of `hops` hops
+    /// costs the active system (see [`IpcSystem::fused_crossings`]).
+    pub fn fused_crossings(&self, hops: u64) -> u64 {
+        self.ipc.fused_crossings(hops)
+    }
+
     /// Engine-cache counters of the active system, when it models one.
     pub fn engine_cache_stats(&self) -> Option<EngineCacheStats> {
         self.ipc.engine_cache_stats()

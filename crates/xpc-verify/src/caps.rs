@@ -79,74 +79,86 @@ pub fn propagate(plan: &Plan) -> CapState {
     st
 }
 
+/// Validate one capability-checked call edge against a propagated
+/// lattice, mirroring the engine's bounds → cap → validity order.
+/// `None` means the edge is clean; otherwise the finding names the
+/// *first* cause the hardware would trap with.
+pub fn check_call(
+    plan: &Plan,
+    st: &CapState,
+    site: String,
+    caller_svc: usize,
+    callee_svc: usize,
+) -> Option<Finding> {
+    let Some(caller) = plan.services.get(caller_svc) else {
+        return Some(Finding::trap(
+            Cause::InvalidXEntry,
+            site,
+            format!("caller service {caller_svc} has no binding in the plan"),
+        ));
+    };
+    let Some(callee) = plan.services.get(callee_svc) else {
+        return Some(Finding::trap(
+            Cause::InvalidXEntry,
+            site,
+            format!("callee service {callee_svc} has no binding in the plan"),
+        ));
+    };
+    let Some(entry) = callee.entry else {
+        return Some(Finding::trap(
+            Cause::InvalidXEntry,
+            site,
+            format!("callee service {callee_svc} binds no x-entry"),
+        ));
+    };
+    // 1. Bounds: the engine refuses an id past the table before it
+    //    ever reads the cap bitmap.
+    if entry >= plan.table_entries {
+        return Some(Finding::trap(
+            Cause::InvalidXEntry,
+            site,
+            format!(
+                "entry {entry} out of bounds (table holds {} entries)",
+                plan.table_entries
+            ),
+        ));
+    }
+    // 2. Capability: the bit must be reachable in the caller's
+    //    bitmap through the grant lattice.
+    let has_cap = st
+        .xcall_caps
+        .get(caller.thread)
+        .is_some_and(|s| s.contains(&entry));
+    if !has_cap {
+        return Some(Finding::trap(
+            Cause::InvalidXcallCap,
+            site,
+            format!(
+                "thread {} holds no xcall-cap for entry {entry}",
+                caller.thread
+            ),
+        ));
+    }
+    // 3. Validity: the table slot must still be live.
+    let live = plan.entries.iter().any(|e| e.id == entry && e.valid);
+    if !live {
+        return Some(Finding::trap(
+            Cause::InvalidXEntry,
+            site,
+            format!("entry {entry} is registered-then-invalidated or missing"),
+        ));
+    }
+    None
+}
+
 /// Validate every capability-checked call site of every recipe flow,
 /// mirroring the engine's bounds → cap → validity order.
 pub fn check(plan: &Plan, flows: &[(String, RecipeFlow)]) -> Vec<Finding> {
     let st = propagate(plan);
     let mut findings = Vec::new();
     let mut check_edge = |site: String, caller_svc: usize, callee_svc: usize| {
-        let Some(caller) = plan.services.get(caller_svc) else {
-            findings.push(Finding::trap(
-                Cause::InvalidXEntry,
-                site,
-                format!("caller service {caller_svc} has no binding in the plan"),
-            ));
-            return;
-        };
-        let Some(callee) = plan.services.get(callee_svc) else {
-            findings.push(Finding::trap(
-                Cause::InvalidXEntry,
-                site,
-                format!("callee service {callee_svc} has no binding in the plan"),
-            ));
-            return;
-        };
-        let Some(entry) = callee.entry else {
-            findings.push(Finding::trap(
-                Cause::InvalidXEntry,
-                site,
-                format!("callee service {callee_svc} binds no x-entry"),
-            ));
-            return;
-        };
-        // 1. Bounds: the engine refuses an id past the table before it
-        //    ever reads the cap bitmap.
-        if entry >= plan.table_entries {
-            findings.push(Finding::trap(
-                Cause::InvalidXEntry,
-                site,
-                format!(
-                    "entry {entry} out of bounds (table holds {} entries)",
-                    plan.table_entries
-                ),
-            ));
-            return;
-        }
-        // 2. Capability: the bit must be reachable in the caller's
-        //    bitmap through the grant lattice.
-        let has_cap = st
-            .xcall_caps
-            .get(caller.thread)
-            .is_some_and(|s| s.contains(&entry));
-        if !has_cap {
-            findings.push(Finding::trap(
-                Cause::InvalidXcallCap,
-                site,
-                format!(
-                    "thread {} holds no xcall-cap for entry {entry}",
-                    caller.thread
-                ),
-            ));
-            return;
-        }
-        // 3. Validity: the table slot must still be live.
-        let live = plan.entries.iter().any(|e| e.id == entry && e.valid);
-        if !live {
-            findings.push(Finding::trap(
-                Cause::InvalidXEntry,
-                site,
-                format!("entry {entry} is registered-then-invalidated or missing"),
-            ));
+        if let Some(f) = check_call(plan, &st, site, caller_svc, callee_svc) {
+            findings.push(f);
         }
     };
     for (name, f) in flows {

@@ -9,7 +9,7 @@
 
 use crate::plan::{EntryDecl, Grant, Plan, SegOp, ServiceBinding};
 use rv64::trap::Cause;
-use simos::Step;
+use simos::{CallProgram, Recipe, Step};
 
 /// One crafted scenario: a plan, its recipes, and the verdict the
 /// verifier must reach.
@@ -207,6 +207,66 @@ pub fn clean() -> Crafted {
     }
 }
 
+/// One crafted fused-program scenario: a plan, the program run against
+/// it, and the verdict [`crate::verify_program`] must reach. Kept
+/// separate from [`all_crafted`] — the recipe-plan scenarios feed the
+/// bench `verify` table, the program scenarios feed the program
+/// differential tests.
+pub struct CraftedProgram {
+    /// Stable scenario name (kebab-case).
+    pub label: &'static str,
+    /// The exact cause every finding must predict.
+    pub expected: Cause,
+    /// The setup plan.
+    pub plan: Plan,
+    /// The fused program verified against the plan.
+    pub program: CallProgram,
+}
+
+/// A fused chain one hop deeper than the link stack holds. The builder
+/// admits it — [`simos::MAX_PROGRAM_HOPS`] caps structure, not
+/// deployment — so the *verifier* must refuse it, with the same
+/// `InvalidLinkage` the engine raises when the 103rd record pushes.
+pub fn over_deep_program() -> CraftedProgram {
+    let plan_caps = Plan::new();
+    let cap = usize::try_from(plan_caps.link_capacity_records).expect("capacity fits usize");
+    let mut r = Recipe::new(0);
+    for _ in 0..=cap {
+        r = r.hop(1, 8);
+    }
+    let program = r.reply(0).build().expect("within MAX_PROGRAM_HOPS");
+    let plan = Plan::for_program(2, &program);
+    CraftedProgram {
+        label: "over-deep-program",
+        expected: Cause::InvalidLinkage,
+        plan,
+        program,
+    }
+}
+
+/// A two-hop program whose middle service never received the xcall-cap
+/// for the final hop: the first edge is granted, the second is not, so
+/// the chained call must refuse with `InvalidXcallCap` exactly where
+/// the runtime handler's own `xcall` would.
+pub fn cap_violating_program() -> CraftedProgram {
+    let program = Recipe::new(0)
+        .hop(1, 8)
+        .hop(2, 8)
+        .reply(0)
+        .build()
+        .expect("two hops");
+    let mut plan = Plan::for_program(3, &program);
+    // Revoke the 1→2 grant the canonical plan would wire.
+    plan.grants
+        .retain(|g| !matches!(g, Grant::Xcall { entry: 2, .. }));
+    CraftedProgram {
+        label: "ungranted-chained-hop",
+        expected: Cause::InvalidXcallCap,
+        plan,
+        program,
+    }
+}
+
 /// Every crafted scenario, the five exception classes first, the clean
 /// control last.
 pub fn all_crafted() -> Vec<Crafted> {
@@ -237,6 +297,17 @@ mod tests {
                         assert_eq!(f.cause(), Some(cause), "{}: {f}", c.label);
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn each_crafted_program_yields_exactly_its_expected_cause() {
+        for c in [over_deep_program(), cap_violating_program()] {
+            let findings = crate::verify_program(&c.plan, c.label, &c.program);
+            assert!(!findings.is_empty(), "{}: no findings", c.label);
+            for f in &findings {
+                assert_eq!(f.cause(), Some(c.expected), "{}: {f}", c.label);
             }
         }
     }

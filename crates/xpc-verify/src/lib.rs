@@ -33,12 +33,14 @@ pub mod depth;
 pub mod finding;
 pub mod lint;
 pub mod plan;
+pub mod program;
 pub mod segs;
 
 pub use finding::{Finding, Verdict};
 pub use plan::{flow, CallSite, EntryDecl, Grant, Plan, RecipeFlow, SegOp, ServiceBinding};
+pub use program::check_program;
 
-use simos::Step;
+use simos::{CallProgram, Step};
 
 /// Run every static check — capability reachability, link-stack depth,
 /// segment ownership — over a plan and its named recipes, returning all
@@ -54,6 +56,16 @@ pub fn verify(plan: &Plan, recipes: &[(String, Vec<Step>)]) -> Vec<Finding> {
     findings
 }
 
+/// Run every static check that applies to a fused [`CallProgram`] —
+/// per-hop capability reachability, the exact fused depth bound,
+/// single-owner handover, and the plan's own segment lifecycle —
+/// returning all findings (empty means *proved clean*).
+pub fn verify_program(plan: &Plan, name: &str, prog: &CallProgram) -> Vec<Finding> {
+    let mut findings = program::check_program(plan, name, prog);
+    findings.extend(segs::check(plan));
+    findings
+}
+
 /// Pre-flight gate for the bench experiments: derive the canonical
 /// [`Plan::for_recipes`] setup an `n_services` deployment implies and
 /// verify the recipes against it. `Err` carries the findings; figures
@@ -62,6 +74,23 @@ pub fn preflight(n_services: usize, recipes: &[(String, Vec<Step>)]) -> Result<(
     let raw: Vec<Vec<Step>> = recipes.iter().map(|(_, r)| r.clone()).collect();
     let plan = Plan::for_recipes(n_services, &raw);
     let findings = verify(&plan, recipes);
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(findings)
+    }
+}
+
+/// The fused sibling of [`preflight`]: derive the canonical
+/// [`Plan::for_program`] setup and verify the program against it. The
+/// `fuse` figures refuse to run an unverifiable program.
+pub fn preflight_program(
+    n_services: usize,
+    name: &str,
+    prog: &CallProgram,
+) -> Result<(), Vec<Finding>> {
+    let plan = Plan::for_program(n_services, prog);
+    let findings = verify_program(&plan, name, prog);
     if findings.is_empty() {
         Ok(())
     } else {

@@ -9,7 +9,7 @@
 //! their existing [`simos::load::Step`] vocabulary; a [`ServiceBinding`]
 //! table maps recipe service ids onto the plan's threads and entries.
 
-use simos::Step;
+use simos::{CallProgram, Step};
 use xpc::layout::{SEG_LIST_SLOTS, XENTRY_TABLE_ENTRIES};
 use xpc_engine::layout::{LINK_RECORD_BYTES, LINK_STACK_BYTES};
 
@@ -233,6 +233,63 @@ impl Plan {
         ];
         plan
     }
+
+    /// The canonical plan a fused [`CallProgram`] implies, mirroring
+    /// [`Plan::for_recipes`]: one process + one thread per service,
+    /// service `i > 0` registered as x-entry `i`, and every consecutive
+    /// program edge (client → hop 0 → hop 1 → …) granted caller ←
+    /// owner. This is what [`crate::preflight_program`] verifies before
+    /// the `fuse` figures run.
+    pub fn for_program(n_services: usize, program: &CallProgram) -> Self {
+        let mut plan = Plan::new();
+        plan.threads = (0..n_services).collect();
+        plan.services = (0..n_services)
+            .map(|i| ServiceBinding {
+                thread: i,
+                entry: if i == 0 { None } else { Some(i as u64) },
+            })
+            .collect();
+        plan.entries = (1..n_services)
+            .map(|i| EntryDecl {
+                id: i as u64,
+                owner: i,
+                valid: true,
+            })
+            .collect();
+        let mut caller = program.client();
+        for hop in program.hops() {
+            let edge = (caller, hop.service);
+            if !plan.calls.contains(&edge) {
+                plan.calls.push(edge);
+            }
+            caller = hop.service;
+        }
+        for &(caller, callee) in &plan.calls {
+            if callee == 0 || callee >= n_services {
+                continue;
+            }
+            let grant = Grant::Xcall {
+                granter: callee,
+                grantee: caller,
+                entry: callee as u64,
+            };
+            if !plan.grants.contains(&grant) {
+                plan.grants.push(grant);
+            }
+        }
+        // The program's message buffer: one relay segment, owned and
+        // installed by the client, handed hop to hop.
+        plan.seg_ops = vec![
+            SegOp::Alloc {
+                seg: 0,
+                owner: 0,
+                len: 4096,
+                paged: false,
+            },
+            SegOp::Install { thread: 0, seg: 0 },
+        ];
+        plan
+    }
 }
 
 impl Default for Plan {
@@ -282,7 +339,11 @@ pub struct RecipeFlow {
 ///   the current frame to `to`;
 /// * `Roundtrip`/`Batch` to another service — a call that returns
 ///   before the next step: one record outstanding *during* the step;
-/// * `Compute`/`DataPass` — local work, no call structure.
+/// * `Compute`/`DataPass` — local work, no call structure;
+/// * `Fused` — an opaque program id the flow abstraction cannot
+///   resolve (the program body lives in a `MultiWorld` registry);
+///   fused programs are verified separately by
+///   [`crate::verify_program`] against their own derived plan.
 pub fn flow(recipe: &[Step]) -> RecipeFlow {
     let mut stack: Vec<usize> = Vec::new();
     let mut current = 0usize;
@@ -318,7 +379,7 @@ pub fn flow(recipe: &[Step]) -> RecipeFlow {
                     out.max_depth = out.max_depth.max(stack.len() as u64 + 1);
                 }
             }
-            Step::Compute { .. } | Step::DataPass { .. } => {}
+            Step::Compute { .. } | Step::DataPass { .. } | Step::Fused(_) => {}
         }
     }
     out

@@ -1,0 +1,165 @@
+//! Program differentials: [`xpc_verify::verify_program`]'s static
+//! verdict on each crafted fused program must be the **same `Cause`** a
+//! real `XpcKernel`/`XpcEngine` raises when the equivalent chain
+//! actually runs — the over-deep chain overflows the real link stack,
+//! and the cap-violating chain is refused at the exact hop whose grant
+//! is missing.
+
+use rv64::trap::Cause;
+use rv64::{reg, Assembler};
+use xpc::kernel::{syscall, KernelEvent, XpcKernel, XpcKernelConfig};
+use xpc::layout::USER_CODE_VA;
+use xpc_engine::layout::{LINK_RECORD_BYTES, LINK_STACK_BYTES};
+use xpc_engine::XpcAsm;
+use xpc_verify::{crafted, verify_program};
+
+/// The single cause the verifier statically predicts for a crafted
+/// program (asserting there is at least one finding and they agree).
+fn static_cause(c: &crafted::CraftedProgram) -> Cause {
+    let findings = verify_program(&c.plan, c.label, &c.program);
+    assert!(!findings.is_empty(), "{}: no static findings", c.label);
+    let cause = findings[0].cause().expect("trap-typed verdict");
+    for f in &findings {
+        assert_eq!(f.cause(), Some(cause), "{}: mixed causes", c.label);
+    }
+    assert_eq!(cause, c.expected, "{}: wrong class", c.label);
+    cause
+}
+
+/// Run the entered thread and return the fault cause it must raise.
+fn run_to_fault(k: &mut XpcKernel) -> Cause {
+    match k.run(50_000_000).unwrap() {
+        KernelEvent::Fault { cause, .. } => cause,
+        other => panic!("expected a fault, got {other:?}"),
+    }
+}
+
+fn exit_syscall(a: &mut Assembler) {
+    a.li(reg::A7, syscall::EXIT as i64);
+    a.ecall();
+}
+
+#[test]
+fn over_deep_program_diffs_to_invalid_linkage() {
+    let c = crafted::over_deep_program();
+    let predicted = static_cause(&c);
+
+    // The builder itself admits the chain — only the verifier refuses.
+    let capacity = LINK_STACK_BYTES / LINK_RECORD_BYTES;
+    assert_eq!(c.program.depth() as u64, capacity + 1);
+
+    // Runtime: the program's repeated hops into service 1 are the
+    // handler chaining an xcall into its own entry without returning;
+    // past the link stack's capacity the engine refuses the push.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p = k.create_process().unwrap();
+    let t = k.create_thread(p).unwrap();
+    let mut h = Assembler::new(USER_CODE_VA);
+    h.li(reg::T6, 1); // first registered entry id
+    h.xcall(reg::T6);
+    h.ret();
+    let hv = k.load_code(p, &h.assemble()).unwrap();
+    let entry = k.register_entry(t, t, hv, capacity + 8).unwrap();
+    k.grant_xcall(t, t, entry).unwrap();
+
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    k.grant_xcall(t, client, entry).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T6, entry.0 as i64);
+    a.xcall(reg::T6);
+    exit_syscall(&mut a);
+    let va = k.load_code(pc, &a.assemble()).unwrap();
+    k.enter_thread(client, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidLinkage);
+}
+
+#[test]
+fn cap_violating_program_diffs_to_invalid_xcall_cap() {
+    let c = crafted::cap_violating_program();
+    let predicted = static_cause(&c);
+
+    // Runtime: service 2's entry is registered and granted to nobody
+    // but its owner; service 1's handler chains an xcall into it — the
+    // engine refuses at exactly that hop.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p2 = k.create_process().unwrap();
+    let s2 = k.create_thread(p2).unwrap();
+    let mut h2 = Assembler::new(USER_CODE_VA);
+    h2.ret();
+    let h2v = k.load_code(p2, &h2.assemble()).unwrap();
+    let entry2 = k.register_entry(s2, s2, h2v, 1).unwrap();
+
+    let p1 = k.create_process().unwrap();
+    let s1 = k.create_thread(p1).unwrap();
+    let mut h1 = Assembler::new(USER_CODE_VA);
+    h1.li(reg::T6, entry2.0 as i64);
+    h1.xcall(reg::T6); // the ungranted chained hop
+    h1.ret();
+    let h1v = k.load_code(p1, &h1.assemble()).unwrap();
+    let entry1 = k.register_entry(s1, s1, h1v, 1).unwrap();
+
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    k.grant_xcall(s1, client, entry1).unwrap();
+    // NO grant_xcall(s2, s1, entry2): the missing edge of the plan.
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T6, entry1.0 as i64);
+    a.xcall(reg::T6);
+    exit_syscall(&mut a);
+    let va = k.load_code(pc, &a.assemble()).unwrap();
+    k.enter_thread(client, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidXcallCap);
+}
+
+#[test]
+fn granted_chain_verifies_clean_and_runs_fault_free() {
+    // The clean sibling of the cap-violating program: identical chain,
+    // the 1→2 grant in place — zero findings, and the kernel runs the
+    // chained xcalls to completion.
+    let c = crafted::cap_violating_program();
+    let plan = xpc_verify::Plan::for_program(3, &c.program);
+    assert!(verify_program(&plan, "granted-chain", &c.program).is_empty());
+
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p2 = k.create_process().unwrap();
+    let s2 = k.create_thread(p2).unwrap();
+    let mut h2 = Assembler::new(USER_CODE_VA);
+    h2.li(reg::A0, 9);
+    h2.ret();
+    let h2v = k.load_code(p2, &h2.assemble()).unwrap();
+    let entry2 = k.register_entry(s2, s2, h2v, 1).unwrap();
+
+    let p1 = k.create_process().unwrap();
+    let s1 = k.create_thread(p1).unwrap();
+    let mut h1 = Assembler::new(USER_CODE_VA);
+    // Preserve sp/ra across the nested call (migrating-thread
+    // convention), then chain onward.
+    h1.mv(reg::S3, reg::SP);
+    h1.mv(reg::S4, reg::RA);
+    h1.li(reg::T6, entry2.0 as i64);
+    h1.xcall(reg::T6);
+    h1.mv(reg::SP, reg::S3);
+    h1.mv(reg::RA, reg::S4);
+    h1.ret();
+    let h1v = k.load_code(p1, &h1.assemble()).unwrap();
+    let entry1 = k.register_entry(s1, s1, h1v, 1).unwrap();
+    k.grant_xcall(s2, s1, entry2).unwrap(); // the edge that was missing
+
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    k.grant_xcall(s1, client, entry1).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T6, entry1.0 as i64);
+    a.xcall(reg::T6);
+    exit_syscall(&mut a);
+    let va = k.load_code(pc, &a.assemble()).unwrap();
+    k.enter_thread(client, va, &[]).unwrap();
+    let ev = k.run(50_000_000).unwrap();
+    assert!(
+        !matches!(ev, KernelEvent::Fault { .. }),
+        "granted chain must not fault: {ev:?}"
+    );
+}

@@ -16,7 +16,7 @@
 //! ```
 
 use xpc_repro::kernels::{IpcSystem, Sel4, Sel4Transfer, XpcIpc, Zircon};
-use xpc_repro::services::http::{chain_steps, CHAIN_SERVICES};
+use xpc_repro::services::http::{chain_steps, ChainSpec, CHAIN_SERVICES};
 use xpc_repro::simos::{load, InvokeOpts, LoadGen, MultiWorld, Phase, Placement, Topology};
 
 fn main() {
@@ -63,7 +63,13 @@ fn main() {
     for mk in mechanisms {
         let recipes: Vec<_> = [1024u64, 4096, 16384]
             .iter()
-            .map(|&len| chain_steps("/index.html", len, true, mk().supports_handover()))
+            .map(|&len| {
+                chain_steps(
+                    "/index.html",
+                    len,
+                    ChainSpec::default().with_handover(mk().supports_handover()),
+                )
+            })
             .collect();
         for (label, topo) in [
             ("u500", Topology::u500()),

@@ -9,7 +9,7 @@
 //! ```
 
 use xpc_repro::kernels::{IpcSystem, XpcIpc, Zircon};
-use xpc_repro::services::http::{chain_steps, CHAIN_SERVICES};
+use xpc_repro::services::http::{chain_steps, ChainSpec, CHAIN_SERVICES};
 use xpc_repro::simos::{load, LoadGen, MultiWorld, Placement};
 
 fn main() {
@@ -37,7 +37,13 @@ fn main() {
     for mk in mechanisms {
         let recipes: Vec<_> = [1024u64, 4096, 16384]
             .iter()
-            .map(|&len| chain_steps("/index.html", len, true, mk().supports_handover()))
+            .map(|&len| {
+                chain_steps(
+                    "/index.html",
+                    len,
+                    ChainSpec::default().with_handover(mk().supports_handover()),
+                )
+            })
             .collect();
         for policy in &policies {
             let mut mw = MultiWorld::builder().cores(4).build(mk);

@@ -11,7 +11,7 @@
 //! ```
 
 use xpc_repro::kernels::full_roster_factories;
-use xpc_repro::services::http::{chain_steps, CHAIN_SERVICES};
+use xpc_repro::services::http::{chain_steps, ChainSpec, CHAIN_SERVICES};
 use xpc_repro::xpc_verify::{crafted, lint, preflight, verify};
 
 fn main() {
@@ -35,7 +35,11 @@ fn main() {
             .map(|&len| {
                 (
                     format!("GET /index.html {len}B handover={handover}"),
-                    chain_steps("/index.html", len, true, handover),
+                    chain_steps(
+                        "/index.html",
+                        len,
+                        ChainSpec::default().with_handover(handover),
+                    ),
                 )
             })
             .collect();
