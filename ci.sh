@@ -24,6 +24,14 @@ echo "== clippy (simos: cast_possible_truncation promoted to error) =="
 # with the bound stated.
 cargo clippy -p simos --all-targets -- -D warnings -D clippy::cast-possible-truncation
 
+echo "== clippy (xpc-verify: missing_panics_doc promoted to error) =="
+# The verifier is the library other tools call blind; every pub fn that
+# can panic (crafted builders, the program checker's depth conversion)
+# documents its # Panics contract. --no-deps scopes the promotion to the
+# crate itself.
+cargo clippy -p xpc-verify --all-targets --no-deps -- \
+  -D warnings -A clippy::cast-possible-truncation -D clippy::missing-panics-doc
+
 echo "== rustdoc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
@@ -79,6 +87,24 @@ grep -q '"grid": \[' BENCH_figures.json \
   || { echo "ci: fuse section has no mechanism x depth grid" >&2; exit 1; }
 grep -q '"crossings": 1' BENCH_figures.json \
   || { echo "ci: fuse grid shows no fused single-crossing cell" >&2; exit 1; }
+
+echo "== harden (temporal-mitigation security tax, golden-gated) =="
+# The harden grid is analytic (cost-model pricing only), so it snapshot-
+# gates exactly: figures/golden_harden.json is compared in-process by
+# the golden_harden test (run above); here we assert the JSON dump
+# carries the section, that unhardened rows pay zero tax (mitigations
+# off stay byte-identical to the pre-hardening model), and replay the
+# temporal differential suites that pin each static rule to the same
+# fault a real XpcKernel raises.
+grep -q '"harden": \[' BENCH_figures.json \
+  || { echo "ci: BENCH_figures.json is missing its harden section" >&2; exit 1; }
+grep -q '"set": "all"' BENCH_figures.json \
+  || { echo "ci: harden section has no all-mitigations rows" >&2; exit 1; }
+grep -q '"set": "none", "msg_len": 0, "cycles": [0-9]*, "tax_cycles": 0' BENCH_figures.json \
+  || { echo "ci: harden section's unhardened rows are not tax-free" >&2; exit 1; }
+cargo test -q --release -p xpc-verify --test temporal_differential
+cargo test -q --release -p xpc-verify --test differential --test program_differential
+cargo test -q --release -p kernels --test hardening
 
 echo "== deprecated-shim gate (the Recipe/ChainSpec redesign leaves none) =="
 if grep -rn '#\[deprecated' crates/; then

@@ -95,6 +95,7 @@ fn main() {
             ("verify", experiments::verify::json_section()),
             ("serve", experiments::serve::json_section()),
             ("fuse", experiments::fuse::json_section()),
+            ("harden", experiments::harden::json_section()),
         ];
         if !no_simspeed {
             // Wall-clock simulator throughput; lives only in the JSON

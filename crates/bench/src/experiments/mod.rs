@@ -9,6 +9,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fuse;
+pub mod harden;
 pub mod numa;
 pub mod pipeline;
 pub mod scale;
@@ -101,6 +102,7 @@ pub fn all() -> Vec<Experiment> {
         ("verify", verify::run),
         ("serve", serve::run),
         ("fuse", fuse::run),
+        ("harden", harden::run),
     ];
     debug_assert!(
         {
@@ -161,8 +163,8 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_23_experiments() {
-        assert_eq!(all().len(), 23);
+    fn registry_has_all_24_experiments() {
+        assert_eq!(all().len(), 24);
     }
 
     #[test]

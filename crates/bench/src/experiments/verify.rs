@@ -8,7 +8,9 @@
 //!
 //! * **crafted** — one minimal misconfiguration per exception class
 //!   (out-of-bounds entry, ungranted xcall, self-recursive service,
-//!   empty-slot swapseg, widening seg-mask) plus a clean control; the
+//!   empty-slot swapseg, widening seg-mask) plus the three
+//!   temporal-lifecycle classes (revoked-cap call, post-handover mask
+//!   widening, cross-tenant skip return) and a clean control; the
 //!   verifier's verdict must agree with the expected trap class by
 //!   class (the differential tests additionally replay each on a real
 //!   `XpcKernel` and assert the engine faults identically);
@@ -235,9 +237,9 @@ mod tests {
     #[test]
     fn rows_cover_all_three_groups() {
         let rows = results();
-        // 6 crafted (5 exception classes + clean control), 3 recipe
-        // sets, 12 roster systems.
-        assert_eq!(rows.iter().filter(|r| r.group == "crafted").count(), 6);
+        // 9 crafted (5 spatial exception classes + 3 temporal-lifecycle
+        // classes + clean control), 3 recipe sets, 12 roster systems.
+        assert_eq!(rows.iter().filter(|r| r.group == "crafted").count(), 9);
         assert_eq!(rows.iter().filter(|r| r.group == "preflight").count(), 3);
         assert_eq!(rows.iter().filter(|r| r.group == "ledger").count(), 12);
     }

@@ -220,13 +220,17 @@ impl IpcSystem for BinderIpc {
         simos::ipc::oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         if self.ashmem {
             self.cfg.ashmem_into(self.system, bytes, &self.cost, out);
         } else {
             self.cfg.buffer_into(self.system, bytes, &self.cost, out);
         }
+        // XPC variants mitigate at engine rates; stock Binder pays the
+        // software-equivalent lookups in its driver/kernel path.
+        let hw = self.system != BinderSystem::Binder;
+        self.cost.charge_hardening(hw, msg_len, opts, out);
         match (self.system, self.ashmem) {
             (BinderSystem::Binder, false) => 2 * bytes,
             (BinderSystem::Binder, true) => bytes,

@@ -45,7 +45,7 @@ impl IpcSystem for Mach {
         oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         // Trap + port-rights checks (heavier than seL4's logic) +
@@ -55,7 +55,8 @@ impl IpcSystem for Mach {
         out.charge(Phase::Schedule, c.schedule);
         out.charge(Phase::Switch, c.process_switch);
         out.charge(Phase::Restore, c.restore);
-        Transport::TwofoldCopy.charge(out, c, bytes, 1)
+        self.cost.charge_hardening(false, msg_len, opts, out);
+        Transport::TwofoldCopy.charge(out, &self.cost, bytes, 1)
     }
 }
 
@@ -91,7 +92,7 @@ impl IpcSystem for Lrpc {
         oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         // Trap + binding-object validation + direct switch (no scheduler,
@@ -101,6 +102,7 @@ impl IpcSystem for Lrpc {
         out.charge(Phase::Switch, c.process_switch);
         out.charge(Phase::Restore, c.restore);
         out.charge(Phase::Transfer, c.copy_cycles(bytes));
+        self.cost.charge_hardening(false, msg_len, opts, out);
         bytes
     }
 }
@@ -143,7 +145,7 @@ impl IpcSystem for L4TempMap {
         oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         let mapping = if bytes > 0 { TEMP_MAP_CYCLES } else { 0 };
@@ -153,6 +155,7 @@ impl IpcSystem for L4TempMap {
         out.charge(Phase::Restore, c.restore);
         out.charge(Phase::Mapping, mapping);
         out.charge(Phase::Transfer, c.copy_cycles(bytes));
+        self.cost.charge_hardening(false, msg_len, opts, out);
         bytes
     }
 }
@@ -188,14 +191,15 @@ impl IpcSystem for PpcRemap {
         oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         out.charge(Phase::Trap, c.trap);
         out.charge(Phase::IpcLogic, c.ipc_logic / 2);
         out.charge(Phase::Switch, c.process_switch);
         out.charge(Phase::Restore, c.restore);
-        Transport::Remap.charge(out, c, bytes, 1)
+        self.cost.charge_hardening(false, msg_len, opts, out);
+        Transport::Remap.charge(out, &self.cost, bytes, 1)
     }
 }
 

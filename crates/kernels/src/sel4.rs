@@ -102,7 +102,7 @@ impl IpcSystem for Sel4 {
         oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         c.sel4_fastpath_into(out);
@@ -114,6 +114,9 @@ impl IpcSystem for Sel4 {
         if self.cross_core {
             out.charge(Phase::CrossCore, c.cross_core_base);
         }
+        // Software-equivalent temporal mitigations: generation-table and
+        // flow-tag lookups in the kernel IPC path, buffer scrub per byte.
+        self.cost.charge_hardening(false, msg_len, opts, out);
         self.copies(bytes)
     }
 }

@@ -74,7 +74,7 @@ impl IpcSystem for XpcIpc {
         oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, _msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         if opts.reply {
             // Return leg: xret restores the caller's context directly
             // (the link-stack entry, not the x-entry table, so sharding
@@ -97,6 +97,10 @@ impl IpcSystem for XpcIpc {
                 self.stats.shard_misses += 1;
             }
         }
+        // Temporal mitigations at engine rates: the epoch compare rides
+        // the xcall cap walk, the flow tag rides the linkage record, and
+        // zero-on-handover scrubs the relay window before transfer.
+        self.cost.charge_hardening(true, msg_len, opts, out);
         // Relay segment: the payload is handed over, never copied.
         0
     }
@@ -150,6 +154,9 @@ impl IpcSystem for XpcIpc {
             out.charge(Phase::TlbRefill, self.cost.tlb_refill);
         }
         self.stats.cache_hits += 1;
+        // Continuation xcalls still re-check epochs / stamp flow tags /
+        // scrub before handing the relay window on.
+        self.cost.charge_hardening(true, msg_len, opts, out);
         // Relay segment: handed over hop to hop, never copied.
         0
     }

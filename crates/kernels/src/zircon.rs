@@ -55,7 +55,7 @@ impl IpcSystem for Zircon {
         oneway_invocation(self, msg_len, opts)
     }
 
-    fn oneway_into(&mut self, msg_len: usize, _opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
+    fn oneway_into(&mut self, msg_len: usize, opts: &InvokeOpts, out: &mut CycleLedger) -> u64 {
         let bytes = msg_len as u64;
         let c = &self.cost;
         // Channel write syscall + wait + scheduler + channel read syscall,
@@ -74,6 +74,8 @@ impl IpcSystem for Zircon {
         if self.cross_core {
             out.charge(Phase::CrossCore, c.cross_core_base);
         }
+        // Software-equivalent temporal mitigations in the kernel path.
+        self.cost.charge_hardening(false, msg_len, opts, out);
         2 * bytes
     }
 }

@@ -10,7 +10,7 @@
 //! memory, i.e. ~0.98 cycles/byte for one pass over the data. We charge
 //! `copy_num/copy_den` cycles per byte per copy.
 
-use crate::ledger::{CycleLedger, Phase};
+use crate::ledger::{CycleLedger, InvokeOpts, Phase};
 
 /// Cycle-cost constants for the OS models.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +61,22 @@ pub struct CostModel {
     /// Zircon one-way channel IPC base: syscall + handle checks + wait
     /// queue + scheduler (calibrated to §5.2's ~60× at small sizes).
     pub zircon_oneway_base: u64,
+    /// Revocation-epoch compare on the `xcall` cap walk (hardware rate:
+    /// one extra field on the cache line the engine already fetched).
+    pub epoch_check: u64,
+    /// Software-equivalent epoch check for trap-based kernels: a
+    /// generation-table lookup in the kernel IPC-logic path.
+    pub epoch_check_sw: u64,
+    /// Per-hop tenant flow tag stamp + verify riding the linkage record
+    /// (hardware rate).
+    pub flow_tag: u64,
+    /// Software-equivalent flow-tag bookkeeping for trap-based kernels.
+    pub flow_tag_sw: u64,
+    /// Zero-on-handover scrub cost numerator (cycles per `scrub_den`
+    /// bytes — a store-only pass, cheaper than a copy's load+store).
+    pub scrub_num: u64,
+    /// Zero-on-handover scrub cost denominator.
+    pub scrub_den: u64,
     /// Core clock in Hz, for converting cycles to wall time (the U500
     /// FPGA bitstream runs at 100 MHz).
     pub clock_hz: u64,
@@ -88,6 +104,12 @@ impl CostModel {
             trampoline_partial: 15,
             tlb_refill: 40,
             zircon_oneway_base: 8_000,
+            epoch_check: 2,
+            epoch_check_sw: 24,
+            flow_tag: 3,
+            flow_tag_sw: 30,
+            scrub_num: 2005,
+            scrub_den: 4096,
             clock_hz: 100_000_000,
         }
     }
@@ -149,6 +171,54 @@ impl CostModel {
         out.charge(Phase::Xcall, self.xcall);
         if !tagged_tlb {
             out.charge(Phase::TlbRefill, self.tlb_refill);
+        }
+    }
+
+    /// Cycles for one zeroing pass over `bytes` (store-only).
+    pub fn scrub_cycles(&self, bytes: u64) -> u64 {
+        bytes * self.scrub_num / self.scrub_den
+    }
+
+    /// Charge the temporal mitigations `opts.hardening` asks for into
+    /// `out` — the one pricing path every kernel model shares, so the
+    /// security tax is attributed identically whether the mechanism is
+    /// the XPC engine (`hw = true`: the epoch compare rides the `xcall`
+    /// cap walk, the flow tag rides the linkage record push/pop) or a
+    /// trap-based baseline (`hw = false`: both become kernel-side table
+    /// lookups in the IPC-logic path). The zero-on-handover scrub is a
+    /// per-byte store pass for everyone, charged to [`Phase::Scrub`].
+    /// With [`Hardening::NONE`](crate::ledger::Hardening::NONE) this
+    /// charges nothing (no spans appear), keeping unhardened ledgers
+    /// byte-identical to the pre-hardening model.
+    pub fn charge_hardening(
+        &self,
+        hw: bool,
+        msg_len: usize,
+        opts: &InvokeOpts,
+        out: &mut CycleLedger,
+    ) {
+        let h = opts.hardening;
+        if h.revocation_epochs && !opts.reply {
+            if hw {
+                out.charge(Phase::Xcall, self.epoch_check);
+            } else {
+                out.charge(Phase::IpcLogic, self.epoch_check_sw);
+            }
+        }
+        if h.flow_tags {
+            if hw {
+                let phase = if opts.reply {
+                    Phase::Xret
+                } else {
+                    Phase::Xcall
+                };
+                out.charge(phase, self.flow_tag);
+            } else {
+                out.charge(Phase::IpcLogic, self.flow_tag_sw);
+            }
+        }
+        if h.zero_on_handover && msg_len > 0 {
+            out.charge(Phase::Scrub, self.scrub_cycles(msg_len as u64));
         }
     }
 
@@ -228,6 +298,45 @@ mod tests {
                 assert_eq!(l.get(Phase::TlbRefill) == 0, tagged);
             }
         }
+    }
+
+    #[test]
+    fn hardening_off_charges_nothing() {
+        let c = CostModel::u500();
+        for hw in [true, false] {
+            for opts in [InvokeOpts::call(), InvokeOpts::reply_leg()] {
+                let mut l = CycleLedger::new();
+                c.charge_hardening(hw, 4096, &opts, &mut l);
+                assert!(l.is_empty(), "NONE must leave the ledger untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn hardening_rates_split_hw_vs_sw() {
+        use crate::ledger::Hardening;
+        let c = CostModel::u500();
+        let opts = InvokeOpts::call().hardened(Hardening::ALL);
+        let mut hw = CycleLedger::new();
+        c.charge_hardening(true, 4096, &opts, &mut hw);
+        assert_eq!(hw.get(Phase::Xcall), c.epoch_check + c.flow_tag);
+        assert_eq!(hw.get(Phase::Scrub), c.scrub_cycles(4096));
+        assert_eq!(hw.get(Phase::IpcLogic), 0);
+        let mut sw = CycleLedger::new();
+        c.charge_hardening(false, 4096, &opts, &mut sw);
+        assert_eq!(sw.get(Phase::IpcLogic), c.epoch_check_sw + c.flow_tag_sw);
+        assert_eq!(sw.get(Phase::Scrub), c.scrub_cycles(4096));
+        assert_eq!(sw.get(Phase::Xcall), 0);
+        assert!(sw.total() > hw.total(), "software mitigation costs more");
+        // Reply legs re-verify the flow tag but never re-check the epoch
+        // (the capability was consumed on the call leg), and scrub only
+        // what they carry.
+        let reply = InvokeOpts::reply_leg().hardened(Hardening::ALL);
+        let mut r = CycleLedger::new();
+        c.charge_hardening(true, 0, &reply, &mut r);
+        assert_eq!(r.get(Phase::Xret), c.flow_tag);
+        assert_eq!(r.get(Phase::Xcall), 0);
+        assert_eq!(r.get(Phase::Scrub), 0);
     }
 
     #[test]

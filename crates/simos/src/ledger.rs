@@ -55,14 +55,18 @@ pub enum Phase {
     Driver,
     /// Application compute attributed to the call (surface touches, draw).
     Compute,
+    /// Zero-on-handover scrub of a relay segment (temporal hardening:
+    /// priced per byte, charged only when
+    /// [`Hardening::zero_on_handover`] is on).
+    Scrub,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every phase, in canonical (paper) order.
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 18] = [
         Phase::Trap,
         Phase::IpcLogic,
         Phase::Switch,
@@ -80,6 +84,7 @@ impl Phase {
         Phase::Mapping,
         Phase::Driver,
         Phase::Compute,
+        Phase::Scrub,
     ];
 
     /// Stable dense index into [`Phase::ALL`]-ordered arrays (declaration
@@ -108,6 +113,7 @@ impl Phase {
             Phase::Mapping => "mapping",
             Phase::Driver => "driver",
             Phase::Compute => "compute",
+            Phase::Scrub => "scrub",
         }
     }
 
@@ -131,6 +137,7 @@ impl Phase {
             Phase::Mapping => "Mapping",
             Phase::Driver => "Driver",
             Phase::Compute => "Compute",
+            Phase::Scrub => "Scrub",
         }
     }
 }
@@ -508,6 +515,51 @@ pub enum Attribution<'a> {
     },
 }
 
+/// Temporal-safety mitigations, each independently switchable.
+///
+/// These are the runtime twins of the `xpc-verify` temporal passes:
+/// revocation epochs refute stale grant-cap replay, zero-on-handover
+/// scrubs relay-segment reuse leaks, and per-hop flow tags keep one
+/// tenant's return from popping another tenant's linkage record. Every
+/// `IpcSystem` model prices the mitigations it is asked for —
+/// XPC-engine systems at hardware rates (an epoch compare rides the
+/// `xcall` cap walk, a flow tag rides the linkage record), trap-based
+/// baselines at their software-equivalent rates (kernel-side table
+/// lookups in the IPC logic path). All-off (the [`Default`]) charges
+/// nothing anywhere, so un-hardened pricing is byte-identical to the
+/// pre-hardening model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hardening {
+    /// Check the capability's revocation epoch on every call leg.
+    pub revocation_epochs: bool,
+    /// Zero the relay segment (or message buffer) before ownership
+    /// transfer; priced per byte into [`Phase::Scrub`].
+    pub zero_on_handover: bool,
+    /// Stamp and verify a per-hop tenant flow tag on call and reply.
+    pub flow_tags: bool,
+}
+
+impl Hardening {
+    /// No mitigations (pricing identical to the unhardened model).
+    pub const NONE: Hardening = Hardening {
+        revocation_epochs: false,
+        zero_on_handover: false,
+        flow_tags: false,
+    };
+
+    /// Every mitigation on.
+    pub const ALL: Hardening = Hardening {
+        revocation_epochs: true,
+        zero_on_handover: true,
+        flow_tags: true,
+    };
+
+    /// Whether any mitigation is on.
+    pub fn any(self) -> bool {
+        self.revocation_epochs || self.zero_on_handover || self.flow_tags
+    }
+}
+
 /// Options for one [`IpcSystem`](crate::ipc::IpcSystem) hop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvokeOpts {
@@ -522,6 +574,9 @@ pub struct InvokeOpts {
     /// (`XpcIpc`) charge [`Phase::ShardMiss`] for the remote fetch;
     /// trap-based systems have one global table and ignore it.
     pub shard_dist: u64,
+    /// Temporal-safety mitigations to price on this hop (all-off by
+    /// default — see [`Hardening`]).
+    pub hardening: Hardening,
 }
 
 impl Default for InvokeOpts {
@@ -530,6 +585,7 @@ impl Default for InvokeOpts {
             reply: false,
             hops: 1,
             shard_dist: 0,
+            hardening: Hardening::NONE,
         }
     }
 }
@@ -553,6 +609,14 @@ impl InvokeOpts {
     #[must_use]
     pub fn at_shard_distance(mut self, dist: u64) -> Self {
         self.shard_dist = dist;
+        self
+    }
+
+    /// Price this hop with `hardening` mitigations on (see
+    /// [`Hardening`]).
+    #[must_use]
+    pub fn hardened(mut self, hardening: Hardening) -> Self {
+        self.hardening = hardening;
         self
     }
 }

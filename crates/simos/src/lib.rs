@@ -63,8 +63,8 @@ pub use ipc::{
     amortized_batch, amortized_batch_into, oneway_invocation, EngineCacheStats, IpcCost, IpcSystem,
 };
 pub use ledger::{
-    ArenaMark, Attribution, CycleLedger, Invocation, InvokeOpts, LedgerArena, LedgerRef, Phase,
-    PhaseTotals,
+    ArenaMark, Attribution, CycleLedger, Hardening, Invocation, InvokeOpts, LedgerArena, LedgerRef,
+    Phase, PhaseTotals,
 };
 pub use load::{LoadError, LoadGen, LoadReport, SweepScratch};
 pub use multicore::{

@@ -11,15 +11,25 @@
 //! the grantee's bitmap. The fixpoint is reached after the single pass
 //! since grants are ordered.
 //!
+//! Revocation is temporal: each entry carries a **revocation epoch**,
+//! bumped by every authorized [`Grant::Revoke`], and each granted cap
+//! records the epoch it landed in. A call through a cap whose epoch
+//! predates the entry's current epoch observes a revoked capability —
+//! the bitmap bit `revoke_entry` cleared — and is refuted with the same
+//! `InvalidXcallCap` the engine raises. A re-grant after the revoke
+//! carries the new epoch and is live again; a plan with zero revoke
+//! edges leaves every epoch at 0 and the lattice is byte-identical to
+//! its pre-epoch behavior.
+//!
 //! Call sites then replay the engine's exact validation order from
-//! `XpcEngine::exec_xcall`: **bounds → cap bit → entry validity**, so
-//! the first finding at a site names the same [`Cause`] the hardware
-//! would trap with first.
+//! `XpcEngine::exec_xcall`: **bounds → cap bit (incl. epoch) → entry
+//! validity**, so the first finding at a site names the same [`Cause`]
+//! the hardware would trap with first.
 
 use crate::finding::Finding;
 use crate::plan::{Grant, Plan, RecipeFlow};
 use rv64::trap::Cause;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Per-thread capability state after the setup plan ran abstractly.
 #[derive(Debug, Clone, Default)]
@@ -28,14 +38,26 @@ pub struct CapState {
     pub xcall_caps: Vec<HashSet<u64>>,
     /// `grant_caps[t]` = entry ids thread `t` may grant onward.
     pub grant_caps: Vec<HashSet<u64>>,
+    /// `cap_epochs[t][e]` = the revocation epoch entry `e` was in when
+    /// thread `t` received its xcall-cap. A cap whose recorded epoch is
+    /// older than the entry's current epoch was cleared by an
+    /// intervening [`Grant::Revoke`] and is stale.
+    pub cap_epochs: Vec<HashMap<u64, u64>>,
+    /// Current revocation epoch per entry. Missing means epoch 0 — the
+    /// entry was never revoked, so the lattice behaves exactly as it
+    /// did before epochs existed.
+    pub entry_epochs: HashMap<u64, u64>,
 }
 
-/// Run the setup plan's registrations and grants through the lattice.
+/// Run the setup plan's registrations, grants, and revocations through
+/// the lattice.
 pub fn propagate(plan: &Plan) -> CapState {
     let n = plan.threads.len();
     let mut st = CapState {
         xcall_caps: vec![HashSet::new(); n],
         grant_caps: vec![HashSet::new(); n],
+        cap_epochs: vec![HashMap::new(); n],
+        entry_epochs: HashMap::new(),
     };
     for e in &plan.entries {
         if let Some(set) = st.grant_caps.get_mut(e.owner) {
@@ -54,8 +76,12 @@ pub fn propagate(plan: &Plan) -> CapState {
                     .get(granter)
                     .is_some_and(|s| s.contains(&entry));
                 if authorized {
+                    let epoch = st.entry_epochs.get(&entry).copied().unwrap_or(0);
                     if let Some(set) = st.xcall_caps.get_mut(grantee) {
                         set.insert(entry);
+                    }
+                    if let Some(map) = st.cap_epochs.get_mut(grantee) {
+                        map.insert(entry, epoch);
                     }
                 }
             }
@@ -72,6 +98,15 @@ pub fn propagate(plan: &Plan) -> CapState {
                     if let Some(set) = st.grant_caps.get_mut(grantee) {
                         set.insert(entry);
                     }
+                }
+            }
+            Grant::Revoke { granter, entry } => {
+                let authorized = st
+                    .grant_caps
+                    .get(granter)
+                    .is_some_and(|s| s.contains(&entry));
+                if authorized {
+                    *st.entry_epochs.entry(entry).or_insert(0) += 1;
                 }
             }
         }
@@ -135,6 +170,28 @@ pub fn check_call(
             site,
             format!(
                 "thread {} holds no xcall-cap for entry {entry}",
+                caller.thread
+            ),
+        ));
+    }
+    // 2b. Epoch: a cap granted before the entry's last revocation was
+    //     cleared out of the bitmap by `revoke_entry` — the engine
+    //     raises the same invalid-xcall-cap it would for a bit that
+    //     never landed.
+    let current = st.entry_epochs.get(&entry).copied().unwrap_or(0);
+    let held = st
+        .cap_epochs
+        .get(caller.thread)
+        .and_then(|m| m.get(&entry))
+        .copied()
+        .unwrap_or(0);
+    if held < current {
+        return Some(Finding::trap(
+            Cause::InvalidXcallCap,
+            site,
+            format!(
+                "thread {}'s xcall-cap for entry {entry} dates to epoch {held}, \
+                 but revocation epoch {current} cleared it",
                 caller.thread
             ),
         ));
@@ -271,6 +328,70 @@ mod tests {
         });
         let flows = vec![("r".to_string(), flow(&call_recipe()))];
         assert!(check(&plan, &flows).is_empty());
+    }
+
+    #[test]
+    fn revoked_cap_is_stale_and_refuted() {
+        let mut plan = two_service_plan();
+        plan.grants = vec![
+            Grant::Xcall {
+                granter: 1,
+                grantee: 0,
+                entry: 1,
+            },
+            Grant::Revoke {
+                granter: 1,
+                entry: 1,
+            },
+        ];
+        let flows = vec![("r".to_string(), flow(&call_recipe()))];
+        let f = check(&plan, &flows);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cause(), Some(Cause::InvalidXcallCap));
+        assert!(f[0].detail.contains("revocation epoch"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn regrant_after_revoke_carries_the_new_epoch() {
+        let mut plan = two_service_plan();
+        plan.grants = vec![
+            Grant::Xcall {
+                granter: 1,
+                grantee: 0,
+                entry: 1,
+            },
+            Grant::Revoke {
+                granter: 1,
+                entry: 1,
+            },
+            Grant::Xcall {
+                granter: 1,
+                grantee: 0,
+                entry: 1,
+            },
+        ];
+        let flows = vec![("r".to_string(), flow(&call_recipe()))];
+        assert!(check(&plan, &flows).is_empty());
+    }
+
+    #[test]
+    fn unauthorized_revoke_does_not_bump_the_epoch() {
+        let mut plan = two_service_plan();
+        plan.grants = vec![
+            Grant::Xcall {
+                granter: 1,
+                grantee: 0,
+                entry: 1,
+            },
+            // Thread 0 never held the grant-cap, so this revoke is dead.
+            Grant::Revoke {
+                granter: 0,
+                entry: 1,
+            },
+        ];
+        let flows = vec![("r".to_string(), flow(&call_recipe()))];
+        assert!(check(&plan, &flows).is_empty());
+        assert!(propagate(&plan).entry_epochs.is_empty());
     }
 
     #[test]

@@ -174,6 +174,158 @@ pub fn invalid_seg_mask() -> Crafted {
     }
 }
 
+/// The client held the xcall-cap once, but the owner revoked the entry
+/// after granting — the cap is from a dead revocation epoch, and the
+/// bitmap bit `revoke_entry` cleared is gone when the call issues.
+pub fn revoked_xcall() -> Crafted {
+    let mut plan = client_and_service();
+    plan.grants = vec![
+        Grant::Xcall {
+            granter: 1,
+            grantee: 0,
+            entry: 1,
+        },
+        Grant::Revoke {
+            granter: 1,
+            entry: 1,
+        },
+    ];
+    Crafted {
+        label: "revoked-xcall",
+        expected: Some(Cause::InvalidXcallCap),
+        plan,
+        recipes: call_and_return(),
+    }
+}
+
+/// The caller shrinks the relay window and hands the segment over; the
+/// receiver then tries to widen the window back out. §4.4: the mask
+/// travels with the handover and only ever shrinks, so the widening CSR
+/// write traps.
+pub fn widen_after_handover() -> Crafted {
+    let mut plan = Plan::new();
+    plan.threads = vec![0, 1];
+    plan.services = vec![
+        ServiceBinding {
+            thread: 0,
+            entry: None,
+        },
+        ServiceBinding {
+            thread: 1,
+            entry: None,
+        },
+    ];
+    plan.seg_ops = vec![
+        SegOp::Alloc {
+            seg: 0,
+            owner: 0,
+            len: 4096,
+            paged: false,
+        },
+        SegOp::Install { thread: 0, seg: 0 },
+        SegOp::Mask {
+            thread: 0,
+            offset: 0,
+            len: 256,
+        },
+        SegOp::HandoverCall { thread: 0, to: 1 },
+        SegOp::Mask {
+            thread: 1,
+            offset: 0,
+            len: 4096,
+        },
+    ];
+    Crafted {
+        label: "widen-after-handover",
+        expected: Some(Cause::InvalidSegMask),
+        plan,
+        recipes: Vec::new(),
+    }
+}
+
+/// Two tenants share a middle service; the recipe returns straight from
+/// the tail service to the client, popping through the other tenant's
+/// linkage record. Every capability is granted — only the tenant-flow
+/// rule refutes the interleaving.
+pub fn cross_tenant_return() -> Crafted {
+    let mut plan = Plan::new();
+    plan.threads = vec![0, 1, 2];
+    plan.services = vec![
+        ServiceBinding {
+            thread: 0,
+            entry: Some(3),
+        },
+        ServiceBinding {
+            thread: 1,
+            entry: Some(1),
+        },
+        ServiceBinding {
+            thread: 2,
+            entry: Some(2),
+        },
+    ];
+    plan.entries = vec![
+        EntryDecl {
+            id: 1,
+            owner: 1,
+            valid: true,
+        },
+        EntryDecl {
+            id: 2,
+            owner: 2,
+            valid: true,
+        },
+        EntryDecl {
+            id: 3,
+            owner: 0,
+            valid: true,
+        },
+    ];
+    plan.grants = vec![
+        Grant::Xcall {
+            granter: 1,
+            grantee: 0,
+            entry: 1,
+        },
+        Grant::Xcall {
+            granter: 2,
+            grantee: 1,
+            entry: 2,
+        },
+        Grant::Xcall {
+            granter: 0,
+            grantee: 2,
+            entry: 3,
+        },
+    ];
+    plan.tenants = vec![0, 1, 0];
+    Crafted {
+        label: "cross-tenant-return",
+        expected: Some(Cause::InvalidLinkage),
+        plan,
+        recipes: vec![(
+            "skip".to_string(),
+            vec![
+                Step::Oneway {
+                    from: 0,
+                    to: 1,
+                    bytes: 8,
+                },
+                Step::Oneway {
+                    from: 1,
+                    to: 2,
+                    bytes: 8,
+                },
+                Step::Oneway {
+                    from: 2,
+                    to: 0,
+                    bytes: 8,
+                },
+            ],
+        )],
+    }
+}
+
 /// Fully wired two-service plan: entry granted, acyclic graph, clean
 /// segment lifecycle. Zero findings, and the kernel runs it fault-free.
 pub fn clean() -> Crafted {
@@ -197,7 +349,7 @@ pub fn clean() -> Crafted {
             offset: 0,
             len: 256,
         },
-        SegOp::HandoverCall { thread: 0 },
+        SegOp::HandoverCall { thread: 0, to: 1 },
     ];
     Crafted {
         label: "clean-control",
@@ -227,6 +379,11 @@ pub struct CraftedProgram {
 /// admits it — [`simos::MAX_PROGRAM_HOPS`] caps structure, not
 /// deployment — so the *verifier* must refuse it, with the same
 /// `InvalidLinkage` the engine raises when the 103rd record pushes.
+///
+/// # Panics
+///
+/// Never: the chain sits one past the link-stack capacity, far below
+/// [`simos::MAX_PROGRAM_HOPS`], so the builder always admits it.
 pub fn over_deep_program() -> CraftedProgram {
     let plan_caps = Plan::new();
     let cap = usize::try_from(plan_caps.link_capacity_records).expect("capacity fits usize");
@@ -248,6 +405,10 @@ pub fn over_deep_program() -> CraftedProgram {
 /// for the final hop: the first edge is granted, the second is not, so
 /// the chained call must refuse with `InvalidXcallCap` exactly where
 /// the runtime handler's own `xcall` would.
+///
+/// # Panics
+///
+/// Never: two hops always build.
 pub fn cap_violating_program() -> CraftedProgram {
     let program = Recipe::new(0)
         .hop(1, 8)
@@ -267,8 +428,33 @@ pub fn cap_violating_program() -> CraftedProgram {
     }
 }
 
-/// Every crafted scenario, the five exception classes first, the clean
-/// control last.
+/// A two-hop fused chain whose tail hop crosses into another tenant:
+/// the fused reply would pop tenant 0's linkage record from tenant 1's
+/// frame, so the verifier refuses the program outright.
+///
+/// # Panics
+///
+/// Never: two hops always build.
+pub fn cross_tenant_program() -> CraftedProgram {
+    let program = Recipe::new(0)
+        .hop(1, 8)
+        .hop(2, 8)
+        .reply(0)
+        .build()
+        .expect("two hops");
+    let mut plan = Plan::for_program(3, &program);
+    plan.tenants = vec![0, 0, 1];
+    CraftedProgram {
+        label: "cross-tenant-chain",
+        expected: Cause::InvalidLinkage,
+        plan,
+        program,
+    }
+}
+
+/// Every crafted scenario: the five spatial exception classes, then the
+/// three temporal-lifecycle classes (revocation epoch, post-handover
+/// widening, cross-tenant linkage), the clean control last.
 pub fn all_crafted() -> Vec<Crafted> {
     vec![
         invalid_x_entry(),
@@ -276,6 +462,9 @@ pub fn all_crafted() -> Vec<Crafted> {
         invalid_linkage(),
         swapseg_error(),
         invalid_seg_mask(),
+        revoked_xcall(),
+        widen_after_handover(),
+        cross_tenant_return(),
         clean(),
     ]
 }
@@ -303,7 +492,11 @@ mod tests {
 
     #[test]
     fn each_crafted_program_yields_exactly_its_expected_cause() {
-        for c in [over_deep_program(), cap_violating_program()] {
+        for c in [
+            over_deep_program(),
+            cap_violating_program(),
+            cross_tenant_program(),
+        ] {
             let findings = crate::verify_program(&c.plan, c.label, &c.program);
             assert!(!findings.is_empty(), "{}: no findings", c.label);
             for f in &findings {

@@ -1,7 +1,8 @@
-//! Check (b): worst-case call-chain depth fits the link stack.
+//! Check (b): worst-case call-chain depth fits the link stack, and no
+//! return pops another tenant's linkage record.
 //!
-//! Two complementary bounds. The *recipe* bound is exact: the flow
-//! abstraction replays each `Step` sequence and counts outstanding
+//! Two complementary depth bounds. The *recipe* bound is exact: the
+//! flow abstraction replays each `Step` sequence and counts outstanding
 //! linkage records. The *graph* bound is conservative: over the
 //! declared service call graph, a cycle means a request can re-enter a
 //! service it is already serving — the engine pushes a fresh 80-byte
@@ -9,10 +10,22 @@
 //! overflows into `InvalidLinkage` no matter its size; an acyclic graph
 //! is bounded by its longest path, which must fit the configured record
 //! capacity.
+//!
+//! The **tenant-flow** check ([`check_tenants`]) labels every pushed
+//! linkage record with the tenant of the frame that pushed it
+//! ([`Plan::tenants`]) and replays each recipe against the link stack.
+//! A *skip-level return* — an `Oneway` back to a service whose record
+//! sits below the top of the stack — pops through every record above
+//! it; if any popped-through record belongs to a different tenant, the
+//! return discards that tenant's linkage state, which the engine
+//! refuses as `InvalidLinkage` (the orphaned records unwind to a bare
+//! `xret` on an empty stack). Plans that declare no tenants (or one
+//! tenant) are unaffected.
 
 use crate::finding::Finding;
 use crate::plan::{Plan, RecipeFlow};
 use rv64::trap::Cause;
+use simos::Step;
 
 /// Longest-path / cycle analysis over `plan.calls`, plus the exact
 /// per-recipe depth bound.
@@ -60,6 +73,59 @@ pub fn check(plan: &Plan, flows: &[(String, RecipeFlow)]) -> Vec<Finding> {
                         plan.link_capacity_records
                     ),
                 ));
+            }
+        }
+    }
+    findings
+}
+
+/// Replay each recipe against a tenant-labeled link stack and refute
+/// every return that would pop another tenant's linkage record. See the
+/// module docs for the exact rule.
+pub fn check_tenants(plan: &Plan, recipes: &[(String, Vec<Step>)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, recipe) in recipes {
+        // Suspended frames whose linkage records sit on the stack,
+        // bottom to top.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut current = 0usize;
+        for (i, step) in recipe.iter().enumerate() {
+            let Step::Oneway { from, to, .. } = *step else {
+                continue;
+            };
+            if stack.last() == Some(&to) && from == current {
+                // Well-nested return: pops the caller's own record.
+                stack.pop();
+                current = to;
+            } else if to == current {
+                // Reply payload into the already-live frame.
+            } else if let Some(pos) = stack.iter().rposition(|&s| s == to) {
+                // Skip-level return: resuming `to` pops every record
+                // above its own. Records pushed by a different tenant
+                // may not be discarded by this tenant's return.
+                let crossed: Vec<usize> = stack[pos + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&s| plan.tenant(s) != plan.tenant(to))
+                    .collect();
+                if let Some(&victim) = crossed.first() {
+                    findings.push(Finding::trap(
+                        Cause::InvalidLinkage,
+                        format!("{name}: step {i} return {from}→{to}"),
+                        format!(
+                            "return pops through tenant {}'s linkage record \
+                             (service {victim}) while resuming tenant {}'s frame",
+                            plan.tenant(victim),
+                            plan.tenant(to)
+                        ),
+                    ));
+                }
+                stack.truncate(pos);
+                current = to;
+            } else {
+                // A call: pushes the current frame's record.
+                stack.push(current);
+                current = to;
             }
         }
     }
@@ -164,6 +230,89 @@ mod tests {
         let f = check(&plan, &[]);
         assert_eq!(f.len(), 1);
         assert!(f[0].detail.contains("longest call chain"));
+    }
+
+    fn skip_return_recipe() -> Vec<(String, Vec<Step>)> {
+        vec![(
+            "skip".to_string(),
+            vec![
+                Step::Oneway {
+                    from: 0,
+                    to: 1,
+                    bytes: 8,
+                },
+                Step::Oneway {
+                    from: 1,
+                    to: 2,
+                    bytes: 8,
+                },
+                // Returns straight to the client, popping through the
+                // record service 1 pushed.
+                Step::Oneway {
+                    from: 2,
+                    to: 0,
+                    bytes: 8,
+                },
+            ],
+        )]
+    }
+
+    #[test]
+    fn cross_tenant_skip_return_is_invalid_linkage() {
+        let mut plan = Plan::new();
+        plan.threads = vec![0, 1, 2];
+        plan.tenants = vec![0, 1, 0];
+        let f = check_tenants(&plan, &skip_return_recipe());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].cause(), Some(Cause::InvalidLinkage));
+        assert!(f[0].detail.contains("tenant 1"), "{}", f[0].detail);
+        assert!(f[0].site.contains("step 2"), "{}", f[0].site);
+    }
+
+    #[test]
+    fn undeclared_tenants_make_the_check_inert() {
+        let mut plan = Plan::new();
+        plan.threads = vec![0, 1, 2];
+        assert!(check_tenants(&plan, &skip_return_recipe()).is_empty());
+    }
+
+    #[test]
+    fn same_tenant_skip_return_is_clean() {
+        let mut plan = Plan::new();
+        plan.threads = vec![0, 1, 2];
+        plan.tenants = vec![3, 3, 3];
+        assert!(check_tenants(&plan, &skip_return_recipe()).is_empty());
+    }
+
+    #[test]
+    fn well_nested_cross_tenant_returns_are_clean() {
+        let mut plan = Plan::new();
+        plan.threads = vec![0, 1, 2];
+        plan.tenants = vec![0, 1, 2];
+        let recipe = vec![
+            Step::Oneway {
+                from: 0,
+                to: 1,
+                bytes: 8,
+            },
+            Step::Oneway {
+                from: 1,
+                to: 2,
+                bytes: 8,
+            },
+            Step::Oneway {
+                from: 2,
+                to: 1,
+                bytes: 8,
+            },
+            Step::Oneway {
+                from: 1,
+                to: 0,
+                bytes: 8,
+            },
+        ];
+        let recipes = vec![("nested".to_string(), recipe)];
+        assert!(check_tenants(&plan, &recipes).is_empty());
     }
 
     #[test]

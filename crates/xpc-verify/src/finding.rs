@@ -16,6 +16,12 @@ pub enum Verdict {
     /// the ledger. No hardware trap; the cycle accounting itself is
     /// broken (the ledger-lint pass of the verifier).
     LedgerDrift,
+    /// A tainted relay segment is handed to a different owner without an
+    /// interposed zero (the segment-taint automaton of [`crate::segs`]).
+    /// No hardware trap fires — the bytes simply arrive — which is
+    /// exactly why the temporal hardening prices a zero-on-handover
+    /// scrub instead of relying on an exception.
+    DataLeak,
 }
 
 impl Verdict {
@@ -23,7 +29,7 @@ impl Verdict {
     pub fn cause(self) -> Option<Cause> {
         match self {
             Verdict::Trap(c) => Some(c),
-            Verdict::LedgerDrift => None,
+            Verdict::LedgerDrift | Verdict::DataLeak => None,
         }
     }
 
@@ -37,6 +43,7 @@ impl Verdict {
             Verdict::Trap(Cause::InvalidSegMask) => "invalid-seg-mask",
             Verdict::Trap(_) => "trap",
             Verdict::LedgerDrift => "ledger-drift",
+            Verdict::DataLeak => "data-leak",
         }
     }
 }
@@ -46,6 +53,7 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::Trap(c) => write!(f, "{c}"),
             Verdict::LedgerDrift => f.write_str("ledger drift"),
+            Verdict::DataLeak => f.write_str("data leak"),
         }
     }
 }
@@ -59,6 +67,11 @@ pub struct Finding {
     pub site: String,
     /// What is wrong, in terms of the abstract domain that refuted it.
     pub detail: String,
+    /// For seg-op findings: the index into [`crate::plan::Plan::seg_ops`]
+    /// of the **first** violating op, so tooling can point at the exact
+    /// plan line instead of parsing the `site` string. `None` for
+    /// findings that do not anchor to a seg-op.
+    pub op_index: Option<usize>,
 }
 
 impl Finding {
@@ -68,6 +81,32 @@ impl Finding {
             verdict: Verdict::Trap(cause),
             site: site.into(),
             detail: detail.into(),
+            op_index: None,
+        }
+    }
+
+    /// Construct a trap-predicting finding anchored at a seg-op index.
+    pub fn trap_at(
+        cause: Cause,
+        op_index: usize,
+        site: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Finding {
+            verdict: Verdict::Trap(cause),
+            site: site.into(),
+            detail: detail.into(),
+            op_index: Some(op_index),
+        }
+    }
+
+    /// Construct a data-leak finding anchored at a seg-op index.
+    pub fn leak_at(op_index: usize, site: impl Into<String>, detail: impl Into<String>) -> Self {
+        Finding {
+            verdict: Verdict::DataLeak,
+            site: site.into(),
+            detail: detail.into(),
+            op_index: Some(op_index),
         }
     }
 
@@ -98,10 +137,22 @@ mod tests {
         ];
         let mut keys: Vec<_> = five.iter().map(|&c| Verdict::Trap(c).key()).collect();
         keys.push(Verdict::LedgerDrift.key());
+        keys.push(Verdict::DataLeak.key());
         let mut dedup = keys.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn anchored_findings_carry_the_op_index_and_leaks_predict_no_trap() {
+        let f = Finding::trap_at(Cause::InvalidSegMask, 4, "seg-op 4", "widens");
+        assert_eq!(f.op_index, Some(4));
+        assert_eq!(f.cause(), Some(Cause::InvalidSegMask));
+        let l = Finding::leak_at(2, "seg-op 2", "tainted handover");
+        assert_eq!(l.verdict, Verdict::DataLeak);
+        assert_eq!(l.op_index, Some(2));
+        assert_eq!(l.cause(), None, "a leak is silent at runtime");
     }
 
     #[test]

@@ -10,13 +10,19 @@
 //!
 //! * **(a) capability reachability** ([`caps`]) — every `xcall` target
 //!   in-bounds of the x-entry table and reachable in the xcall-cap
-//!   bitmap lattice, transitively through grant-cap edges;
+//!   bitmap lattice, transitively through grant-cap edges, and **not
+//!   revoked**: each entry carries a revocation epoch bumped by
+//!   [`Grant::Revoke`], and a call through a cap from an older epoch is
+//!   refuted;
 //! * **(b) link-stack depth** ([`depth`]) — worst-case call-chain depth
 //!   over the service call graph fits the configured link stack, with
-//!   cycle detection for unbounded recursion;
+//!   cycle detection for unbounded recursion, plus the **tenant-flow**
+//!   rule: no return may pop another tenant's linkage record;
 //! * **(c) segment ownership** ([`segs`]) — relay segments keep
 //!   single-owner semantics along every `swapseg`/handover
-//!   interleaving, and seg-mask windows only shrink;
+//!   interleaving, seg-mask windows only shrink (even across a
+//!   handover), and a **taint automaton** flags any tainted segment
+//!   handed across processes without an interposed [`SegOp::Zero`];
 //! * **(d) ledger hygiene** ([`lint`]) — every [`simos`] `Invocation` a
 //!   kernel model produces decomposes exactly into its phase ledger.
 //!
@@ -42,9 +48,12 @@ pub use program::check_program;
 
 use simos::{CallProgram, Step};
 
-/// Run every static check — capability reachability, link-stack depth,
-/// segment ownership — over a plan and its named recipes, returning all
-/// findings (empty means *proved clean*).
+/// Run every static check — capability reachability (with revocation
+/// epochs), link-stack depth, tenant flow, segment ownership and taint
+/// — over a plan and its named recipes, returning all findings (empty
+/// means *proved clean*). Findings are sorted by site and deduplicated,
+/// so a misconfiguration reachable along several paths (e.g. a call
+/// edge declared twice) reads as one diagnostic.
 pub fn verify(plan: &Plan, recipes: &[(String, Vec<Step>)]) -> Vec<Finding> {
     let flows: Vec<(String, RecipeFlow)> = recipes
         .iter()
@@ -52,7 +61,16 @@ pub fn verify(plan: &Plan, recipes: &[(String, Vec<Step>)]) -> Vec<Finding> {
         .collect();
     let mut findings = caps::check(plan, &flows);
     findings.extend(depth::check(plan, &flows));
+    findings.extend(depth::check_tenants(plan, recipes));
     findings.extend(segs::check(plan));
+    findings.sort_by(|a, b| {
+        (a.site.as_str(), a.verdict.key(), a.detail.as_str()).cmp(&(
+            b.site.as_str(),
+            b.verdict.key(),
+            b.detail.as_str(),
+        ))
+    });
+    findings.dedup();
     findings
 }
 
@@ -140,5 +158,133 @@ mod tests {
         )];
         let err = preflight(3, &recipes).unwrap_err();
         assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn duplicate_plan_edges_collapse_to_one_finding() {
+        // The same ungranted call edge declared twice in `plan.calls`
+        // used to surface as two identical findings.
+        let mut plan = Plan::new();
+        plan.threads = vec![0, 1];
+        plan.services = vec![
+            ServiceBinding {
+                thread: 0,
+                entry: None,
+            },
+            ServiceBinding {
+                thread: 1,
+                entry: Some(1),
+            },
+        ];
+        plan.entries = vec![EntryDecl {
+            id: 1,
+            owner: 1,
+            valid: true,
+        }];
+        plan.calls = vec![(0, 1), (0, 1)];
+        let findings = verify(&plan, &[]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(
+            findings[0].cause(),
+            Some(rv64::trap::Cause::InvalidXcallCap)
+        );
+    }
+
+    /// The pre-epoch lattice pass, reimplemented membership-only, as the
+    /// oracle for the zero-revoke equivalence property.
+    fn legacy_propagate(
+        plan: &Plan,
+    ) -> (
+        Vec<std::collections::HashSet<u64>>,
+        Vec<std::collections::HashSet<u64>>,
+    ) {
+        use std::collections::HashSet;
+        let n = plan.threads.len();
+        let mut xcall: Vec<HashSet<u64>> = vec![HashSet::new(); n];
+        let mut grant: Vec<HashSet<u64>> = vec![HashSet::new(); n];
+        for e in &plan.entries {
+            if let Some(s) = grant.get_mut(e.owner) {
+                s.insert(e.id);
+            }
+        }
+        for g in &plan.grants {
+            match *g {
+                Grant::Xcall {
+                    granter,
+                    grantee,
+                    entry,
+                } => {
+                    if grant.get(granter).is_some_and(|s| s.contains(&entry)) {
+                        if let Some(s) = xcall.get_mut(grantee) {
+                            s.insert(entry);
+                        }
+                    }
+                }
+                Grant::GrantCap {
+                    granter,
+                    grantee,
+                    entry,
+                } => {
+                    if grant.get(granter).is_some_and(|s| s.contains(&entry)) {
+                        if let Some(s) = grant.get_mut(grantee) {
+                            s.insert(entry);
+                        }
+                    }
+                }
+                Grant::Revoke { .. } => unreachable!("zero-revoke property"),
+            }
+        }
+        (xcall, grant)
+    }
+
+    #[test]
+    fn zero_revoke_plans_propagate_byte_identically_to_the_pre_epoch_lattice() {
+        let mut plans: Vec<Plan> = crate::crafted::all_crafted()
+            .into_iter()
+            .filter(|c| {
+                !c.plan
+                    .grants
+                    .iter()
+                    .any(|g| matches!(g, Grant::Revoke { .. }))
+            })
+            .map(|c| c.plan)
+            .collect();
+        plans.push(crate::crafted::over_deep_program().plan);
+        plans.push(crate::crafted::cap_violating_program().plan);
+        plans.push(Plan::for_recipes(
+            4,
+            &[vec![
+                Step::Oneway {
+                    from: 0,
+                    to: 1,
+                    bytes: 8,
+                },
+                Step::Oneway {
+                    from: 1,
+                    to: 2,
+                    bytes: 8,
+                },
+                Step::Oneway {
+                    from: 2,
+                    to: 3,
+                    bytes: 8,
+                },
+            ]],
+        ));
+        assert!(!plans.is_empty());
+        for plan in &plans {
+            let st = caps::propagate(plan);
+            let (xcall, grant) = legacy_propagate(plan);
+            assert_eq!(st.xcall_caps, xcall, "xcall-cap membership unchanged");
+            assert_eq!(st.grant_caps, grant, "grant-cap membership unchanged");
+            // Epochs are fully inert: no entry ever revoked, every held
+            // cap recorded in epoch 0, one epoch record per cap bit.
+            assert!(st.entry_epochs.is_empty());
+            for (set, map) in st.xcall_caps.iter().zip(&st.cap_epochs) {
+                assert_eq!(set.len(), map.len());
+                assert!(map.values().all(|&e| e == 0));
+                assert!(set.iter().all(|e| map.contains_key(e)));
+            }
+        }
     }
 }

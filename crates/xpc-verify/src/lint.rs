@@ -41,6 +41,7 @@ pub fn lint_invocation(system: &str, what: &str, inv: &Invocation) -> Option<Fin
             inv.total,
             inv.total.abs_diff(attributed)
         ),
+        op_index: None,
     })
 }
 
@@ -67,6 +68,7 @@ pub fn lint_sink_pair(
             sink_copied,
             alloc.copied_bytes
         ),
+        op_index: None,
     })
 }
 

@@ -54,6 +54,18 @@ pub enum Grant {
         /// Entry whose grant-cap moves.
         entry: u64,
     },
+    /// `revoke_entry(granter, entry)`: clears every outstanding
+    /// xcall-cap for `entry` and opens a new **revocation epoch**.
+    /// Ordering matters twice over: a cap granted *before* the revoke is
+    /// stale afterwards, while a re-grant *after* the revoke carries the
+    /// new epoch and is live again. Requires the granter to hold the
+    /// grant-cap; an unauthorized revoke has no effect.
+    Revoke {
+        /// Revoking thread (must hold the grant-cap).
+        granter: usize,
+        /// Entry whose outstanding xcall-caps are cleared.
+        entry: u64,
+    },
 }
 
 /// Maps one recipe service id onto the plan.
@@ -117,12 +129,23 @@ pub enum SegOp {
         /// Window length in bytes.
         len: u64,
     },
+    /// Guest zeroing pass over the live seg-reg window: scrubs the
+    /// segment's bytes, moving its taint state back to `Zeroed`. This is
+    /// the plan-level spelling of the zero-on-handover mitigation the
+    /// runtime prices into `Phase::Scrub`.
+    Zero {
+        /// Zeroing thread (must have a segment installed).
+        thread: usize,
+    },
     /// An `xcall` handing the live segment over: the callee sees
     /// `seg ∩ mask` and the window shrinks permanently for the rest of
-    /// the chain (§4.4 "Message Shrink").
+    /// the chain (§4.4 "Message Shrink"). Ownership moves to the callee
+    /// thread; the caller's seg-reg is cleared.
     HandoverCall {
         /// Calling thread.
         thread: usize,
+        /// Callee thread receiving the segment (and its shrunk window).
+        to: usize,
     },
     /// `free_relay_seg`: return the frames (caller must own the seg).
     Free {
@@ -159,6 +182,11 @@ pub struct Plan {
     pub calls: Vec<(usize, usize)>,
     /// Relay-segment lifecycle plan, in program order.
     pub seg_ops: Vec<SegOp>,
+    /// Per-service tenant label (index = service id). Empty means every
+    /// service belongs to one tenant — the tenant-flow check is inert
+    /// and the plan behaves exactly as it did before tenants existed.
+    /// Services past the end of the vector default to tenant 0.
+    pub tenants: Vec<u64>,
 }
 
 impl Plan {
@@ -174,7 +202,13 @@ impl Plan {
             services: Vec::new(),
             calls: Vec::new(),
             seg_ops: Vec::new(),
+            tenants: Vec::new(),
         }
+    }
+
+    /// The tenant a service belongs to (0 when none was declared).
+    pub fn tenant(&self, service: usize) -> u64 {
+        self.tenants.get(service).copied().unwrap_or(0)
     }
 
     /// The canonical plan the existing experiments implicitly assume for

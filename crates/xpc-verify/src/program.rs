@@ -24,8 +24,14 @@ use crate::plan::Plan;
 use rv64::trap::Cause;
 use simos::CallProgram;
 
-/// Run the three program-specific checks: per-hop grant caps, bounded
-/// hop count, single-owner handover. Empty means *proved clean*.
+/// Run the four program-specific checks: per-hop grant caps, bounded
+/// hop count, tenant-pure linkage, single-owner handover. Empty means
+/// *proved clean*.
+///
+/// # Panics
+///
+/// If the program's hop count does not fit `u64` — impossible for any
+/// builder-admitted program ([`simos::MAX_PROGRAM_HOPS`] is tiny).
 pub fn check_program(plan: &Plan, name: &str, program: &CallProgram) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -55,7 +61,29 @@ pub fn check_program(plan: &Plan, name: &str, program: &CallProgram) -> Vec<Find
         ));
     }
 
-    // (3) Single-owner handover: the relay segment starts at the
+    // (3) Tenant flow: a fused chain never returns between hops, so the
+    // reply pops the *entire* chain's linkage records at once. Every
+    // record therefore belongs to whichever tenant's frame pushed it —
+    // a hop that crosses tenants plants a record the eventual reply
+    // (issued from the far side of the boundary) has no right to pop.
+    let mut prev = program.client();
+    for (i, hop) in program.hops().iter().enumerate() {
+        let (from_tenant, to_tenant) = (plan.tenant(prev), plan.tenant(hop.service));
+        if from_tenant != to_tenant {
+            findings.push(Finding::trap(
+                Cause::InvalidLinkage,
+                format!("program {name}: hop {i} call {prev}→{}", hop.service),
+                format!(
+                    "hop crosses tenants {from_tenant}→{to_tenant}: the fused reply \
+                     would pop tenant {from_tenant}'s linkage record from tenant \
+                     {to_tenant}'s frame"
+                ),
+            ));
+        }
+        prev = hop.service;
+    }
+
+    // (4) Single-owner handover: the relay segment starts at the
     // client and moves only along handover edges; a handover issued by
     // a service that no longer (or never) owned the segment is exactly
     // the use-after-revoke `swapseg`/handover trap.
@@ -135,6 +163,27 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].cause(), Some(rv64::trap::Cause::SwapsegError));
         assert!(f[0].detail.contains("service 1 owns it"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn cross_tenant_hop_is_invalid_linkage() {
+        let p = chain(2, true);
+        let mut plan = Plan::for_program(3, &p);
+        // Client and hop 0 share tenant 0; hop 1 belongs to tenant 1.
+        plan.tenants = vec![0, 0, 1];
+        let f = check_program(&plan, "xtenant", &p);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].cause(), Some(rv64::trap::Cause::InvalidLinkage));
+        assert!(f[0].site.contains("hop 1"), "{}", f[0].site);
+        assert!(f[0].detail.contains("crosses tenants"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn tenant_uniform_chain_stays_clean() {
+        let p = chain(3, true);
+        let mut plan = Plan::for_program(4, &p);
+        plan.tenants = vec![2, 2, 2, 2];
+        assert!(check_program(&plan, "uniform", &p).is_empty());
     }
 
     #[test]

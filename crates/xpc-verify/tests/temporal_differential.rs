@@ -1,0 +1,388 @@
+//! Temporal differential tests: each of the three lifecycle rules the
+//! verifier added (revocation epochs, segment taint / mask travel,
+//! tenant flow) is replayed on a real `XpcKernel` and must fault with
+//! the **same `Cause`** the static pass predicts — and the corrected
+//! sibling of each scenario must both verify clean and run fault-free.
+//!
+//! The kernel side exercises the runtime twins behind
+//! [`xpc::KernelHardening`]: `revoke_entry` + `entry_epoch`,
+//! `handover_seg`'s travelling mask window and zero-on-handover scrub,
+//! and the flow-tag grant refusal.
+
+use rv64::trap::Cause;
+use rv64::{reg, Assembler};
+use xpc::kernel::{syscall, KernelEvent, XpcKernel, XpcKernelConfig};
+use xpc::layout::USER_CODE_VA;
+use xpc::{KernelHardening, ProcessId, SegHandle, ThreadId, XpcError};
+use xpc_engine::{csr_map, XpcAsm};
+use xpc_verify::{crafted, verify, Grant, Plan, SegOp, ServiceBinding, Verdict};
+
+/// The single cause the verifier statically predicts for a crafted
+/// scenario (asserting there is at least one finding and they agree).
+fn static_cause(c: &crafted::Crafted) -> Cause {
+    let findings = verify(&c.plan, &c.recipes);
+    assert!(!findings.is_empty(), "{}: no static findings", c.label);
+    let cause = findings[0].cause().expect("trap-typed verdict");
+    for f in &findings {
+        assert_eq!(f.cause(), Some(cause), "{}: mixed causes", c.label);
+    }
+    assert_eq!(Some(cause), c.expected, "{}: wrong class", c.label);
+    cause
+}
+
+/// Run the entered thread and return the fault cause it must raise.
+fn run_to_fault(k: &mut XpcKernel) -> Cause {
+    match k.run(50_000_000).unwrap() {
+        KernelEvent::Fault { cause, .. } => cause,
+        other => panic!("expected a fault, got {other:?}"),
+    }
+}
+
+fn exit_syscall(a: &mut Assembler) {
+    a.li(reg::A7, syscall::EXIT as i64);
+    a.ecall();
+}
+
+// ---- rule 1: revocation epochs --------------------------------------
+
+/// Server + client wiring shared by the revocation tests: a registered
+/// entry whose handler stamps `a0 = 7`, a second process with a client
+/// thread, and the grant already issued.
+fn revocation_fixture(h: KernelHardening) -> (XpcKernel, ThreadId, ThreadId, xpc::XEntryId) {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    k.set_hardening(h);
+    let ps = k.create_process().unwrap();
+    let server = k.create_thread(ps).unwrap();
+    let mut ha = Assembler::new(USER_CODE_VA);
+    ha.li(reg::A0, 7);
+    ha.ret();
+    let hv = k.load_code(ps, &ha.assemble()).unwrap();
+    let entry = k.register_entry(server, server, hv, 1).unwrap();
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    k.grant_xcall(server, client, entry).unwrap();
+    (k, server, client, entry)
+}
+
+/// Enter `client` with a guest that xcalls `entry` once and exits.
+fn enter_calling_client(k: &mut XpcKernel, client: ThreadId, entry: xpc::XEntryId) {
+    let pid = k.thread_process(client).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T6, entry.0 as i64);
+    a.xcall(reg::T6);
+    exit_syscall(&mut a);
+    let va = k.load_code(pid, &a.assemble()).unwrap();
+    k.enter_thread(client, va, &[]).unwrap();
+}
+
+#[test]
+fn revoked_cap_diffs_to_invalid_xcall_cap() {
+    let c = crafted::revoked_xcall();
+    let predicted = static_cause(&c);
+
+    // Runtime: grant, then revoke the entry; the epoch counter dates the
+    // outstanding grant and the cleared bitmap bit refuses the call.
+    let (mut k, _server, client, entry) = revocation_fixture(KernelHardening {
+        revocation_epochs: true,
+        ..KernelHardening::NONE
+    });
+    assert_eq!(k.entry_epoch(entry).unwrap(), 0);
+    k.revoke_entry(entry).unwrap();
+    assert_eq!(
+        k.entry_epoch(entry).unwrap(),
+        1,
+        "revocation opened a new epoch"
+    );
+    enter_calling_client(&mut k, client, entry);
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidXcallCap);
+}
+
+#[test]
+fn regrant_after_revoke_is_clean_statically_and_at_runtime() {
+    // Static: the corrected sibling re-grants in the new epoch.
+    let mut c = crafted::revoked_xcall();
+    c.plan.grants.push(Grant::Xcall {
+        granter: 1,
+        grantee: 0,
+        entry: 1,
+    });
+    let findings = verify(&c.plan, &c.recipes);
+    assert!(findings.is_empty(), "re-granted plan flagged: {findings:?}");
+
+    // Runtime: revoke then re-grant; the call completes fault-free.
+    let (mut k, server, client, entry) = revocation_fixture(KernelHardening {
+        revocation_epochs: true,
+        ..KernelHardening::NONE
+    });
+    k.revoke_entry(entry).unwrap();
+    k.grant_xcall(server, client, entry).unwrap();
+    enter_calling_client(&mut k, client, entry);
+    let ev = k.run(50_000_000).unwrap();
+    assert_eq!(
+        ev,
+        KernelEvent::ThreadExit(7),
+        "re-granted call must not fault"
+    );
+}
+
+#[test]
+fn revocation_bites_without_epochs_but_does_not_date_grants() {
+    // With the mitigation off the bitmap bit still clears (the call
+    // faults either way) — only the epoch counter stays inert.
+    let (mut k, _server, client, entry) = revocation_fixture(KernelHardening::NONE);
+    k.revoke_entry(entry).unwrap();
+    assert_eq!(k.entry_epoch(entry).unwrap(), 0, "epochs are off");
+    enter_calling_client(&mut k, client, entry);
+    assert_eq!(run_to_fault(&mut k), Cause::InvalidXcallCap);
+}
+
+// ---- rule 2: the mask window travels with the handover --------------
+
+/// Two processes, a 4 KiB relay segment installed in `t0`'s seg-reg,
+/// shrunk by guest CSR writes to `[seg_va, seg_va + keep)`.
+fn handover_fixture(
+    h: KernelHardening,
+    keep: u64,
+) -> (XpcKernel, ThreadId, ThreadId, ProcessId, SegHandle, u64) {
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    k.set_hardening(h);
+    let p0 = k.create_process().unwrap();
+    let t0 = k.create_thread(p0).unwrap();
+    let p1 = k.create_process().unwrap();
+    let t1 = k.create_thread(p1).unwrap();
+    let seg = k.alloc_relay_seg(t0, 4096).unwrap();
+    k.install_seg(t0, seg).unwrap();
+    let seg_va = k.segs.seg_reg(seg).va_base;
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.li(reg::T1, seg_va as i64);
+    a.csrw(csr_map::XPC_SEG_MASK_VA, reg::T1);
+    a.li(reg::T1, keep as i64);
+    a.csrw(csr_map::XPC_SEG_MASK_LEN, reg::T1);
+    exit_syscall(&mut a);
+    let va = k.load_code(p0, &a.assemble()).unwrap();
+    k.enter_thread(t0, va, &[]).unwrap();
+    assert!(matches!(
+        k.run(50_000_000).unwrap(),
+        KernelEvent::ThreadExit(_)
+    ));
+    (k, t0, t1, p1, seg, seg_va)
+}
+
+/// Enter `t1` with a guest that re-masks the handed-over window to
+/// `[seg_va, seg_va + len)`.
+fn enter_masking_receiver(k: &mut XpcKernel, t1: ThreadId, p1: ProcessId, seg_va: u64, len: u64) {
+    let mut b = Assembler::new(USER_CODE_VA);
+    b.li(reg::T1, seg_va as i64);
+    b.csrw(csr_map::XPC_SEG_MASK_VA, reg::T1);
+    b.li(reg::T1, len as i64);
+    b.csrw(csr_map::XPC_SEG_MASK_LEN, reg::T1);
+    exit_syscall(&mut b);
+    let vb = k.load_code(p1, &b.assemble()).unwrap();
+    k.enter_thread(t1, vb, &[]).unwrap();
+}
+
+#[test]
+fn widen_after_handover_diffs_to_invalid_seg_mask() {
+    let c = crafted::widen_after_handover();
+    let predicted = static_cause(&c);
+
+    // Runtime: t0 shrinks to 256 bytes, the kernel hands the segment
+    // over (the receiver's segment *is* the masked window), and t1's
+    // attempt to widen back to 4 KiB escapes it — the CSR write traps.
+    let (mut k, t0, t1, p1, seg, seg_va) = handover_fixture(KernelHardening::NONE, 256);
+    k.handover_seg(t0, t1, seg).unwrap();
+    enter_masking_receiver(&mut k, t1, p1, seg_va, 4096);
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidSegMask);
+}
+
+#[test]
+fn shrink_after_handover_is_clean_statically_and_at_runtime() {
+    // Static: the corrected sibling shrinks further instead of widening.
+    let mut c = crafted::widen_after_handover();
+    let Some(SegOp::Mask { len, .. }) = c.plan.seg_ops.last_mut() else {
+        panic!("crafted plan ends with the widening mask");
+    };
+    *len = 64;
+    let findings = verify(&c.plan, &c.recipes);
+    assert!(findings.is_empty(), "shrinking plan flagged: {findings:?}");
+
+    // Runtime: same handover, but t1 narrows the window to 64 bytes.
+    let (mut k, t0, t1, p1, seg, seg_va) = handover_fixture(KernelHardening::NONE, 256);
+    k.handover_seg(t0, t1, seg).unwrap();
+    enter_masking_receiver(&mut k, t1, p1, seg_va, 64);
+    let ev = k.run(50_000_000).unwrap();
+    assert!(
+        matches!(ev, KernelEvent::ThreadExit(_)),
+        "shrinking must not fault: {ev:?}"
+    );
+}
+
+// ---- rule 3: tenant flow --------------------------------------------
+
+#[test]
+fn cross_tenant_return_diffs_to_invalid_linkage() {
+    let c = crafted::cross_tenant_return();
+    let predicted = static_cause(&c);
+
+    // Runtime anchor: the skip-level return the recipe declares leaves
+    // the middle tenant's linkage record orphaned; the unwind reaches a
+    // bare `xret` against an empty link stack and the engine refuses —
+    // the same `InvalidLinkage` the flow rule predicts.
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    let p0 = k.create_process().unwrap();
+    let t0 = k.create_thread(p0).unwrap();
+    let p1 = k.create_process().unwrap();
+    k.set_tenant(p0, 0).unwrap();
+    k.set_tenant(p1, 1).unwrap();
+    let mut a = Assembler::new(USER_CODE_VA);
+    a.xret();
+    exit_syscall(&mut a);
+    let va = k.load_code(p0, &a.assemble()).unwrap();
+    k.enter_thread(t0, va, &[]).unwrap();
+    assert_eq!(run_to_fault(&mut k), predicted);
+    assert_eq!(predicted, Cause::InvalidLinkage);
+}
+
+#[test]
+fn flow_tags_refuse_the_cross_tenant_grant_and_same_tenant_wiring_runs_clean() {
+    // Static: relabelling the middle service into the client's tenant
+    // makes the crafted skip-return plan verify clean.
+    let mut c = crafted::cross_tenant_return();
+    c.plan.tenants = vec![0, 0, 0];
+    let findings = verify(&c.plan, &c.recipes);
+    assert!(
+        findings.is_empty(),
+        "same-tenant plan flagged: {findings:?}"
+    );
+
+    // Runtime twin: with flow tags on, the kernel refuses to mint the
+    // cross-tenant capability at grant time…
+    let mut k = XpcKernel::boot(XpcKernelConfig::default());
+    k.set_hardening(KernelHardening {
+        flow_tags: true,
+        ..KernelHardening::NONE
+    });
+    let ps = k.create_process().unwrap();
+    let server = k.create_thread(ps).unwrap();
+    let mut ha = Assembler::new(USER_CODE_VA);
+    ha.li(reg::A0, 7);
+    ha.ret();
+    let hv = k.load_code(ps, &ha.assemble()).unwrap();
+    let entry = k.register_entry(server, server, hv, 1).unwrap();
+    let pc = k.create_process().unwrap();
+    let client = k.create_thread(pc).unwrap();
+    k.set_tenant(ps, 1).unwrap();
+    assert_eq!(k.process_tenant(ps).unwrap(), 1);
+    let err = k.grant_xcall(server, client, entry).unwrap_err();
+    assert_eq!(
+        err,
+        XpcError::CrossTenantGrant {
+            granter_tenant: 1,
+            grantee_tenant: 0,
+            entry: entry.0,
+        }
+    );
+
+    // …and the same wiring inside one tenant grants fine and runs the
+    // call to completion.
+    k.set_tenant(ps, 0).unwrap();
+    k.grant_xcall(server, client, entry).unwrap();
+    enter_calling_client(&mut k, client, entry);
+    let ev = k.run(50_000_000).unwrap();
+    assert_eq!(
+        ev,
+        KernelEvent::ThreadExit(7),
+        "same-tenant call must not fault"
+    );
+}
+
+// ---- the leak finding and its priced mitigation ---------------------
+
+#[test]
+fn residue_leak_is_flagged_statically_and_scrubbed_by_zero_on_handover() {
+    // Static: a segment that came back through the seg-list carries a
+    // previous holder's bytes; handing it across processes without an
+    // interposed zero is the one finding that does NOT map to a trap.
+    let mut plan = Plan::new();
+    plan.threads = vec![0, 1];
+    plan.services = vec![
+        ServiceBinding {
+            thread: 0,
+            entry: None,
+        },
+        ServiceBinding {
+            thread: 1,
+            entry: None,
+        },
+    ];
+    plan.seg_ops = vec![
+        SegOp::Alloc {
+            seg: 0,
+            owner: 0,
+            len: 4096,
+            paged: false,
+        },
+        SegOp::Alloc {
+            seg: 1,
+            owner: 0,
+            len: 4096,
+            paged: false,
+        },
+        SegOp::Install { thread: 0, seg: 0 },
+        SegOp::Stash {
+            thread: 0,
+            slot: 0,
+            seg: 1,
+        },
+        SegOp::Swap { thread: 0, slot: 0 },
+        SegOp::Swap { thread: 0, slot: 0 },
+        SegOp::HandoverCall { thread: 0, to: 1 },
+    ];
+    let findings = verify(&plan, &[]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].verdict, Verdict::DataLeak);
+    assert_eq!(findings[0].cause(), None, "leaks do not trap at runtime");
+
+    // Runtime, mitigation off: the residue rides along. The secret
+    // pattern fills [64, 4096) while the message is the first 64 bytes;
+    // t0 shrinks the window to the message, hands over, and the
+    // receiver can still read every secret byte — nothing faulted,
+    // which is exactly why this class is a finding, not a trap.
+    let secret = vec![0xABu8; 4096 - 64];
+    let (mut k, t0, t1, seg) = {
+        let (mut k, t0, t1, _p1, seg, _va) = handover_fixture(KernelHardening::NONE, 64);
+        k.write_seg(seg, 64, &secret).unwrap();
+        (k, t0, t1, seg)
+    };
+    let scrubbed = k.handover_seg(t0, t1, seg).unwrap();
+    assert_eq!(scrubbed, 0, "mitigation off: nothing scrubbed");
+    assert_eq!(k.read_seg(seg, 64, secret.len()).unwrap(), secret);
+
+    // Runtime, zero-on-handover: everything outside the 64-byte window
+    // is zeroed before the transfer; the message itself is untouched.
+    let message = [0x5Au8; 64];
+    let (mut k, t0, t1, seg) = {
+        let h = KernelHardening {
+            zero_on_handover: true,
+            ..KernelHardening::NONE
+        };
+        let (mut k, t0, t1, _p1, seg, _va) = handover_fixture(h, 64);
+        k.write_seg(seg, 0, &message).unwrap();
+        k.write_seg(seg, 64, &secret).unwrap();
+        (k, t0, t1, seg)
+    };
+    let scrubbed = k.handover_seg(t0, t1, seg).unwrap();
+    assert_eq!(
+        scrubbed,
+        4096 - 64,
+        "every byte outside the window scrubbed"
+    );
+    assert_eq!(k.read_seg(seg, 0, 64).unwrap(), message);
+    assert_eq!(
+        k.read_seg(seg, 64, secret.len()).unwrap(),
+        vec![0u8; secret.len()],
+        "residue zeroed before the receiver sees the segment"
+    );
+}

@@ -28,6 +28,15 @@ pub enum XpcError {
     /// A segment access escapes the segment, including ranges whose
     /// `offset + len` wraps the 64-bit space (checked, never wrapped).
     SegOutOfBounds { seg: u64, offset: u64, len: u64 },
+    /// A flow-tagged grant would cross a tenant boundary (the
+    /// [`crate::kernel::KernelHardening::flow_tags`] mitigation refuses
+    /// to mint a capability whose use would pop another tenant's
+    /// linkage records).
+    CrossTenantGrant {
+        granter_tenant: u64,
+        grantee_tenant: u64,
+        entry: u64,
+    },
     /// The guest faulted in a way the scenario did not expect.
     GuestFault(String),
     /// The guest exceeded its instruction budget.
@@ -64,6 +73,17 @@ impl fmt::Display for XpcError {
                 write!(
                     f,
                     "access [{offset:#x}, {offset:#x}+{len:#x}) escapes relay segment {seg}"
+                )
+            }
+            XpcError::CrossTenantGrant {
+                granter_tenant,
+                grantee_tenant,
+                entry,
+            } => {
+                write!(
+                    f,
+                    "flow tags refuse the grant of x-entry {entry} across tenants \
+                     {granter_tenant}→{grantee_tenant}"
                 )
             }
             XpcError::GuestFault(s) => write!(f, "unexpected guest fault: {s}"),

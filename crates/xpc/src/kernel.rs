@@ -24,7 +24,7 @@ use rv64::mem::DRAM_BASE;
 use rv64::trap::Cause;
 use rv64::{reg, Assembler, Machine, MachineConfig};
 use xpc_engine::layout::{LinkageRecord, SegDescriptor, LINK_RECORD_BYTES, LINK_STACK_BYTES};
-use xpc_engine::{SegMask, XEntry, XpcEngine, XpcEngineConfig};
+use xpc_engine::{SegMask, SegReg, XEntry, XpcEngine, XpcEngineConfig};
 
 /// Process identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,6 +73,46 @@ pub enum KernelEvent {
     TimerFired,
 }
 
+/// Kernel-side hardening switches: the runtime twins of the three
+/// temporal rules `xpc-verify` checks statically. Each switch prices a
+/// mitigation the static rule proves unnecessary for verified plans:
+///
+/// * **revocation epochs** — [`XpcKernel::revoke_entry`] opens a new
+///   epoch for an x-entry and clears the cap bit in *every* thread's
+///   bitmap, so no stale capability from before the revocation
+///   survives (a later `xcall` traps `InvalidXcallCap`);
+/// * **zero-on-handover** — [`XpcKernel::handover_seg`] scrubs every
+///   byte of the relay segment *outside* the masked message window
+///   before the receiver can see it, closing the residue leak the
+///   static taint automaton flags;
+/// * **flow tags** — [`XpcKernel::grant_xcall`] refuses to mint a
+///   capability across tenant boundaries ([`XpcKernel::set_tenant`]),
+///   so no return can ever pop another tenant's linkage record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelHardening {
+    /// Bulk-revoke x-entries with per-entry epochs.
+    pub revocation_epochs: bool,
+    /// Scrub relay-segment residue on cross-process handover.
+    pub zero_on_handover: bool,
+    /// Refuse cross-tenant capability grants.
+    pub flow_tags: bool,
+}
+
+impl KernelHardening {
+    /// Every mitigation off (the paper's baseline kernel).
+    pub const NONE: KernelHardening = KernelHardening {
+        revocation_epochs: false,
+        zero_on_handover: false,
+        flow_tags: false,
+    };
+    /// Every mitigation on.
+    pub const ALL: KernelHardening = KernelHardening {
+        revocation_epochs: true,
+        zero_on_handover: true,
+        flow_tags: true,
+    };
+}
+
 #[derive(Debug)]
 struct Process {
     space: AddressSpace,
@@ -80,6 +120,8 @@ struct Process {
     code_cursor: u64,
     data_cursor: u64,
     alive: bool,
+    /// Tenant label for the flow-tag mitigation (default 0).
+    tenant: u64,
 }
 
 #[derive(Debug)]
@@ -103,6 +145,9 @@ struct EntryInfo {
     credit_table_pa: Option<u64>,
     /// Credit slots in use: (slot, thread), for uniqueness checks.
     credit_slots: Vec<(u64, u64)>,
+    /// Revocation epoch: bumped by [`XpcKernel::revoke_entry`]; a cap
+    /// granted before the bump no longer exists in any bitmap.
+    epoch: u64,
 }
 
 /// Boot configuration of the prototype kernel.
@@ -172,6 +217,7 @@ pub struct XpcKernel {
     pub segs: SegRegistry,
     current: Option<ThreadId>,
     next_asid: u16,
+    hardening: KernelHardening,
 }
 
 impl XpcKernel {
@@ -201,12 +247,14 @@ impl XpcKernel {
                     max_contexts: 0,
                     credit_table_pa: None,
                     credit_slots: Vec::new(),
+                    epoch: 0,
                 });
                 v
             },
             segs: SegRegistry::new(),
             current: None,
             next_asid: 1,
+            hardening: KernelHardening::NONE,
         };
         // Zero the x-entry table and point the engine at it; the base is
         // colored off the page boundary (see create_thread on coloring).
@@ -280,6 +328,7 @@ impl XpcKernel {
             code_cursor: USER_CODE_VA,
             data_cursor: USER_DATA_VA,
             alive: true,
+            tenant: 0,
         });
         Ok(ProcessId(self.processes.len() as u64 - 1))
     }
@@ -514,6 +563,7 @@ impl XpcKernel {
             max_contexts,
             credit_table_pa,
             credit_slots: Vec::new(),
+            epoch: 0,
         });
         self.thread_mut(owner)?.grant_caps.push(id);
         Ok(XEntryId(id))
@@ -557,17 +607,22 @@ impl XpcKernel {
             max_contexts: 1,
             credit_table_pa: None,
             credit_slots: Vec::new(),
+            epoch: 0,
         });
         self.thread_mut(owner)?.grant_caps.push(id);
         Ok(XEntryId(id))
     }
 
     /// Grant `grantee` the xcall capability for `entry`. The granter must
-    /// hold the grant-cap (§4.2).
+    /// hold the grant-cap (§4.2). With
+    /// [`KernelHardening::flow_tags`] enabled the grant is additionally
+    /// refused when granter and grantee live in different tenants — the
+    /// runtime twin of the static tenant-flow rule.
     ///
     /// # Errors
     ///
-    /// Missing grant-cap or unknown ids.
+    /// Missing grant-cap, cross-tenant grant under flow tags, or
+    /// unknown ids.
     pub fn grant_xcall(
         &mut self,
         granter: ThreadId,
@@ -579,6 +634,17 @@ impl XpcKernel {
                 thread: granter.0,
                 entry: entry.0,
             });
+        }
+        if self.hardening.flow_tags {
+            let granter_tenant = self.process(self.thread(granter)?.process)?.tenant;
+            let grantee_tenant = self.process(self.thread(grantee)?.process)?.tenant;
+            if granter_tenant != grantee_tenant {
+                return Err(XpcError::CrossTenantGrant {
+                    granter_tenant,
+                    grantee_tenant,
+                    entry: entry.0,
+                });
+            }
         }
         let cap_pa = self.thread(grantee)?.runtime.cap_bitmap_pa;
         debug_assert!(entry.0 / 8 < CAP_BITMAP_BYTES);
@@ -733,6 +799,78 @@ impl XpcKernel {
         Ok(())
     }
 
+    // ---- hardening (runtime twins of the xpc-verify temporal rules) ----
+
+    /// Switch the hardening mitigations on or off.
+    pub fn set_hardening(&mut self, h: KernelHardening) {
+        self.hardening = h;
+    }
+
+    /// The current hardening configuration.
+    pub fn hardening(&self) -> KernelHardening {
+        self.hardening
+    }
+
+    /// Label `pid` with a tenant for the flow-tag mitigation. Processes
+    /// default to tenant 0.
+    ///
+    /// # Errors
+    ///
+    /// Unknown process.
+    pub fn set_tenant(&mut self, pid: ProcessId, tenant: u64) -> Result<(), XpcError> {
+        self.process_mut(pid)?.tenant = tenant;
+        Ok(())
+    }
+
+    /// The tenant label of a process.
+    ///
+    /// # Errors
+    ///
+    /// Unknown process.
+    pub fn process_tenant(&self, pid: ProcessId) -> Result<u64, XpcError> {
+        Ok(self.process(pid)?.tenant)
+    }
+
+    /// Revoke `entry` from **every** thread and open a new revocation
+    /// epoch: with [`KernelHardening::revocation_epochs`] the epoch
+    /// counter bumps (so [`XpcKernel::entry_epoch`] dates outstanding
+    /// grants), and in either case the cap bit is cleared from every
+    /// bitmap — a later `xcall` through a pre-revocation grant traps
+    /// `InvalidXcallCap`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown entry.
+    pub fn revoke_entry(&mut self, entry: XEntryId) -> Result<(), XpcError> {
+        self.entries
+            .get(entry.0 as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(XpcError::NoSuchEntry(entry.0))?;
+        for tid in 0..self.threads.len() as u64 {
+            self.revoke_xcall(ThreadId(tid), entry)?;
+        }
+        if self.hardening.revocation_epochs {
+            if let Some(Some(info)) = self.entries.get_mut(entry.0 as usize) {
+                info.epoch += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The revocation epoch of an entry (0 until the first
+    /// epoch-enabled [`XpcKernel::revoke_entry`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown entry.
+    pub fn entry_epoch(&self, entry: XEntryId) -> Result<u64, XpcError> {
+        self.entries
+            .get(entry.0 as usize)
+            .and_then(|e| e.as_ref())
+            .map(|e| e.epoch)
+            .ok_or(XpcError::NoSuchEntry(entry.0))
+    }
+
     // ---- relay segments -------------------------------------------------
 
     /// Allocate a relay segment of `len` bytes owned by `owner`
@@ -858,6 +996,114 @@ impl XpcKernel {
             let rt = &mut self.thread_mut(thread)?.runtime;
             rt.seg = seg;
             rt.mask = SegMask::none();
+        }
+        Ok(())
+    }
+
+    /// Hand the relay segment `h` — currently live in `from`'s seg-reg —
+    /// over to `to`: registry ownership and the (possibly shrunk) mask
+    /// window move together, exactly like the engine's handover
+    /// transition along a calling chain (§4.4: the window never widens
+    /// across the transfer). With [`KernelHardening::zero_on_handover`]
+    /// enabled and a **cross-process** handover, every byte of the
+    /// segment *outside* the masked window is zeroed first — the residue
+    /// a previous holder left behind is exactly what the static taint
+    /// automaton flags as a leak. Returns the number of bytes scrubbed
+    /// (0 when the mitigation is off, the handover stays in-process, or
+    /// the mask covers the whole segment).
+    ///
+    /// # Errors
+    ///
+    /// Ownership violation (including a segment the sender owns but has
+    /// not installed in its seg-reg) or unknown thread.
+    pub fn handover_seg(
+        &mut self,
+        from: ThreadId,
+        to: ThreadId,
+        h: SegHandle,
+    ) -> Result<u64, XpcError> {
+        match self.segs.owner(h) {
+            SegOwner::Thread(t) if t == from.0 => {}
+            other => {
+                return Err(XpcError::SegNotOwned {
+                    seg: h.0,
+                    owner: match other {
+                        SegOwner::Thread(t) => Some(t),
+                        _ => None,
+                    },
+                })
+            }
+        }
+        let from_pid = self.thread(from)?.process;
+        let to_pid = self.thread(to)?.process;
+        self.save_current();
+        let (seg, mask) = {
+            let rt = &self.thread(from)?.runtime;
+            (rt.seg, rt.mask)
+        };
+        if seg != self.segs.seg_reg(h) {
+            return Err(XpcError::SegNotOwned {
+                seg: h.0,
+                owner: Some(from.0),
+            });
+        }
+        let mut scrubbed = 0u64;
+        if self.hardening.zero_on_handover && from_pid != to_pid {
+            // The receiver's view is the masked window; everything
+            // outside it is residue from earlier holders. An unset mask
+            // means the whole segment is the message — nothing to scrub.
+            let (win_start, win_end) = if mask.is_set() {
+                let s = mask.va_base.saturating_sub(seg.va_base).min(seg.len);
+                let e = (mask.va_base + mask.len)
+                    .saturating_sub(seg.va_base)
+                    .min(seg.len);
+                (s, e.max(s))
+            } else {
+                (0, seg.len)
+            };
+            scrubbed = win_start + (seg.len - win_end);
+            if win_start > 0 {
+                self.zero_seg_range(h, 0, win_start)?;
+            }
+            if win_end < seg.len {
+                self.zero_seg_range(h, win_end, seg.len - win_end)?;
+            }
+        }
+        {
+            let rt = &mut self.thread_mut(from)?.runtime;
+            rt.seg = SegReg::invalid();
+            rt.mask = SegMask::none();
+        }
+        {
+            // Same transition the engine applies on `xcall`: the
+            // receiver's segment *is* the masked window (so any later
+            // mask write that would widen past it traps), mask cleared.
+            let rt = &mut self.thread_mut(to)?.runtime;
+            rt.seg = seg.masked(mask);
+            rt.mask = SegMask::none();
+        }
+        self.segs.transfer(h, SegOwner::Thread(to.0))?;
+        debug_assert!(self.segs.check_invariants().is_ok());
+        // Either end may be the running thread: push the moved window
+        // into the live engine registers.
+        if let Some(cur) = self.current.filter(|&c| c == from || c == to) {
+            let rt = self.thread(cur)?.runtime;
+            let (core, eng) = self.engine_and_core();
+            eng.regs.seg = rt.seg;
+            eng.regs.mask = rt.mask;
+            eng.sync_seg_window(core);
+        }
+        Ok(scrubbed)
+    }
+
+    /// Zero `[offset, offset + len)` of segment `h`, page-sized chunks.
+    fn zero_seg_range(&mut self, h: SegHandle, offset: u64, len: u64) -> Result<(), XpcError> {
+        const ZEROS: [u8; 4096] = [0; 4096];
+        let mut pos = 0u64;
+        while pos < len {
+            let take = usize::try_from((len - pos).min(4096)).expect("chunk fits usize");
+            self.write_seg(h, offset + pos, &ZEROS[..take])?;
+            pos += take as u64;
         }
         Ok(())
     }

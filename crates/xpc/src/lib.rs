@@ -37,5 +37,5 @@ pub mod thread;
 pub mod trampoline;
 
 pub use error::XpcError;
-pub use kernel::{ProcessId, ThreadId, XEntryId, XpcKernel, XpcKernelConfig};
+pub use kernel::{KernelHardening, ProcessId, ThreadId, XEntryId, XpcKernel, XpcKernelConfig};
 pub use seg::SegHandle;
